@@ -1,0 +1,64 @@
+"""Table IV — ablation on the kind of block inserted during Network Expansion.
+
+The paper expands MobileNetV2-Tiny with inverted residual, basic and
+bottleneck blocks and reports both the accuracy of the expanded deep giant
+("Expanded Acc.") and the accuracy after PLT + contraction ("Final Acc.").
+"""
+
+from __future__ import annotations
+
+from repro.core import ExpansionConfig
+from repro.train import evaluate
+from repro.utils import seed_everything
+
+from common import PROFILE, get_corpus, get_vanilla_pretrained, make_booster, make_model, print_table
+
+PAPER_TABLE4 = {
+    "Vanilla": {"expanded": None, "final": 51.20},
+    "inverted_residual": {"expanded": 54.90, "final": 53.70},
+    "basic": {"expanded": 54.52, "final": 53.41},
+    "bottleneck": {"expanded": 55.23, "final": 53.62},
+}
+NETWORK = "mobilenetv2-tiny"
+
+
+def run_table4() -> dict[str, dict[str, float]]:
+    corpus = get_corpus()
+    results: dict[str, dict[str, float]] = {}
+
+    _, vanilla_history = get_vanilla_pretrained(NETWORK)
+    results["Vanilla"] = {"expanded": float("nan"), "final": vanilla_history.final_val_accuracy}
+
+    for block_type in ("inverted_residual", "basic", "bottleneck"):
+        seed_everything(PROFILE.seed + 31)
+        booster = make_booster(ExpansionConfig(block_type=block_type, fraction=0.5))
+        result = booster.run(make_model(NETWORK), corpus.train, corpus.val)
+        expanded_acc = max(result.pretrain_history.val_accuracy)
+        results[block_type] = {"expanded": expanded_acc, "final": result.final_accuracy}
+
+    rows = []
+    for name, paper in PAPER_TABLE4.items():
+        measured = results[name]
+        rows.append([
+            name,
+            "-" if paper["expanded"] is None else f"{paper['expanded']:.1f}",
+            "-" if name == "Vanilla" else f"{measured['expanded']:.1f}",
+            f"{paper['final']:.1f}",
+            f"{measured['final']:.1f}",
+        ])
+    print_table(
+        "Table IV — inserted block type ablation (MobileNetV2-Tiny)",
+        ["block", "paper expanded", "measured expanded", "paper final", "measured final"],
+        rows,
+    )
+    return results
+
+
+def test_table4_block_type(benchmark):
+    results = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    finals = {k: v["final"] for k, v in results.items() if k != "Vanilla"}
+    # Paper: all three block types produce usable giants whose final accuracy
+    # lands in a narrow band (within ~0.3%); at the CPU scale the single-seed
+    # noise floor is a few points per variant, so we only require the three
+    # variants to stay within that widened band of one another.
+    assert max(finals.values()) - min(finals.values()) <= 12.0

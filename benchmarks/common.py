@@ -1,0 +1,230 @@
+"""Shared workload profile and cached training runs for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the NetBooster paper on the
+synthetic substrate.  Because several tables reuse the same pretrained models
+(the vanilla TNN, the NetBooster deep giant, the KD teacher), this module
+caches those runs at process level so the whole suite stays within a CPU
+budget.
+
+Two environment variables control the workload:
+
+* ``REPRO_BENCH_SCALE`` — ``"small"`` (default) or ``"full"``; the full scale
+  uses more classes/samples/epochs and is closer to the under-fitting regime
+  of the paper but takes several times longer.
+* ``REPRO_BENCH_FULL_NETWORKS`` — set to ``1`` to benchmark every network of
+  Table I (MobileNetV2-50/100 are expensive); by default Table I covers
+  MobileNetV2-Tiny and MCUNet.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from dataclasses import dataclass
+
+from repro.baselines import make_teacher
+from repro.core import ExpansionConfig, NetBooster, NetBoosterConfig
+from repro.data import SyntheticImageNet, SyntheticVOC, downstream_dataset
+from repro.models import create_model
+from repro.train import Trainer, evaluate
+from repro.utils import ExperimentConfig, seed_everything
+
+__all__ = [
+    "BenchProfile",
+    "PROFILE",
+    "get_corpus",
+    "get_downstream",
+    "get_voc",
+    "make_model",
+    "make_booster",
+    "get_vanilla_pretrained",
+    "get_pretrained_giant",
+    "get_teacher",
+    "print_table",
+    "format_row",
+]
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Scaled-down workload standing in for the paper's training recipes."""
+
+    num_classes: int
+    samples_per_class: int
+    val_samples_per_class: int
+    resolution: int
+    intra_class_std: float
+    pretrain_epochs: int
+    finetune_epochs: int
+    batch_size: int
+    lr: float
+    finetune_lr: float
+    seed: int = 0
+
+
+_SMALL = BenchProfile(
+    num_classes=16,
+    samples_per_class=120,
+    val_samples_per_class=40,
+    resolution=20,
+    intra_class_std=1.0,
+    pretrain_epochs=12,
+    finetune_epochs=6,
+    batch_size=64,
+    lr=0.1,
+    finetune_lr=0.03,
+)
+
+_FULL = BenchProfile(
+    num_classes=20,
+    samples_per_class=200,
+    val_samples_per_class=50,
+    resolution=24,
+    intra_class_std=1.0,
+    pretrain_epochs=24,
+    finetune_epochs=10,
+    batch_size=64,
+    lr=0.1,
+    finetune_lr=0.03,
+)
+
+PROFILE: BenchProfile = _FULL if os.environ.get("REPRO_BENCH_SCALE", "small") == "full" else _SMALL
+
+_CACHE: dict[str, object] = {}
+
+
+def get_corpus() -> SyntheticImageNet:
+    """The shared large-scale pretraining corpus (stand-in for ImageNet)."""
+    if "corpus" not in _CACHE:
+        seed_everything(PROFILE.seed)
+        _CACHE["corpus"] = SyntheticImageNet(
+            num_classes=PROFILE.num_classes,
+            samples_per_class=PROFILE.samples_per_class,
+            val_samples_per_class=PROFILE.val_samples_per_class,
+            resolution=PROFILE.resolution,
+            intra_class_std=PROFILE.intra_class_std,
+        )
+    return _CACHE["corpus"]
+
+
+def get_downstream(name: str):
+    """A named downstream dataset at the profile resolution."""
+    key = f"downstream::{name}"
+    if key not in _CACHE:
+        _CACHE[key] = downstream_dataset(name, resolution=PROFILE.resolution)
+    return _CACHE[key]
+
+
+def get_voc() -> SyntheticVOC:
+    """The synthetic detection benchmark."""
+    if "voc" not in _CACHE:
+        seed_everything(PROFILE.seed)
+        _CACHE["voc"] = SyntheticVOC(num_classes=5, num_train=72, num_val=32, resolution=32, object_size=12)
+    return _CACHE["voc"]
+
+
+def make_model(name: str):
+    """Fresh model instance for the benchmark corpus label space."""
+    seed_everything(PROFILE.seed + 1)
+    return create_model(name, num_classes=PROFILE.num_classes)
+
+
+def pretrain_config(epochs: int | None = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        epochs=epochs if epochs is not None else PROFILE.pretrain_epochs,
+        batch_size=PROFILE.batch_size,
+        lr=PROFILE.lr,
+        seed=PROFILE.seed,
+    )
+
+
+def finetune_config(epochs: int | None = None, lr: float | None = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        epochs=epochs if epochs is not None else PROFILE.finetune_epochs,
+        batch_size=32,
+        lr=lr if lr is not None else PROFILE.finetune_lr,
+        seed=PROFILE.seed,
+    )
+
+
+def make_booster(expansion: ExpansionConfig | None = None) -> NetBooster:
+    """A NetBooster facade configured with the benchmark training recipe."""
+    return NetBooster(
+        NetBoosterConfig(
+            expansion=expansion or ExpansionConfig(),
+            pretrain=pretrain_config(),
+            finetune=finetune_config(lr=PROFILE.finetune_lr),
+            plt_decay_fraction=0.3,
+        )
+    )
+
+
+def get_vanilla_pretrained(model_name: str):
+    """Vanilla-trained model on the corpus (cached), with its history."""
+    key = f"vanilla::{model_name}"
+    if key not in _CACHE:
+        corpus = get_corpus()
+        model = make_model(model_name)
+        # The vanilla baseline gets the same total epoch budget as NetBooster
+        # (pretraining + PLT finetuning), mirroring the paper's setup.
+        config = pretrain_config(PROFILE.pretrain_epochs + PROFILE.finetune_epochs)
+        trainer = Trainer(model, config)
+        history = trainer.fit(corpus.train, corpus.val)
+        _CACHE[key] = (model, history)
+    model, history = _CACHE[key]
+    return copy.deepcopy(model), history
+
+
+def get_pretrained_giant(model_name: str, expansion: ExpansionConfig | None = None):
+    """NetBooster deep giant pretrained on the corpus (cached, before PLT)."""
+    suffix = "default" if expansion is None else repr(expansion)
+    key = f"giant::{model_name}::{suffix}"
+    if key not in _CACHE:
+        corpus = get_corpus()
+        booster = make_booster(expansion)
+        giant, records = booster.build_giant(make_model(model_name))
+        history = booster.pretrain_giant(giant, corpus.train, corpus.val)
+        _CACHE[key] = (giant, records, history)
+    giant, records, history = _CACHE[key]
+    return copy.deepcopy(giant), records, history
+
+
+def get_teacher():
+    """A larger pretrained network used by the KD baselines (cached)."""
+    if "teacher" not in _CACHE:
+        corpus = get_corpus()
+        seed_everything(PROFILE.seed + 7)
+        teacher = make_teacher(make_model("mobilenetv2-tiny"), PROFILE.num_classes, width_factor=2.5)
+        Trainer(teacher, pretrain_config()).fit(corpus.train, None)
+        _CACHE["teacher"] = teacher
+    return _CACHE["teacher"]
+
+
+def netbooster_accuracy(model_name: str) -> float:
+    """Full NetBooster pipeline accuracy on the corpus (cached per network)."""
+    key = f"netbooster_acc::{model_name}"
+    if key not in _CACHE:
+        corpus = get_corpus()
+        booster = make_booster()
+        giant, records, _ = get_pretrained_giant(model_name)
+        booster.plt_finetune(giant, corpus.train, corpus.val)
+        contracted = booster.contract(giant, records)
+        _CACHE[key] = evaluate(contracted, corpus.val)
+    return _CACHE[key]
+
+
+# --------------------------------------------------------------------------- #
+# pretty-printing of paper-vs-measured tables
+# --------------------------------------------------------------------------- #
+def format_row(cells: list, widths: list[int]) -> str:
+    return " | ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+def print_table(title: str, header: list, rows: list[list]) -> None:
+    """Print a fixed-width table with the paper's reported value next to ours."""
+    widths = [max(len(str(header[i])), *(len(str(row[i])) for row in rows)) for i in range(len(header))]
+    print(f"\n=== {title} ===")
+    print(format_row(header, widths))
+    print("-+-".join("-" * width for width in widths))
+    for row in rows:
+        print(format_row(row, widths))

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs its (expensive) experiment exactly once via
+``benchmark.pedantic(..., rounds=1, iterations=1)``; pytest-benchmark records
+the wall-clock time and the benchmark body prints a paper-vs-measured table.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the shared `common` module importable regardless of rootdir layout.
+sys.path.insert(0, str(Path(__file__).parent))

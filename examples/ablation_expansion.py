@@ -1,0 +1,89 @@
+"""Ablation playground: what/where/how-much to expand (paper Sec. IV-D).
+
+Sweeps the three Network-Expansion design questions on a small corpus and
+prints a compact report:
+
+* Q1 — inserted block type (inverted residual / basic / bottleneck);
+* Q2 — placement (uniform / first / middle / last);
+* Q3 — expansion ratio (2 / 4 / 6 / 8).
+
+Every configuration runs the full expand → train → PLT → contract pipeline,
+and the report verifies that the contracted cost never depends on the choice.
+
+Run with::
+
+    python examples/ablation_expansion.py --question all
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import ExpansionConfig, NetBooster, NetBoosterConfig
+from repro.data import SyntheticImageNet
+from repro.eval import count_complexity
+from repro.models import mobilenet_v2
+from repro.utils import ExperimentConfig, get_logger, seed_everything
+
+LOGGER = get_logger("ablation")
+
+
+def run_config(config: ExpansionConfig, corpus, epochs: int, seed: int) -> tuple[float, float, int]:
+    """Return (expanded accuracy, contracted accuracy, contracted FLOPs)."""
+    seed_everything(seed)
+    booster = NetBooster(
+        NetBoosterConfig(
+            expansion=config,
+            pretrain=ExperimentConfig(epochs=epochs, batch_size=32, lr=0.1),
+            finetune=ExperimentConfig(epochs=max(epochs // 2, 1), batch_size=32, lr=0.03),
+            plt_decay_fraction=0.3,
+        )
+    )
+    result = booster.run(mobilenet_v2("tiny", num_classes=corpus.num_classes), corpus.train, corpus.val)
+    shape = (3, corpus.train.resolution, corpus.train.resolution)
+    flops = count_complexity(result.model, shape).flops
+    return max(result.pretrain_history.val_accuracy), result.final_accuracy, flops
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--question", choices=["q1", "q2", "q3", "all"], default="all")
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    seed_everything(args.seed)
+    corpus = SyntheticImageNet(num_classes=8, samples_per_class=50, val_samples_per_class=12, resolution=20)
+
+    sweeps: dict[str, list[tuple[str, ExpansionConfig]]] = {}
+    if args.question in ("q1", "all"):
+        sweeps["Q1 — block type"] = [
+            (block, ExpansionConfig(block_type=block)) for block in ("inverted_residual", "basic", "bottleneck")
+        ]
+    if args.question in ("q2", "all"):
+        sweeps["Q2 — placement"] = [
+            (place, ExpansionConfig(placement=place)) for place in ("uniform", "first", "middle", "last")
+        ]
+    if args.question in ("q3", "all"):
+        sweeps["Q3 — expansion ratio"] = [
+            (f"ratio={ratio}", ExpansionConfig(expansion_ratio=ratio)) for ratio in (2, 4, 6, 8)
+        ]
+
+    baseline_flops = count_complexity(
+        mobilenet_v2("tiny", num_classes=corpus.num_classes),
+        (3, corpus.train.resolution, corpus.train.resolution),
+    ).flops
+
+    for title, configs in sweeps.items():
+        print(f"\n===== {title} =====")
+        print(f"{'setting':20s} {'expanded acc':>13s} {'final acc':>10s} {'contracted FLOPs':>17s}")
+        for name, config in configs:
+            LOGGER.info("running %s / %s ...", title, name)
+            expanded, final, flops = run_config(config, corpus, args.epochs, args.seed)
+            marker = "" if flops == baseline_flops else "  (!!)"
+            print(f"{name:20s} {expanded:13.2f} {final:10.2f} {flops:17,d}{marker}")
+        print(f"{'original TNN':20s} {'-':>13s} {'-':>10s} {baseline_flops:17,d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Detection transfer: use a NetBooster-pretrained backbone for object detection.
+
+Reproduces the paper's Table III workflow on the synthetic VOC substitute:
+
+1. pretrain a MobileNetV2-0.35 backbone on the classification corpus, both
+   vanilla and as a NetBooster deep giant;
+2. attach the tiny anchor-free detection head and finetune on synthetic VOC
+   (the NetBooster variant runs PLT during detection training);
+3. contract the NetBooster backbone and compare AP50 at the same cost.
+
+Run with::
+
+    python examples/detection_transfer.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import ExpansionConfig, NetBooster, NetBoosterConfig, PLTSchedule, contract_network
+from repro.data import SyntheticImageNet, SyntheticVOC
+from repro.models import TinyDetector, mobilenet_v2
+from repro.train import DetectionTrainer, evaluate_ap50
+from repro.utils import ExperimentConfig, get_logger, seed_everything
+
+LOGGER = get_logger("detection-transfer")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pretrain-epochs", type=int, default=6)
+    parser.add_argument("--detection-epochs", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    seed_everything(args.seed)
+    corpus = SyntheticImageNet(num_classes=10, samples_per_class=50, val_samples_per_class=10, resolution=20)
+    voc = SyntheticVOC(num_classes=5, num_train=64, num_val=24, resolution=32, object_size=12)
+    LOGGER.info("corpus %d images | VOC %d train / %d val", len(corpus.train), len(voc.train), len(voc.val))
+
+    pretrain_config = ExperimentConfig(epochs=args.pretrain_epochs, batch_size=32, lr=0.1)
+    detection_config = ExperimentConfig(epochs=args.detection_epochs, batch_size=16, lr=0.05)
+    booster = NetBooster(
+        NetBoosterConfig(expansion=ExpansionConfig(fraction=0.5), pretrain=pretrain_config)
+    )
+
+    # Vanilla backbone.
+    LOGGER.info("training the vanilla backbone ...")
+    seed_everything(args.seed)
+    vanilla_backbone = mobilenet_v2("35", num_classes=corpus.num_classes)
+    booster.pretrain_giant(vanilla_backbone, corpus.train)  # reuse the trainer wiring for plain training
+    vanilla_detector = TinyDetector(vanilla_backbone, num_classes=voc.num_classes, image_size=voc.resolution)
+    DetectionTrainer(vanilla_detector, detection_config).fit(voc.train, None)
+    vanilla_ap = evaluate_ap50(vanilla_detector, voc.val)
+
+    # NetBooster backbone: expand, pretrain, PLT during detection training, contract.
+    LOGGER.info("training the NetBooster backbone ...")
+    seed_everything(args.seed)
+    giant, records = booster.build_giant(mobilenet_v2("35", num_classes=corpus.num_classes))
+    booster.pretrain_giant(giant, corpus.train)
+    detector = TinyDetector(giant, num_classes=voc.num_classes, image_size=voc.resolution)
+    iterations = max(len(voc.train) // detection_config.batch_size, 1) * max(args.detection_epochs // 3, 1)
+    schedule = PLTSchedule(giant, total_steps=iterations)
+    DetectionTrainer(
+        detector, detection_config, iteration_callbacks=[lambda _step: schedule.step()]
+    ).fit(voc.train, None)
+    schedule.finalize()
+    detector.backbone = contract_network(giant, records)
+    booster_ap = evaluate_ap50(detector, voc.val)
+
+    print("\n================ detection transfer (synthetic VOC) ================")
+    print(f"vanilla backbone    AP50 : {vanilla_ap:6.2f}")
+    print(f"NetBooster backbone AP50 : {booster_ap:6.2f}")
+    print("Both detectors use the same backbone architecture at inference time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Ablation: how sensitive is PLT to the alpha-annealing curve?
+
+The paper anneals the activation slope linearly over ``Ed`` epochs.  This
+example compares the linear ramp against a cosine ramp and a step ramp (both
+from :mod:`repro.core.alpha_schedules`) plus the degenerate "instant" variant
+(alpha jumps straight to 1, i.e. the non-linearities are removed in one go —
+the closest analogue of NetAug's "directly drop the augmented parts").
+
+For every variant the same pretrained deep giant is finetuned, linearised,
+contracted, and the final TNN accuracy is reported.
+
+Run with::
+
+    python examples/plt_schedule_ablation.py [--epochs 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+
+from repro.core import (
+    ExpansionConfig,
+    NetBooster,
+    NetBoosterConfig,
+    contract_network,
+    make_plt_schedule,
+)
+from repro.data import SyntheticImageNet
+from repro.models import mobilenet_v2
+from repro.train import Trainer, evaluate
+from repro.utils import ExperimentConfig, get_logger, seed_everything
+
+LOGGER = get_logger("plt-ablation")
+
+
+def finetune_with_schedule(
+    giant, records, schedule_name: str, corpus, config: ExperimentConfig, decay_fraction: float
+) -> float:
+    """Finetune a copy of the giant with the named schedule and contract it."""
+    giant = copy.deepcopy(giant)
+    records = copy.deepcopy(records)
+    iterations_per_epoch = max((len(corpus.train) + config.batch_size - 1) // config.batch_size, 1)
+
+    if schedule_name == "instant":
+        schedule = make_plt_schedule("linear", giant, total_steps=1)
+        schedule.finalize()
+        trainer = Trainer(giant, config)
+    else:
+        decay_epochs = max(int(round(config.epochs * decay_fraction)), 1)
+        schedule = make_plt_schedule(
+            schedule_name, giant, total_steps=iterations_per_epoch * decay_epochs
+        )
+        trainer = Trainer(giant, config, iteration_callbacks=[lambda _step: schedule.step()])
+
+    trainer.fit(corpus.train, corpus.val)
+    schedule.finalize()
+    contracted = contract_network(giant, records)
+    return evaluate(contracted, corpus.val)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=6, help="giant pretraining epochs")
+    parser.add_argument("--finetune-epochs", type=int, default=4, help="PLT epochs per variant")
+    parser.add_argument("--classes", type=int, default=8)
+    parser.add_argument("--decay-fraction", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    seed_everything(args.seed)
+    corpus = SyntheticImageNet(
+        num_classes=args.classes, samples_per_class=60, val_samples_per_class=15, resolution=20
+    )
+
+    LOGGER.info("pretraining the shared deep giant ...")
+    booster = NetBooster(
+        NetBoosterConfig(
+            expansion=ExpansionConfig(fraction=0.5),
+            pretrain=ExperimentConfig(epochs=args.epochs, batch_size=32, lr=0.1),
+        )
+    )
+    giant, records = booster.build_giant(mobilenet_v2("tiny", num_classes=args.classes))
+    booster.pretrain_giant(giant, corpus.train, corpus.val)
+    giant_accuracy = evaluate(giant, corpus.val)
+
+    finetune_config = ExperimentConfig(epochs=args.finetune_epochs, batch_size=32, lr=0.03)
+    results = {}
+    for name in ("linear", "cosine", "step", "instant"):
+        LOGGER.info("PLT variant: %s", name)
+        seed_everything(args.seed + 1)
+        results[name] = finetune_with_schedule(
+            giant, records, name, corpus, finetune_config, args.decay_fraction
+        )
+
+    print("\n================= PLT schedule ablation =================")
+    print(f"deep giant accuracy (before PLT) : {giant_accuracy:6.2f}%")
+    for name, accuracy in results.items():
+        print(f"contracted TNN, {name:<8s} schedule : {accuracy:6.2f}%")
+    print(
+        "\nExpected qualitative outcome: the gradual schedules (linear/cosine/step) "
+        "preserve the giant's features, while the instant removal loses part of the "
+        "accuracy — the paper's argument for PLT over NetAug-style dropping."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP 660 editable installs are not
+available; ``pip install -e . --no-use-pep517 --no-build-isolation`` (or plain
+``pip install -e .`` with the pip.conf shipped in this repo) falls back to the
+classic ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

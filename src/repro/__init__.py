@@ -1,0 +1,3 @@
+"""NetBooster (DAC 2023) reproduction on a pure-NumPy deep learning substrate."""
+
+__version__ = "0.1.0"

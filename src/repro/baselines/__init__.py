@@ -1,0 +1,33 @@
+"""Baselines: vanilla training, NetAug, KD variants, DropBlock regularisation."""
+
+from .kd import (
+    KDLoss,
+    RocketLaunchingLoss,
+    TeacherFreeKDLoss,
+    make_teacher,
+    train_with_kd,
+    train_with_rco_kd,
+    train_with_rocket_launching,
+    train_with_tf_kd,
+)
+from .netaug import NetAugBlock, NetAugLoss, NetAugModel, train_with_netaug
+from .regularization import DropBlock2d, insert_dropblock
+from .vanilla import train_vanilla
+
+__all__ = [
+    "train_vanilla",
+    "NetAugBlock",
+    "NetAugModel",
+    "NetAugLoss",
+    "train_with_netaug",
+    "KDLoss",
+    "TeacherFreeKDLoss",
+    "RocketLaunchingLoss",
+    "make_teacher",
+    "train_with_kd",
+    "train_with_tf_kd",
+    "train_with_rco_kd",
+    "train_with_rocket_launching",
+    "DropBlock2d",
+    "insert_dropblock",
+]

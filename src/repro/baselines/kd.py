@@ -1,0 +1,230 @@
+"""Knowledge-distillation baselines used in Table I and Table II.
+
+Four KD variants appear in the paper's comparisons:
+
+* **KD** (Hinton et al.) — soft-target distillation from a pretrained teacher;
+* **tf-KD** (Yuan et al., CVPR 2020) — teacher-free distillation from a
+  manually designed "virtual teacher" distribution (label-smoothing style);
+* **RCO-KD** (Jin et al., ICCV 2019) — route-constrained optimisation, where
+  the student distills from a *sequence of intermediate teacher checkpoints*
+  rather than only the converged teacher;
+* **RocketLaunching** (Zhou et al., AAAI 2018) — the light net and a booster
+  net are trained *jointly*, the light net additionally regressing the
+  booster's logits.
+
+All variants plug into :class:`repro.train.trainer.Trainer` through the
+loss-computer interface, and the helper functions return trained models plus
+histories so benchmarks can report them alongside NetBooster.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import ClassificationDataset
+from ..nn import functional as F
+from ..train.trainer import Trainer, TrainingHistory
+from ..utils.config import ExperimentConfig
+
+__all__ = [
+    "KDLoss",
+    "TeacherFreeKDLoss",
+    "RocketLaunchingLoss",
+    "train_with_kd",
+    "train_with_tf_kd",
+    "train_with_rco_kd",
+    "train_with_rocket_launching",
+    "make_teacher",
+]
+
+
+def make_teacher(student_like: nn.Module, num_classes: int, width_factor: float = 2.0) -> nn.Module:
+    """Build a larger teacher network of the same family as the student.
+
+    The paper uses Assemble-ResNet50 as the teacher; here the teacher is a
+    wider MobileNetV2, which plays the same role (a higher-capacity network
+    that fits the corpus comfortably).
+    """
+    from ..models.mobilenetv2 import MobileNetV2
+
+    width = getattr(student_like, "width_mult", 0.5) * width_factor
+    return MobileNetV2(num_classes=num_classes, width_mult=width)
+
+
+class KDLoss:
+    """Classic soft-target knowledge distillation."""
+
+    def __init__(self, teacher: nn.Module, temperature: float = 4.0, alpha: float = 0.7):
+        self.teacher = teacher
+        self.temperature = temperature
+        self.alpha = alpha
+        self.teacher.eval()
+
+    def __call__(self, model, images, labels):
+        with nn.no_grad():
+            teacher_logits = self.teacher(images)
+        student_logits = model(images)
+        hard = F.cross_entropy(student_logits, labels)
+        soft = F.kl_divergence(teacher_logits, student_logits, temperature=self.temperature)
+        return (1.0 - self.alpha) * hard + self.alpha * soft, student_logits
+
+
+class TeacherFreeKDLoss:
+    """tf-KD: distillation from a manually designed virtual teacher.
+
+    The virtual teacher assigns probability ``correct_prob`` to the ground
+    truth class and spreads the remainder uniformly, then is sharpened or
+    smoothed by the temperature — no teacher network required.
+    """
+
+    def __init__(self, num_classes: int, correct_prob: float = 0.9, temperature: float = 10.0, alpha: float = 0.6):
+        self.num_classes = num_classes
+        self.correct_prob = correct_prob
+        self.temperature = temperature
+        self.alpha = alpha
+
+    def _virtual_teacher(self, labels: np.ndarray) -> np.ndarray:
+        uniform = (1.0 - self.correct_prob) / max(self.num_classes - 1, 1)
+        probs = np.full((len(labels), self.num_classes), uniform, dtype=np.float32)
+        probs[np.arange(len(labels)), labels] = self.correct_prob
+        return probs
+
+    def __call__(self, model, images, labels):
+        logits = model(images)
+        hard = F.cross_entropy(logits, labels)
+        teacher_probs = self._virtual_teacher(np.asarray(labels))
+        log_probs = F.log_softmax(logits * (1.0 / self.temperature), axis=-1)
+        soft = -(nn.Tensor(teacher_probs) * log_probs).sum(axis=-1).mean() * (self.temperature ** 2 / 100.0)
+        return (1.0 - self.alpha) * hard + self.alpha * soft, logits
+
+
+class RocketLaunchingLoss:
+    """RocketLaunching: joint training of the light net and a booster net.
+
+    Both networks are optimised in the same backward pass; the light net's
+    loss adds a hint term pulling its logits towards the booster's.
+    """
+
+    def __init__(self, booster: nn.Module, hint_weight: float = 0.5):
+        self.booster = booster
+        self.hint_weight = hint_weight
+
+    def __call__(self, model, images, labels):
+        student_logits = model(images)
+        booster_logits = self.booster(images)
+        loss = (
+            F.cross_entropy(student_logits, labels)
+            + F.cross_entropy(booster_logits, labels)
+            + self.hint_weight * F.mse_loss(student_logits, booster_logits.detach())
+        )
+        return loss, student_logits
+
+
+def _pretrain_teacher(
+    teacher: nn.Module,
+    train_set: ClassificationDataset,
+    config: ExperimentConfig,
+    checkpoint_epochs: list[int] | None = None,
+) -> list[dict]:
+    """Train the teacher, optionally snapshotting intermediate checkpoints."""
+    checkpoints: list[dict] = []
+    trainer = Trainer(teacher, config)
+    for epoch in range(config.epochs):
+        trainer.fit(train_set, None, epochs=1)
+        if checkpoint_epochs and (epoch + 1) in checkpoint_epochs:
+            checkpoints.append(teacher.state_dict())
+    checkpoints.append(teacher.state_dict())
+    return checkpoints
+
+
+def train_with_kd(
+    student: nn.Module,
+    train_set: ClassificationDataset,
+    val_set: ClassificationDataset | None,
+    config: ExperimentConfig,
+    teacher: nn.Module | None = None,
+    teacher_config: ExperimentConfig | None = None,
+    temperature: float = 4.0,
+    alpha: float = 0.7,
+) -> TrainingHistory:
+    """Classic KD: pretrain (or reuse) a teacher, then distill into the student."""
+    if teacher is None:
+        teacher = make_teacher(student, train_set.num_classes)
+        _pretrain_teacher(teacher, train_set, teacher_config or config)
+    teacher.eval()
+    trainer = Trainer(student, config, loss_computer=KDLoss(teacher, temperature, alpha))
+    return trainer.fit(train_set, val_set)
+
+
+def train_with_tf_kd(
+    student: nn.Module,
+    train_set: ClassificationDataset,
+    val_set: ClassificationDataset | None,
+    config: ExperimentConfig,
+    correct_prob: float = 0.9,
+    temperature: float = 10.0,
+) -> TrainingHistory:
+    """Teacher-free KD (virtual-teacher label smoothing)."""
+    loss = TeacherFreeKDLoss(train_set.num_classes, correct_prob=correct_prob, temperature=temperature)
+    trainer = Trainer(student, config, loss_computer=loss)
+    return trainer.fit(train_set, val_set)
+
+
+def train_with_rco_kd(
+    student: nn.Module,
+    train_set: ClassificationDataset,
+    val_set: ClassificationDataset | None,
+    config: ExperimentConfig,
+    num_anchors: int = 3,
+    teacher: nn.Module | None = None,
+    teacher_config: ExperimentConfig | None = None,
+) -> TrainingHistory:
+    """RCO-KD: distill from a route of intermediate teacher checkpoints.
+
+    The teacher's training trajectory is snapshotted at ``num_anchors`` evenly
+    spaced epochs; the student then distills from each anchor in turn, easing
+    the capacity gap exactly as route-constrained optimisation prescribes.
+    """
+    teacher_config = teacher_config or config
+    if teacher is None:
+        teacher = make_teacher(student, train_set.num_classes)
+    anchor_epochs = [
+        max(int(round(teacher_config.epochs * (i + 1) / num_anchors)), 1) for i in range(num_anchors - 1)
+    ]
+    checkpoints = _pretrain_teacher(teacher, train_set, teacher_config, checkpoint_epochs=anchor_epochs)
+
+    history = TrainingHistory()
+    epochs_per_stage = max(config.epochs // len(checkpoints), 1)
+    stage_config = config.replace(epochs=epochs_per_stage)
+    for checkpoint in checkpoints:
+        stage_teacher = copy.deepcopy(teacher)
+        stage_teacher.load_state_dict(checkpoint, strict=False)
+        stage_teacher.eval()
+        trainer = Trainer(student, stage_config, loss_computer=KDLoss(stage_teacher))
+        history.extend(trainer.fit(train_set, val_set, epochs=epochs_per_stage))
+    return history
+
+
+def train_with_rocket_launching(
+    student: nn.Module,
+    train_set: ClassificationDataset,
+    val_set: ClassificationDataset | None,
+    config: ExperimentConfig,
+    booster: nn.Module | None = None,
+    hint_weight: float = 0.5,
+) -> TrainingHistory:
+    """RocketLaunching: student and booster trained jointly with a hint loss.
+
+    The booster's parameters are optimised together with the student's by
+    registering them with the same optimiser.
+    """
+    booster = booster or make_teacher(student, train_set.num_classes)
+    loss = RocketLaunchingLoss(booster, hint_weight=hint_weight)
+    trainer = Trainer(student, config, loss_computer=loss)
+    # Jointly optimise the booster: extend the optimiser's parameter list.
+    trainer.optimizer.params.extend(p for p in booster.parameters() if p.requires_grad)
+    trainer.optimizer._velocity.extend([None] * len(booster.parameters()))
+    return trainer.fit(train_set, val_set)

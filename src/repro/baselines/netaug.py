@@ -1,0 +1,206 @@
+"""NetAug baseline (Cai et al., 2021) — width-only network augmentation.
+
+NetAug is the closest prior work to NetBooster: during training the tiny
+network is embedded into a *wider* supernet whose extra channels provide
+auxiliary supervision, and at the end the augmented widths are simply dropped.
+The differences NetBooster calls out are (1) NetAug only augments the width
+dimension and (2) the augmented parts are removed abruptly rather than being
+gradually linearised and merged, so some learned information is lost.
+
+The implementation here widens the hidden dimension of every inverted
+residual block by ``augment_ratio``; the base network's weights are the
+leading slices of the widened kernels (true weight sharing through autograd
+slicing).  Each training step supervises both the base forward pass and the
+augmented forward pass; after training the base slices are exported back into
+a plain model with the original architecture.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import ClassificationDataset
+from ..models.blocks import InvertedResidual
+from ..nn import functional as F
+from ..train.trainer import Trainer, TrainingHistory
+from ..utils.config import ExperimentConfig
+
+__all__ = ["NetAugBlock", "NetAugModel", "NetAugLoss", "train_with_netaug"]
+
+
+class NetAugBlock(nn.Module):
+    """Width-augmented drop-in replacement for an :class:`InvertedResidual`.
+
+    The widened expand/depthwise/project kernels are the trainable parameters;
+    the base network uses their leading ``base_hidden`` channels.  BatchNorm
+    statistics are kept separately for the base and augmented paths (weight
+    sharing across different widths would otherwise corrupt them).
+    """
+
+    def __init__(self, base_block: InvertedResidual, augment_ratio: float = 2.0):
+        super().__init__()
+        if isinstance(base_block.expand, nn.Identity):
+            raise ValueError("NetAugBlock requires a block with an expansion convolution")
+        base_expand_conv = base_block.expand.conv
+        base_dw_conv = base_block.depthwise.conv
+        base_project_conv = base_block.project.conv
+
+        self.in_channels = base_block.in_channels
+        self.out_channels = base_block.out_channels
+        self.stride = base_block.stride
+        self.use_residual = base_block.use_residual
+        self.base_hidden = base_expand_conv.out_channels
+        self.full_hidden = int(round(self.base_hidden * augment_ratio))
+        self.kernel_size = base_dw_conv.kernel_size
+        self.padding = base_dw_conv.padding
+        self.use_augmented = False
+
+        # Widened shared kernels, base slices initialised from the base block.
+        expand_weight = nn.init.kaiming_normal((self.full_hidden, self.in_channels, 1, 1))
+        expand_weight[: self.base_hidden] = base_expand_conv.weight.data
+        self.expand_weight = nn.Parameter(expand_weight)
+
+        dw_weight = nn.init.kaiming_normal((self.full_hidden, 1, self.kernel_size, self.kernel_size))
+        dw_weight[: self.base_hidden] = base_dw_conv.weight.data
+        self.dw_weight = nn.Parameter(dw_weight)
+
+        project_weight = nn.init.kaiming_normal((self.out_channels, self.full_hidden, 1, 1))
+        project_weight[:, : self.base_hidden] = base_project_conv.weight.data
+        self.project_weight = nn.Parameter(project_weight)
+
+        # Separate normalisation for the two paths.
+        self.base_expand_bn = nn.BatchNorm2d(self.base_hidden)
+        self.base_dw_bn = nn.BatchNorm2d(self.base_hidden)
+        self.base_project_bn = nn.BatchNorm2d(self.out_channels)
+        self.aug_expand_bn = nn.BatchNorm2d(self.full_hidden)
+        self.aug_dw_bn = nn.BatchNorm2d(self.full_hidden)
+        self.aug_project_bn = nn.BatchNorm2d(self.out_channels)
+        self.base_expand_bn.load_state_dict(base_block.expand.bn.state_dict(), strict=False)
+        self.base_dw_bn.load_state_dict(base_block.depthwise.bn.state_dict(), strict=False)
+        self.base_project_bn.load_state_dict(base_block.project.bn.state_dict(), strict=False)
+
+        self.act = nn.ReLU6()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        if self.use_augmented:
+            hidden = self.full_hidden
+            expand_w = self.expand_weight
+            dw_w = self.dw_weight
+            project_w = self.project_weight
+            bn_expand, bn_dw, bn_project = self.aug_expand_bn, self.aug_dw_bn, self.aug_project_bn
+        else:
+            hidden = self.base_hidden
+            expand_w = self.expand_weight[: self.base_hidden]
+            dw_w = self.dw_weight[: self.base_hidden]
+            project_w = self.project_weight[:, : self.base_hidden]
+            bn_expand, bn_dw, bn_project = self.base_expand_bn, self.base_dw_bn, self.base_project_bn
+
+        out = F.conv2d(x, expand_w)
+        out = self.act(bn_expand(out))
+        out = F.conv2d(out, dw_w, stride=self.stride, padding=self.padding, groups=hidden)
+        out = self.act(bn_dw(out))
+        out = F.conv2d(out, project_w)
+        out = bn_project(out)
+        if self.use_residual:
+            out = out + x
+        return out
+
+    def export_base_block(self) -> InvertedResidual:
+        """Materialise a plain inverted residual block from the base slices."""
+        block = InvertedResidual(
+            self.in_channels,
+            self.out_channels,
+            stride=self.stride,
+            expand_ratio=max(self.base_hidden // self.in_channels, 1),
+            kernel_size=self.kernel_size,
+        )
+        block.expand.conv.weight.data[...] = self.expand_weight.data[: self.base_hidden]
+        block.depthwise.conv.weight.data[...] = self.dw_weight.data[: self.base_hidden]
+        block.project.conv.weight.data[...] = self.project_weight.data[:, : self.base_hidden]
+        block.expand.bn.load_state_dict(self.base_expand_bn.state_dict(), strict=False)
+        block.depthwise.bn.load_state_dict(self.base_dw_bn.state_dict(), strict=False)
+        block.project.bn.load_state_dict(self.base_project_bn.state_dict(), strict=False)
+        return block
+
+
+class NetAugModel(nn.Module):
+    """A model whose inverted residual blocks are replaced by NetAug blocks."""
+
+    def __init__(self, base_model: nn.Module, augment_ratio: float = 2.0):
+        super().__init__()
+        self.network = copy.deepcopy(base_model)
+        self._block_paths: list[str] = []
+        for name, module in list(self.network.named_modules()):
+            if isinstance(module, InvertedResidual) and not isinstance(module.expand, nn.Identity):
+                self.network.set_submodule(name, NetAugBlock(module, augment_ratio))
+                self._block_paths.append(name)
+        # Kept in a tuple so the template is not registered as a child module
+        # (its parameters must not leak into the optimiser or state dict).
+        self._template_holder = (copy.deepcopy(base_model),)
+
+    def set_augmented(self, augmented: bool) -> None:
+        """Switch every NetAug block between the base and augmented paths."""
+        for path in self._block_paths:
+            block = self.network.get_submodule(path)
+            block.use_augmented = augmented
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.network(x)
+
+    def export_base_model(self) -> nn.Module:
+        """Return a plain model with the trained base-path weights."""
+        exported = copy.deepcopy(self._template_holder[0])
+        # Copy all non-augmented weights (stem, head, classifier, plain blocks).
+        augmented_state = self.network.state_dict()
+        exported_state = exported.state_dict()
+        for key, value in augmented_state.items():
+            if key in exported_state and exported_state[key].shape == value.shape:
+                exported_state[key] = value
+        exported.load_state_dict(exported_state, strict=False)
+        for path in self._block_paths:
+            block = self.network.get_submodule(path)
+            exported.set_submodule(path, block.export_base_block())
+        return exported
+
+
+class NetAugLoss:
+    """Base cross-entropy plus weighted auxiliary loss from the augmented path."""
+
+    def __init__(self, aug_weight: float = 1.0, label_smoothing: float = 0.0):
+        self.aug_weight = aug_weight
+        self.label_smoothing = label_smoothing
+
+    def __call__(self, model: NetAugModel, images, labels):
+        model.set_augmented(False)
+        logits = model(images)
+        loss = F.cross_entropy(logits, labels, label_smoothing=self.label_smoothing)
+        if self.aug_weight > 0:
+            model.set_augmented(True)
+            augmented_logits = model(images)
+            loss = loss + self.aug_weight * F.cross_entropy(
+                augmented_logits, labels, label_smoothing=self.label_smoothing
+            )
+            model.set_augmented(False)
+        return loss, logits
+
+
+def train_with_netaug(
+    model: nn.Module,
+    train_set: ClassificationDataset,
+    val_set: ClassificationDataset | None,
+    config: ExperimentConfig,
+    augment_ratio: float = 2.0,
+    aug_weight: float = 1.0,
+) -> tuple[nn.Module, TrainingHistory]:
+    """Train ``model`` with NetAug and return the exported base model + history."""
+    supernet = NetAugModel(model, augment_ratio=augment_ratio)
+    trainer = Trainer(
+        supernet,
+        config,
+        loss_computer=NetAugLoss(aug_weight=aug_weight, label_smoothing=config.label_smoothing),
+    )
+    history = trainer.fit(train_set, val_set)
+    return supernet.export_base_model(), history

@@ -1,0 +1,84 @@
+"""Regularisation baselines for the Fig. 1(a) under-fitting experiment.
+
+The paper's first observation is that techniques designed for large,
+over-fitting networks — DropBlock in particular — *reduce* the accuracy of
+tiny networks, which instead under-fit.  This module implements DropBlock and
+a helper that inserts it into a backbone so the comparison can be reproduced.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["DropBlock2d", "insert_dropblock"]
+
+
+class DropBlock2d(nn.Module):
+    """DropBlock regularisation (Ghiasi et al., 2018).
+
+    Contiguous ``block_size x block_size`` regions of the feature map are
+    zeroed during training and the activations are rescaled to preserve the
+    expected value.  At evaluation time the module is the identity.
+    """
+
+    def __init__(self, drop_prob: float = 0.1, block_size: int = 3, seed: int = 0):
+        super().__init__()
+        self.drop_prob = float(drop_prob)
+        self.block_size = int(block_size)
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        if not self.training or self.drop_prob <= 0.0:
+            return x
+        n, c, h, w = x.shape
+        block = min(self.block_size, h, w)
+        # gamma chosen so the expected fraction of dropped units equals drop_prob.
+        gamma = (
+            self.drop_prob
+            / (block ** 2)
+            * (h * w)
+            / max((h - block + 1) * (w - block + 1), 1)
+        )
+        seed_mask = (self._rng.random((n, c, h - block + 1, w - block + 1)) < gamma)
+        mask = np.ones((n, c, h, w), dtype=np.float32)
+        seeds = np.argwhere(seed_mask)
+        for sample, channel, row, col in seeds:
+            mask[sample, channel, row : row + block, col : col + block] = 0.0
+        keep_fraction = mask.mean()
+        if keep_fraction <= 0:
+            return x
+        scale = 1.0 / keep_fraction
+        return x * nn.Tensor(mask * scale)
+
+    def __repr__(self) -> str:
+        return f"DropBlock2d(p={self.drop_prob}, block={self.block_size})"
+
+
+def insert_dropblock(
+    model: nn.Module,
+    drop_prob: float = 0.1,
+    block_size: int = 3,
+    every: int = 2,
+    seed: int = 0,
+) -> nn.Module:
+    """Return a copy of ``model`` with DropBlock layers inserted in its backbone.
+
+    A :class:`DropBlock2d` is appended after every ``every``-th layer of the
+    model's ``features`` Sequential (skipping the stem), mirroring the usual
+    placement in the later stages of the network.
+    """
+    if not hasattr(model, "features") or not isinstance(model.features, nn.Sequential):
+        raise TypeError("insert_dropblock expects a model with a Sequential 'features' backbone")
+    regularised = copy.deepcopy(model)
+    layers = [regularised.features[i] for i in range(len(regularised.features))]
+    rebuilt: list[nn.Module] = []
+    for index, layer in enumerate(layers):
+        rebuilt.append(layer)
+        if index > 0 and index % every == 0:
+            rebuilt.append(DropBlock2d(drop_prob, block_size, seed=seed + index))
+    regularised.features = nn.Sequential(*rebuilt)
+    return regularised

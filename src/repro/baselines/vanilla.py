@@ -1,0 +1,23 @@
+"""Vanilla training baseline (the "Vanilla" rows of Tables I–III)."""
+
+from __future__ import annotations
+
+from .. import nn
+from ..data.datasets import ClassificationDataset
+from ..data.transforms import Transform
+from ..train.trainer import Trainer, TrainingHistory
+from ..utils.config import ExperimentConfig
+
+__all__ = ["train_vanilla"]
+
+
+def train_vanilla(
+    model: nn.Module,
+    train_set: ClassificationDataset,
+    val_set: ClassificationDataset | None,
+    config: ExperimentConfig,
+    train_transform: Transform | None = None,
+) -> TrainingHistory:
+    """Train ``model`` with plain cross-entropy SGD and return the history."""
+    trainer = Trainer(model, config, train_transform=train_transform)
+    return trainer.fit(train_set, val_set)

@@ -1,0 +1,43 @@
+"""Model-compression substrate: pruning and quantization.
+
+The paper positions NetBooster as *orthogonal* to the usual TNN compression
+toolbox (pruning, quantization, dynamic inference — Sec. II-A).  This
+subpackage implements the two standard techniques so that the orthogonality
+claim can be exercised end to end: a NetBooster-trained TNN can be pruned or
+quantized afterwards exactly like a vanilla-trained one, and the accuracy gap
+between the two training schemes survives compression.
+"""
+
+from .pruning import (
+    MagnitudePruner,
+    PruningReport,
+    channel_importance,
+    prune_channels_by_slimming,
+    sparsity,
+)
+from .quantization import (
+    QuantizationReport,
+    QuantizationSpec,
+    QuantizedConv2d,
+    QuantizedLinear,
+    calibrate,
+    dequantize_array,
+    quantize_array,
+    quantize_model,
+)
+
+__all__ = [
+    "MagnitudePruner",
+    "PruningReport",
+    "sparsity",
+    "channel_importance",
+    "prune_channels_by_slimming",
+    "QuantizationSpec",
+    "QuantizationReport",
+    "quantize_array",
+    "dequantize_array",
+    "QuantizedConv2d",
+    "QuantizedLinear",
+    "quantize_model",
+    "calibrate",
+]

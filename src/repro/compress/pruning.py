@@ -1,0 +1,235 @@
+"""Weight pruning: unstructured magnitude pruning and BN-scale channel pruning.
+
+Two classic techniques are provided:
+
+* :class:`MagnitudePruner` — unstructured pruning that zeroes the
+  smallest-magnitude weights (globally or per layer) and keeps binary masks so
+  the sparsity pattern survives further finetuning steps.
+* :func:`prune_channels_by_slimming` — structured channel pruning in the style
+  of network slimming (Liu et al., 2017, the paper's reference [19]): channels
+  are ranked by the absolute value of their BatchNorm scale and the weakest
+  ones are zeroed out together with all weights that produce them.
+
+Both operate in place on the NumPy parameters and report what they removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+
+__all__ = [
+    "PruningReport",
+    "MagnitudePruner",
+    "sparsity",
+    "channel_importance",
+    "prune_channels_by_slimming",
+]
+
+
+def sparsity(model: nn.Module, prunable_only: bool = True) -> float:
+    """Fraction of zero-valued weights in the model's conv / linear layers.
+
+    With ``prunable_only`` false, every parameter (including BN affine terms)
+    is counted.
+    """
+    zero = 0
+    total = 0
+    for module in _iter_modules(model):
+        if prunable_only and not isinstance(module, (nn.Conv2d, nn.Linear)):
+            continue
+        weight = getattr(module, "weight", None)
+        if weight is None or not isinstance(weight, nn.Parameter):
+            continue
+        zero += int(np.count_nonzero(weight.data == 0.0))
+        total += weight.data.size
+    return zero / total if total else 0.0
+
+
+def _iter_modules(model: nn.Module):
+    for _, module in model.named_modules():
+        yield module
+
+
+@dataclass
+class PruningReport:
+    """Summary of a pruning pass."""
+
+    target_sparsity: float
+    achieved_sparsity: float
+    pruned_weights: int
+    total_weights: int
+    per_layer: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"target sparsity   : {self.target_sparsity:.2%}",
+            f"achieved sparsity : {self.achieved_sparsity:.2%}",
+            f"pruned weights    : {self.pruned_weights} / {self.total_weights}",
+        ]
+        for name, layer_sparsity in self.per_layer.items():
+            lines.append(f"  {name:<40s} {layer_sparsity:.2%}")
+        return "\n".join(lines)
+
+
+class MagnitudePruner:
+    """Unstructured magnitude pruning with persistent masks.
+
+    Parameters
+    ----------
+    model:
+        The network to prune.  Only ``Conv2d`` and ``Linear`` weights are
+        considered prunable; biases and normalisation parameters are left
+        untouched.
+    scope:
+        ``"global"`` ranks all prunable weights together (layers with small
+        weights lose more); ``"layer"`` applies the same sparsity to every
+        layer independently.
+    """
+
+    def __init__(self, model: nn.Module, scope: str = "global"):
+        if scope not in ("global", "layer"):
+            raise ValueError(f"unknown pruning scope {scope!r}")
+        self.model = model
+        self.scope = scope
+        self.masks: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    def _prunable(self) -> list[tuple[str, nn.Parameter]]:
+        layers = []
+        for name, module in self.model.named_modules():
+            if isinstance(module, (nn.Conv2d, nn.Linear)):
+                layers.append((f"{name}.weight" if name else "weight", module.weight))
+        return layers
+
+    def prune(self, target_sparsity: float) -> PruningReport:
+        """Zero the smallest-magnitude weights so the target sparsity is reached."""
+        if not 0.0 <= target_sparsity < 1.0:
+            raise ValueError("target_sparsity must lie in [0, 1)")
+        layers = self._prunable()
+        if not layers:
+            raise ValueError("model contains no prunable Conv2d/Linear layers")
+
+        if self.scope == "global":
+            magnitudes = np.concatenate([np.abs(param.data).ravel() for _, param in layers])
+            if target_sparsity > 0.0:
+                threshold = np.quantile(magnitudes, target_sparsity)
+            else:
+                threshold = -1.0
+            for name, param in layers:
+                self.masks[name] = (np.abs(param.data) > threshold).astype(param.data.dtype)
+        else:
+            for name, param in layers:
+                if target_sparsity > 0.0:
+                    threshold = np.quantile(np.abs(param.data), target_sparsity)
+                else:
+                    threshold = -1.0
+                self.masks[name] = (np.abs(param.data) > threshold).astype(param.data.dtype)
+
+        self.apply_masks()
+
+        pruned = 0
+        total = 0
+        per_layer = {}
+        for name, param in layers:
+            layer_zero = int(np.count_nonzero(param.data == 0.0))
+            pruned += layer_zero
+            total += param.data.size
+            per_layer[name] = layer_zero / param.data.size
+        return PruningReport(
+            target_sparsity=target_sparsity,
+            achieved_sparsity=pruned / total,
+            pruned_weights=pruned,
+            total_weights=total,
+            per_layer=per_layer,
+        )
+
+    def apply_masks(self) -> None:
+        """Re-impose the stored masks (call after each finetuning step)."""
+        for name, param in self._prunable():
+            mask = self.masks.get(name)
+            if mask is not None:
+                param.data *= mask
+
+    def mask_gradients(self) -> None:
+        """Zero the gradients of pruned weights so they stay pruned."""
+        for name, param in self._prunable():
+            mask = self.masks.get(name)
+            if mask is not None and param.grad is not None:
+                param.grad *= mask
+
+
+# --------------------------------------------------------------------------- #
+# structured channel pruning (network slimming)
+# --------------------------------------------------------------------------- #
+def channel_importance(bn: nn.BatchNorm2d) -> np.ndarray:
+    """Per-channel importance score: the absolute BatchNorm scale."""
+    return np.abs(bn.weight.data)
+
+
+def prune_channels_by_slimming(
+    model: nn.Module,
+    prune_ratio: float,
+) -> PruningReport:
+    """Network-slimming-style channel pruning.
+
+    Every ``Conv2d -> BatchNorm2d`` pair found inside the model is inspected;
+    the channels whose BN scale magnitude falls in the lowest ``prune_ratio``
+    quantile *of that layer* are zeroed out (conv output filter, BN scale and
+    shift).  The channels are zeroed rather than physically removed so the
+    network structure — and therefore the contraction machinery — is
+    unaffected; the report records how much of each layer could be removed by
+    a structural rewrite.
+    """
+    if not 0.0 <= prune_ratio < 1.0:
+        raise ValueError("prune_ratio must lie in [0, 1)")
+
+    pruned = 0
+    total = 0
+    per_layer: dict[str, float] = {}
+    for name, module in model.named_modules():
+        pairs = _conv_bn_pairs(module)
+        for conv_name, conv, bn in pairs:
+            scores = channel_importance(bn)
+            if prune_ratio > 0.0:
+                threshold = np.quantile(scores, prune_ratio)
+                drop = scores <= threshold
+                # Never remove every channel of a layer.
+                if drop.all():
+                    drop[np.argmax(scores)] = False
+            else:
+                drop = np.zeros_like(scores, dtype=bool)
+            conv.weight.data[drop, ...] = 0.0
+            if conv.bias is not None:
+                conv.bias.data[drop] = 0.0
+            bn.weight.data[drop] = 0.0
+            bn.bias.data[drop] = 0.0
+            full_name = f"{name}.{conv_name}" if name else conv_name
+            per_layer[full_name] = float(drop.mean())
+            pruned += int(drop.sum()) * int(np.prod(conv.weight.data.shape[1:]))
+            total += conv.weight.data.size
+    if not per_layer:
+        raise ValueError("model contains no Conv2d -> BatchNorm2d pairs to prune")
+    return PruningReport(
+        target_sparsity=prune_ratio,
+        achieved_sparsity=pruned / total if total else 0.0,
+        pruned_weights=pruned,
+        total_weights=total,
+        per_layer=per_layer,
+    )
+
+
+def _conv_bn_pairs(module: nn.Module) -> list[tuple[str, nn.Conv2d, nn.BatchNorm2d]]:
+    """Direct ``conv`` / ``bn`` children that form a pair inside one module."""
+    children = module.named_children()
+    pairs = []
+    for index, (child_name, child) in enumerate(children):
+        if isinstance(child, nn.Conv2d) and index + 1 < len(children):
+            next_name, next_child = children[index + 1]
+            if isinstance(next_child, nn.BatchNorm2d):
+                if next_child.num_features == child.out_channels:
+                    pairs.append((child_name, child, next_child))
+    return pairs

@@ -1,0 +1,293 @@
+"""Simulated integer quantization (post-training, fake-quant style).
+
+TNNs destined for microcontrollers are deployed in int8; the paper's
+efficiency claims (Table I FLOPs / params) implicitly assume the contracted
+network quantizes as well as a vanilla-trained one.  This module provides:
+
+* :func:`quantize_array` / :func:`dequantize_array` — affine or symmetric
+  uniform quantization of a NumPy array, per-tensor or per-output-channel;
+* :class:`QuantizedConv2d` / :class:`QuantizedLinear` — drop-in wrappers that
+  fake-quantize weights (at construction) and activations (with ranges
+  gathered by :func:`calibrate`);
+* :func:`quantize_model` — rewrite a trained model so every conv / linear goes
+  through the wrappers, returning a :class:`QuantizationReport`.
+
+Quantization is *simulated*: values are rounded to the integer grid and
+immediately mapped back to float32, which reproduces int8 accuracy behaviour
+while keeping the NumPy execution path unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+
+__all__ = [
+    "QuantizationSpec",
+    "QuantizationReport",
+    "quantize_array",
+    "dequantize_array",
+    "QuantizedConv2d",
+    "QuantizedLinear",
+    "quantize_model",
+    "calibrate",
+]
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Configuration of the uniform quantizer.
+
+    Parameters
+    ----------
+    bits:
+        Word length; 8 gives the usual int8 deployment format.
+    symmetric:
+        Symmetric quantization centres the grid on zero (no zero-point),
+        matching common weight quantizers; affine quantization uses a
+        zero-point and suits post-ReLU activations.
+    per_channel:
+        Quantize weights with one scale per output channel instead of a single
+        per-tensor scale.
+    """
+
+    bits: int = 8
+    symmetric: bool = True
+    per_channel: bool = True
+
+    def __post_init__(self):
+        if not 2 <= self.bits <= 16:
+            raise ValueError("bits must lie in [2, 16]")
+
+    @property
+    def levels(self) -> int:
+        return 2 ** self.bits
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.bits - 1)) if self.symmetric else 0
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1 if self.symmetric else 2 ** self.bits - 1
+
+
+def _scales_and_zero_points(
+    array: np.ndarray, spec: QuantizationSpec, channel_axis: int | None
+) -> tuple[np.ndarray, np.ndarray]:
+    if channel_axis is None:
+        flat = array.reshape(1, -1)
+    else:
+        flat = np.moveaxis(array, channel_axis, 0).reshape(array.shape[channel_axis], -1)
+    if spec.symmetric:
+        max_abs = np.maximum(np.abs(flat).max(axis=1), 1e-12)
+        scale = max_abs / spec.qmax
+        zero_point = np.zeros_like(scale)
+    else:
+        low = np.minimum(flat.min(axis=1), 0.0)
+        high = np.maximum(flat.max(axis=1), 0.0)
+        scale = np.maximum((high - low) / (spec.qmax - spec.qmin), 1e-12)
+        zero_point = np.round(spec.qmin - low / scale)
+    return scale.astype(np.float32), zero_point.astype(np.float32)
+
+
+def quantize_array(
+    array: np.ndarray,
+    spec: QuantizationSpec | None = None,
+    channel_axis: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantize ``array`` to the integer grid defined by ``spec``.
+
+    Returns ``(q, scale, zero_point)`` where ``q`` holds integers stored as
+    float32.  Use :func:`dequantize_array` to map back.
+    """
+    spec = spec or QuantizationSpec()
+    scale, zero_point = _scales_and_zero_points(array, spec, channel_axis)
+    if channel_axis is None:
+        broadcast_scale = scale.reshape(())
+        broadcast_zp = zero_point.reshape(())
+    else:
+        shape = [1] * array.ndim
+        shape[channel_axis] = -1
+        broadcast_scale = scale.reshape(shape)
+        broadcast_zp = zero_point.reshape(shape)
+    q = np.clip(np.round(array / broadcast_scale + broadcast_zp), spec.qmin, spec.qmax)
+    return q.astype(np.float32), scale, zero_point
+
+
+def dequantize_array(
+    q: np.ndarray,
+    scale: np.ndarray,
+    zero_point: np.ndarray,
+    channel_axis: int | None = None,
+) -> np.ndarray:
+    """Map integer values produced by :func:`quantize_array` back to float."""
+    if channel_axis is None:
+        return ((q - zero_point) * scale).astype(np.float32)
+    shape = [1] * q.ndim
+    shape[channel_axis] = -1
+    return ((q - zero_point.reshape(shape)) * scale.reshape(shape)).astype(np.float32)
+
+
+def fake_quantize(
+    array: np.ndarray, spec: QuantizationSpec, channel_axis: int | None = None
+) -> np.ndarray:
+    """Round-trip an array through the quantizer (quantize then dequantize)."""
+    q, scale, zero_point = quantize_array(array, spec, channel_axis)
+    return dequantize_array(q, scale, zero_point, channel_axis)
+
+
+def quantization_error(array: np.ndarray, spec: QuantizationSpec, channel_axis: int | None = None) -> float:
+    """Root-mean-square error introduced by quantizing ``array``."""
+    return float(np.sqrt(np.mean((array - fake_quantize(array, spec, channel_axis)) ** 2)))
+
+
+# --------------------------------------------------------------------------- #
+# quantized layer wrappers
+# --------------------------------------------------------------------------- #
+class _QuantizedWrapper(nn.Module):
+    """Shared machinery for the conv / linear fake-quant wrappers."""
+
+    def __init__(self, wrapped: nn.Module, spec: QuantizationSpec):
+        super().__init__()
+        self.wrapped = wrapped
+        self.spec = spec
+        self.observing = True
+        self.register_buffer("act_low", np.array([np.inf], dtype=np.float32))
+        self.register_buffer("act_high", np.array([-np.inf], dtype=np.float32))
+        self.weight_error = self._quantize_weights()
+
+    def _quantize_weights(self) -> float:
+        weight = self.wrapped.weight
+        channel_axis = 0 if self.spec.per_channel else None
+        error = quantization_error(weight.data, self.spec, channel_axis)
+        weight.data[...] = fake_quantize(weight.data, self.spec, channel_axis)
+        return error
+
+    def _observe(self, x: np.ndarray) -> None:
+        self.act_low[0] = min(self.act_low[0], float(x.min()))
+        self.act_high[0] = max(self.act_high[0], float(x.max()))
+
+    def _quantize_activation(self, x: nn.Tensor) -> nn.Tensor:
+        if self.observing:
+            self._observe(x.data)
+            return x
+        if not np.isfinite(self.act_low[0]) or not np.isfinite(self.act_high[0]):
+            return x
+        low, high = float(self.act_low[0]), float(self.act_high[0])
+        if high <= low:
+            return x
+        act_spec = QuantizationSpec(bits=self.spec.bits, symmetric=False, per_channel=False)
+        scale = max((high - low) / (act_spec.qmax - act_spec.qmin), 1e-12)
+        zero_point = round(act_spec.qmin - low / scale)
+        q = np.clip(np.round(x.data / scale + zero_point), act_spec.qmin, act_spec.qmax)
+        return nn.Tensor(((q - zero_point) * scale).astype(np.float32))
+
+    def freeze(self) -> None:
+        """Stop observing activation ranges and start quantizing activations."""
+        self.observing = False
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.wrapped(self._quantize_activation(x))
+
+
+class QuantizedConv2d(_QuantizedWrapper):
+    """Conv2d with fake-quantized weights and (after calibration) activations."""
+
+    def __repr__(self) -> str:
+        return f"QuantizedConv2d(bits={self.spec.bits}, wrapped={self.wrapped!r})"
+
+
+class QuantizedLinear(_QuantizedWrapper):
+    """Linear layer with fake-quantized weights and activations."""
+
+    def __repr__(self) -> str:
+        return f"QuantizedLinear(bits={self.spec.bits}, wrapped={self.wrapped!r})"
+
+
+@dataclass
+class QuantizationReport:
+    """Summary of a whole-model post-training quantization pass."""
+
+    bits: int
+    quantized_layers: int
+    weight_rmse: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_weight_rmse(self) -> float:
+        if not self.weight_rmse:
+            return 0.0
+        return float(np.mean(list(self.weight_rmse.values())))
+
+    def summary(self) -> str:
+        lines = [f"int{self.bits} quantization of {self.quantized_layers} layers"]
+        for name, rmse in self.weight_rmse.items():
+            lines.append(f"  {name:<40s} weight RMSE {rmse:.5f}")
+        return "\n".join(lines)
+
+
+def quantize_model(
+    model: nn.Module,
+    spec: QuantizationSpec | None = None,
+    skip: tuple[str, ...] = (),
+) -> QuantizationReport:
+    """Replace every Conv2d / Linear in ``model`` with a fake-quant wrapper.
+
+    The replacement happens in place via ``set_submodule``.  Layers whose
+    dotted path starts with an entry of ``skip`` are left untouched (commonly
+    the first conv and the classifier, which are kept in higher precision in
+    many deployment flows).
+    """
+    spec = spec or QuantizationSpec()
+    report = QuantizationReport(bits=spec.bits, quantized_layers=0)
+    targets = []
+    for name, module in model.named_modules():
+        if name == "":
+            continue
+        if isinstance(module, (nn.Conv2d, nn.Linear)) and not any(name.startswith(s) for s in skip):
+            targets.append((name, module))
+    for name, module in targets:
+        wrapper_cls = QuantizedConv2d if isinstance(module, nn.Conv2d) else QuantizedLinear
+        wrapper = wrapper_cls(module, spec)
+        model.set_submodule(name, wrapper)
+        report.weight_rmse[name] = wrapper.weight_error
+        report.quantized_layers += 1
+    return report
+
+
+def calibrate(model: nn.Module, batches, freeze: bool = True) -> int:
+    """Run calibration batches through a quantized model to set activation ranges.
+
+    Parameters
+    ----------
+    model:
+        A model previously processed by :func:`quantize_model`.
+    batches:
+        Iterable of image arrays (``(N, C, H, W)``) used to observe activation
+        ranges.
+    freeze:
+        Freeze the observers afterwards so subsequent forward passes quantize
+        activations.
+
+    Returns the number of calibration batches processed.
+    """
+    wrappers = [m for _, m in model.named_modules() if isinstance(m, _QuantizedWrapper)]
+    if not wrappers:
+        raise ValueError("model has no quantized layers; call quantize_model first")
+    for wrapper in wrappers:
+        wrapper.observing = True
+    was_training = model.training
+    model.eval()
+    count = 0
+    with nn.no_grad():
+        for batch in batches:
+            model(nn.Tensor(np.asarray(batch, dtype=np.float32)))
+            count += 1
+    model.train(was_training)
+    if freeze:
+        for wrapper in wrappers:
+            wrapper.freeze()
+    return count

@@ -1,0 +1,78 @@
+"""Alternative annealing curves for Progressive Linearization Tuning.
+
+The paper increases the activation slope ``alpha`` *uniformly per iteration*
+(a linear ramp) over ``Ed`` epochs.  The ablation benchmarks also exercise two
+natural alternatives so the sensitivity of PLT to the annealing curve can be
+measured:
+
+* :class:`CosinePLTSchedule` — slow start / slow finish, spending more
+  iterations near the two endpoints where the network adapts to a change of
+  regime;
+* :class:`StepPLTSchedule` — piecewise-constant jumps, the harshest option,
+  which approximates removing the non-linearities a chunk at a time.
+
+All schedules share the :class:`~repro.core.plt.PLTSchedule` interface, so the
+trainer's per-iteration callback does not care which one it drives.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import nn
+from .plt import PLTSchedule
+
+__all__ = ["CosinePLTSchedule", "StepPLTSchedule", "make_plt_schedule", "PLT_SCHEDULES"]
+
+
+class CosinePLTSchedule(PLTSchedule):
+    """Cosine-shaped ramp of ``alpha`` from ``initial_alpha`` to 1."""
+
+    @property
+    def alpha(self) -> float:
+        progress = min(self.current_step / self.total_steps, 1.0)
+        shaped = 0.5 * (1.0 - math.cos(math.pi * progress))
+        return self.initial_alpha + (1.0 - self.initial_alpha) * shaped
+
+
+class StepPLTSchedule(PLTSchedule):
+    """Piecewise-constant ramp: ``alpha`` jumps at ``num_stages`` milestones."""
+
+    def __init__(
+        self,
+        model: nn.Module,
+        total_steps: int,
+        initial_alpha: float = 0.0,
+        num_stages: int = 4,
+    ):
+        if num_stages < 1:
+            raise ValueError("num_stages must be >= 1")
+        self.num_stages = int(num_stages)
+        super().__init__(model, total_steps, initial_alpha)
+
+    @property
+    def alpha(self) -> float:
+        progress = min(self.current_step / self.total_steps, 1.0)
+        stage = math.floor(progress * self.num_stages)
+        shaped = min(stage / self.num_stages, 1.0) if progress < 1.0 else 1.0
+        return self.initial_alpha + (1.0 - self.initial_alpha) * shaped
+
+
+PLT_SCHEDULES = {
+    "linear": PLTSchedule,
+    "cosine": CosinePLTSchedule,
+    "step": StepPLTSchedule,
+}
+
+
+def make_plt_schedule(
+    name: str,
+    model: nn.Module,
+    total_steps: int,
+    initial_alpha: float = 0.0,
+    **kwargs,
+) -> PLTSchedule:
+    """Build a PLT schedule by name (``linear`` | ``cosine`` | ``step``)."""
+    if name not in PLT_SCHEDULES:
+        raise KeyError(f"unknown PLT schedule {name!r}; choose from {sorted(PLT_SCHEDULES)}")
+    return PLT_SCHEDULES[name](model, total_steps, initial_alpha, **kwargs)

@@ -1,0 +1,270 @@
+"""Step 2b of NetBooster: contracting expanded blocks back to single layers.
+
+Once PLT has removed the non-linearities, an expanded block is a chain of
+convolutions, BatchNorms and (optionally) an identity shortcut — all linear
+operators — so it can be collapsed into one convolution:
+
+* BatchNorm layers are folded into the preceding convolution (standard
+  inference-time fusion);
+* sequential convolutions are merged with the closed-form kernel combination
+  of paper Eq. 3–4 (implemented for arbitrary kernel sizes and grouped/
+  depthwise middle layers);
+* a residual shortcut adds an identity kernel to the merged weight.
+
+The result is a single ``Conv2d`` with exactly the shape of the layer that was
+expanded, so the contracted network has the original TNN's structure and
+inference cost.  When the layer is followed by a BatchNorm (the usual
+Conv→BN→Act unit), the merged bias is folded into that BatchNorm's running
+mean so the convolution can stay bias-free like the original.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from .. import nn
+from .expansion import ExpandedBlock, ExpansionRecord
+
+__all__ = [
+    "fuse_conv_bn",
+    "densify_grouped_kernel",
+    "merge_sequential_kernels",
+    "add_identity_to_kernel",
+    "contract_block",
+    "contract_network",
+]
+
+
+def fuse_conv_bn(
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    bn: nn.BatchNorm2d,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold a BatchNorm (eval-mode statistics) into the preceding convolution.
+
+    Returns the fused ``(weight, bias)`` such that
+    ``conv(x, fused) == bn(conv(x, original))`` when the BatchNorm uses its
+    running statistics.
+    """
+    gamma = bn.weight.data
+    beta = bn.bias.data
+    mean = np.asarray(bn.running_mean)
+    var = np.asarray(bn.running_var)
+    scale = gamma / np.sqrt(var + bn.eps)
+
+    fused_weight = weight * scale.reshape(-1, 1, 1, 1)
+    base_bias = bias if bias is not None else np.zeros(weight.shape[0], dtype=weight.dtype)
+    fused_bias = (base_bias - mean) * scale + beta
+    return fused_weight.astype(np.float32), fused_bias.astype(np.float32)
+
+
+def densify_grouped_kernel(weight: np.ndarray, groups: int) -> np.ndarray:
+    """Expand a grouped convolution kernel to an equivalent dense kernel.
+
+    A grouped kernel of shape ``(C_out, C_in/groups, kh, kw)`` becomes a dense
+    ``(C_out, C_in, kh, kw)`` kernel with zeros outside each group's block,
+    which lets the generic merge formula treat depthwise layers uniformly.
+    """
+    if groups == 1:
+        return weight
+    c_out, c_in_g, kh, kw = weight.shape
+    c_in = c_in_g * groups
+    out_per_group = c_out // groups
+    dense = np.zeros((c_out, c_in, kh, kw), dtype=weight.dtype)
+    for g in range(groups):
+        out_slice = slice(g * out_per_group, (g + 1) * out_per_group)
+        in_slice = slice(g * c_in_g, (g + 1) * c_in_g)
+        dense[out_slice, in_slice] = weight[out_slice]
+    return dense
+
+
+def merge_sequential_kernels(
+    weight1: np.ndarray,
+    bias1: np.ndarray | None,
+    weight2: np.ndarray,
+    bias2: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two sequential convolutions into one (paper Eq. 3–4).
+
+    ``y = conv(conv(x, W1) + b1, W2) + b2`` is replaced by a single
+    convolution with kernel size ``k1 + k2 - 1``.  Both kernels are dense
+    (use :func:`densify_grouped_kernel` first for grouped layers); the second
+    convolution must have stride 1.  The merge (of both the kernel and the
+    bias) is exact as long as the second convolution reads no zero-padded
+    positions of the intermediate feature map, i.e. it uses padding 0 — always
+    true for the 1×1 chains produced by Network Expansion.
+
+    Returns
+    -------
+    (weight, bias):
+        ``weight`` has shape ``(C3, C1, k1 + k2 - 1, k1 + k2 - 1)`` and
+        ``bias`` shape ``(C3,)``.
+    """
+    c2a, c1, k1, _ = weight1.shape
+    c3, c2b, k2, _ = weight2.shape
+    if c2a != c2b:
+        raise ValueError(f"channel mismatch when merging kernels: {c2a} vs {c2b}")
+
+    k = k1 + k2 - 1
+    # Merged[o, m, w] = sum_n (W1[n, m] * W2[o, n])(w)   (full 2-D convolution)
+    merged = np.zeros((c3, c1, k, k), dtype=np.float64)
+    for di in range(k2):
+        for dj in range(k2):
+            # W2 tap at (di, dj) shifts W1 by (di, dj) in the merged kernel.
+            contribution = np.einsum(
+                "on,nmij->omij", weight2[:, :, di, dj].astype(np.float64), weight1.astype(np.float64)
+            )
+            merged[:, :, di : di + k1, dj : dj + k1] += contribution
+
+    bias1 = bias1 if bias1 is not None else np.zeros(c2a, dtype=np.float64)
+    bias2 = bias2 if bias2 is not None else np.zeros(c3, dtype=np.float64)
+    merged_bias = weight2.astype(np.float64).sum(axis=(2, 3)) @ bias1.astype(np.float64) + bias2.astype(np.float64)
+    return merged.astype(np.float32), merged_bias.astype(np.float32)
+
+
+def add_identity_to_kernel(weight: np.ndarray) -> np.ndarray:
+    """Add an identity (residual shortcut) to a square dense kernel in place.
+
+    Requires equal input/output channels and an odd kernel size so that the
+    identity can be placed at the spatial centre.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    if c_out != c_in:
+        raise ValueError("identity shortcut requires matching channel counts")
+    if kh % 2 == 0 or kw % 2 == 0:
+        raise ValueError("identity shortcut requires odd kernel sizes")
+    out = weight.copy()
+    centre_h, centre_w = kh // 2, kw // 2
+    out[np.arange(c_out), np.arange(c_in), centre_h, centre_w] += 1.0
+    return out
+
+
+def contract_block(block: ExpandedBlock, require_linear: bool = True) -> nn.Conv2d:
+    """Collapse a fully linearised expanded block into a single convolution.
+
+    Parameters
+    ----------
+    block:
+        The expanded block produced by :func:`repro.core.expansion.expand_network`.
+    require_linear:
+        Raise if any internal activation has not fully decayed (``alpha < 1``).
+        Contracting a non-linear block would change the function it computes.
+
+    Returns
+    -------
+    A ``Conv2d`` (with bias) computing the same function as the block in
+    evaluation mode.
+    """
+    if require_linear and not block.is_linear:
+        alphas = [act.alpha for act in block.decayable_activations()]
+        raise RuntimeError(
+            f"cannot contract: activations are not fully linearised (alphas={alphas}); "
+            "run PLT to completion or call PLTSchedule.finalize() first"
+        )
+
+    merged_weight: np.ndarray | None = None
+    merged_bias: np.ndarray | None = None
+    stride = 1
+    for index, (conv, bn) in enumerate(block.linear_chain()):
+        weight = conv.weight.data.copy()
+        bias = conv.bias.data.copy() if conv.bias is not None else None
+        weight = densify_grouped_kernel(weight, conv.groups)
+        if bn is not None:
+            weight, bias = fuse_conv_bn(weight, bias, bn)
+        if index == 0:
+            merged_weight, merged_bias = weight, (
+                bias if bias is not None else np.zeros(weight.shape[0], dtype=np.float32)
+            )
+            stride = conv.stride
+        else:
+            if conv.stride != 1:
+                raise ValueError("only the first convolution of an expanded block may have stride > 1")
+            merged_weight, merged_bias = merge_sequential_kernels(merged_weight, merged_bias, weight, bias)
+
+    assert merged_weight is not None and merged_bias is not None
+    if block.use_residual:
+        merged_weight = add_identity_to_kernel(merged_weight)
+
+    kernel_size = merged_weight.shape[-1]
+    contracted = nn.Conv2d(
+        block.in_channels,
+        block.out_channels,
+        kernel_size,
+        stride=stride,
+        padding=(kernel_size - 1) // 2 if kernel_size > 1 else 0,
+        bias=True,
+    )
+    contracted.weight.data[...] = merged_weight
+    contracted.bias.data[...] = merged_bias
+    return contracted
+
+
+def _fold_bias_into_following_bn(parent: nn.Module, conv_name: str, conv: nn.Conv2d) -> bool:
+    """Fold the contracted convolution's bias into the BatchNorm that follows it.
+
+    In the Conv→BN→Act units the original convolution had no bias (the BN
+    supplies the shift), so to restore the exact original structure the merged
+    bias is absorbed by shifting the BN's running mean:
+    ``BN(x + b) == BN'(x)`` with ``running_mean' = running_mean - b``.
+    During any subsequent training the batch statistics re-absorb a constant
+    channel bias anyway, so this is lossless.
+    """
+    bn = getattr(parent, "bn", None)
+    if not isinstance(bn, nn.BatchNorm2d) or conv.bias is None:
+        return False
+    if bn.num_features != conv.out_channels:
+        return False
+    bn.running_mean[...] = np.asarray(bn.running_mean) - conv.bias.data
+    replacement = nn.Conv2d(
+        conv.in_channels,
+        conv.out_channels,
+        conv.kernel_size,
+        stride=conv.stride,
+        padding=conv.padding,
+        groups=conv.groups,
+        bias=False,
+    )
+    replacement.weight.data[...] = conv.weight.data
+    setattr(parent, conv_name, replacement)
+    return True
+
+
+def contract_network(
+    model: nn.Module,
+    records: list[ExpansionRecord],
+    inplace: bool = False,
+    fold_bias: bool = True,
+    require_linear: bool = True,
+) -> nn.Module:
+    """Contract every expanded block of a deep giant back to its original layer.
+
+    Parameters
+    ----------
+    model:
+        The trained deep giant (after PLT has linearised the expanded blocks).
+    records:
+        The expansion records returned by
+        :func:`repro.core.expansion.expand_network`.
+    fold_bias:
+        Fold the merged bias into the following BatchNorm where possible so
+        the contracted convolution is bias-free like the original layer.
+
+    Returns
+    -------
+    A network with exactly the original TNN structure whose weights inherit
+    the giant's learned features.
+    """
+    contracted_model = model if inplace else copy.deepcopy(model)
+    for record in records:
+        block = contracted_model.get_submodule(record.path)
+        if not isinstance(block, ExpandedBlock):
+            raise TypeError(f"module at {record.path!r} is not an ExpandedBlock (already contracted?)")
+        conv = contract_block(block, require_linear=require_linear)
+        contracted_model.set_submodule(record.path, conv)
+        if fold_bias:
+            *parent_parts, leaf = record.path.split(".")
+            parent = contracted_model.get_submodule(".".join(parent_parts))
+            _fold_bias_into_following_bn(parent, leaf, conv)
+    return contracted_model

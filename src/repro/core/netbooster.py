@@ -1,0 +1,190 @@
+"""The NetBooster pipeline: expand → pretrain → PLT finetune → contract.
+
+This module ties the three mechanisms of the framework together behind one
+facade so that examples and benchmarks read like the paper:
+
+1. :meth:`NetBooster.build_giant` — Network Expansion of the original TNN;
+2. :meth:`NetBooster.pretrain_giant` — train the deep giant on the large
+   dataset (it has enough capacity to learn complex features, easing
+   Constraint 1);
+3. :meth:`NetBooster.plt_finetune` — finetune on the target dataset while the
+   PLT schedule decays the expanded non-linearities over the first
+   ``Ed`` epochs;
+4. :meth:`NetBooster.contract` — collapse the (now linear) expanded blocks
+   back into the original layers, restoring the TNN structure while keeping
+   the learned features.
+
+When the target dataset *is* the large dataset (the Table I setting), call
+:meth:`NetBooster.run` without downstream data: PLT then runs on the
+pretraining corpus.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from .. import nn
+from ..data.datasets import ClassificationDataset
+from ..data.transforms import Transform
+from ..train.trainer import LossComputer, Trainer, TrainingHistory, evaluate
+from ..train.transfer import reset_classifier
+from ..utils.config import ExperimentConfig
+from .contraction import contract_network
+from .expansion import ExpansionConfig, ExpansionRecord, expand_network
+from .plt import PLTSchedule
+
+__all__ = ["NetBoosterConfig", "NetBoosterResult", "NetBooster"]
+
+
+@dataclass
+class NetBoosterConfig:
+    """Full configuration of a NetBooster run.
+
+    Attributes
+    ----------
+    expansion:
+        Network Expansion settings (block type, placement, ratio).
+    pretrain:
+        Hyper-parameters for training the deep giant on the large corpus.
+    finetune:
+        Hyper-parameters for the PLT phase on the target dataset.
+    plt_decay_fraction:
+        Fraction of the finetuning epochs over which the activation slopes
+        decay from 0 to 1 (``Ed`` in the paper; 40/150 for ImageNet, 20 % for
+        downstream tasks).
+    """
+
+    expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
+    pretrain: ExperimentConfig = field(default_factory=ExperimentConfig)
+    finetune: ExperimentConfig = field(default_factory=lambda: ExperimentConfig(epochs=8, lr=0.02))
+    plt_decay_fraction: float = 0.25
+
+
+@dataclass
+class NetBoosterResult:
+    """Everything produced by a full NetBooster run."""
+
+    model: nn.Module
+    giant: nn.Module
+    records: list[ExpansionRecord]
+    pretrain_history: TrainingHistory
+    finetune_history: TrainingHistory
+    final_accuracy: float
+    giant_accuracy: float
+
+
+class NetBooster:
+    """Facade orchestrating the expansion-then-contraction training strategy."""
+
+    def __init__(self, config: NetBoosterConfig | None = None):
+        self.config = config or NetBoosterConfig()
+
+    # ------------------------------------------------------------------ #
+    # individual steps
+    # ------------------------------------------------------------------ #
+    def build_giant(self, model: nn.Module) -> tuple[nn.Module, list[ExpansionRecord]]:
+        """Step 1 — Network Expansion (the original model is left untouched)."""
+        return expand_network(model, self.config.expansion)
+
+    def pretrain_giant(
+        self,
+        giant: nn.Module,
+        train_set: ClassificationDataset,
+        val_set: ClassificationDataset | None = None,
+        train_transform: Transform | None = None,
+        loss_computer: LossComputer | None = None,
+    ) -> TrainingHistory:
+        """Train the deep giant on the large-scale dataset."""
+        trainer = Trainer(
+            giant,
+            self.config.pretrain,
+            loss_computer=loss_computer,
+            train_transform=train_transform,
+        )
+        return trainer.fit(train_set, val_set)
+
+    def plt_finetune(
+        self,
+        giant: nn.Module,
+        train_set: ClassificationDataset,
+        val_set: ClassificationDataset | None = None,
+        new_num_classes: int | None = None,
+        loss_computer: LossComputer | None = None,
+        decay_fraction: float | None = None,
+    ) -> tuple[TrainingHistory, PLTSchedule]:
+        """Step 2 — Progressive Linearization Tuning on the target dataset.
+
+        The activation slopes decay uniformly per iteration during the first
+        ``decay_fraction`` of the finetuning epochs and the remaining epochs
+        tune the (now linear) giant, exactly as in the paper.
+        """
+        config = self.config.finetune
+        decay_fraction = decay_fraction if decay_fraction is not None else self.config.plt_decay_fraction
+        if new_num_classes is not None:
+            reset_classifier(giant, new_num_classes)
+
+        iterations_per_epoch = max(
+            (len(train_set) + config.batch_size - 1) // config.batch_size, 1
+        )
+        decay_epochs = max(int(round(config.epochs * decay_fraction)), 1)
+        schedule = PLTSchedule(giant, total_steps=iterations_per_epoch * decay_epochs)
+
+        trainer = Trainer(
+            giant,
+            config,
+            loss_computer=loss_computer,
+            iteration_callbacks=[lambda _step: schedule.step()],
+        )
+        history = trainer.fit(train_set, val_set)
+        # Guard against rounding: contraction requires exact linearity.
+        schedule.finalize()
+        return history, schedule
+
+    def contract(self, giant: nn.Module, records: list[ExpansionRecord]) -> nn.Module:
+        """Step 3 — collapse the linearised expanded blocks back to the TNN."""
+        return contract_network(giant, records)
+
+    # ------------------------------------------------------------------ #
+    # full pipeline
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        model: nn.Module,
+        pretrain_train: ClassificationDataset,
+        pretrain_val: ClassificationDataset | None = None,
+        target_train: ClassificationDataset | None = None,
+        target_val: ClassificationDataset | None = None,
+        target_num_classes: int | None = None,
+        pretrain_transform: Transform | None = None,
+    ) -> NetBoosterResult:
+        """Run the complete expansion-then-contraction pipeline.
+
+        When no target dataset is given the PLT phase runs on the pretraining
+        corpus (the large-scale-dataset experiment); otherwise the giant is
+        transferred to the target dataset during PLT (the downstream-task
+        experiment).
+        """
+        giant, records = self.build_giant(model)
+        pretrain_history = self.pretrain_giant(
+            giant, pretrain_train, pretrain_val, train_transform=pretrain_transform
+        )
+
+        plt_train = target_train if target_train is not None else pretrain_train
+        plt_val = target_val if target_val is not None else pretrain_val
+        finetune_history, _ = self.plt_finetune(
+            giant, plt_train, plt_val, new_num_classes=target_num_classes
+        )
+        giant_accuracy = evaluate(giant, plt_val) if plt_val is not None else float("nan")
+
+        contracted = self.contract(giant, records)
+        final_accuracy = evaluate(contracted, plt_val) if plt_val is not None else float("nan")
+        return NetBoosterResult(
+            model=contracted,
+            giant=giant,
+            records=records,
+            pretrain_history=pretrain_history,
+            finetune_history=finetune_history,
+            final_accuracy=final_accuracy,
+            giant_accuracy=giant_accuracy,
+        )

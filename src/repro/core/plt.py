@@ -1,0 +1,116 @@
+"""Step 2 of NetBooster: Progressive Linearization Tuning (paper Sec. III-D).
+
+PLT reverts the deep giant to the original TNN while preserving the learned
+features.  The non-linear activations inside each expanded block are replaced
+at construction time by decayable activations ``y = max(alpha*x, x)``
+(paper Eq. 2); this module provides the schedule that raises ``alpha`` from 0
+to 1 *uniformly per iteration* over ``Ed`` epochs of finetuning on the target
+dataset, after which the blocks are exactly linear and can be contracted.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from .expansion import ExpandedBlock
+
+__all__ = ["collect_decayable_activations", "PLTSchedule"]
+
+
+def collect_decayable_activations(model: nn.Module, expanded_only: bool = True) -> list[nn.DecayableReLU]:
+    """Gather the decayable activations to be linearised.
+
+    Parameters
+    ----------
+    expanded_only:
+        When true (default), only activations inside :class:`ExpandedBlock`
+        instances are collected — the original TNN's activations are never
+        touched, exactly as in the paper (only the *expanded* non-linearities
+        are removed).
+    """
+    activations: list[nn.DecayableReLU] = []
+    if expanded_only:
+        for _, module in model.named_modules():
+            if isinstance(module, ExpandedBlock):
+                activations.extend(module.decayable_activations())
+    else:
+        for _, module in model.named_modules():
+            if isinstance(module, nn.DecayableReLU):
+                activations.append(module)
+    # De-duplicate while preserving order (nested traversal can repeat).
+    unique: list[nn.DecayableReLU] = []
+    seen: set[int] = set()
+    for act in activations:
+        if id(act) not in seen:
+            seen.add(id(act))
+            unique.append(act)
+    return unique
+
+
+class PLTSchedule:
+    """Linear annealing of the activation slopes over a fixed number of steps.
+
+    One *step* is one training iteration; the paper increases ``alpha``
+    uniformly in each iteration so that it reaches 1 after ``Ed`` epochs.
+
+    Parameters
+    ----------
+    model:
+        The deep giant whose expanded blocks should be linearised.
+    total_steps:
+        Number of iterations over which ``alpha`` goes from
+        ``initial_alpha`` to 1.
+    initial_alpha:
+        Starting slope (0 keeps the first step an exact ReLU).
+
+    Examples
+    --------
+    >>> schedule = PLTSchedule(giant, total_steps=len(loader) * decay_epochs)
+    >>> for epoch in range(epochs):
+    ...     for images, labels in loader:
+    ...         train_step(...)
+    ...         schedule.step()
+    >>> schedule.finished
+    True
+    """
+
+    def __init__(self, model: nn.Module, total_steps: int, initial_alpha: float = 0.0):
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if not 0.0 <= initial_alpha < 1.0:
+            raise ValueError("initial_alpha must be in [0, 1)")
+        self.activations = collect_decayable_activations(model)
+        self.total_steps = int(total_steps)
+        self.initial_alpha = float(initial_alpha)
+        self.current_step = 0
+        self.set_alpha(initial_alpha)
+
+    @property
+    def alpha(self) -> float:
+        """Current linearisation factor shared by all tracked activations."""
+        progress = min(self.current_step / self.total_steps, 1.0)
+        return self.initial_alpha + (1.0 - self.initial_alpha) * progress
+
+    @property
+    def finished(self) -> bool:
+        """True once every tracked activation is an identity mapping."""
+        return self.current_step >= self.total_steps
+
+    def set_alpha(self, alpha: float) -> None:
+        """Force a specific alpha on all tracked activations."""
+        for activation in self.activations:
+            activation.set_alpha(alpha)
+
+    def step(self) -> float:
+        """Advance one iteration and update all activation slopes.
+
+        Returns the new alpha value.
+        """
+        self.current_step = min(self.current_step + 1, self.total_steps)
+        alpha = self.alpha
+        self.set_alpha(alpha)
+        return alpha
+
+    def finalize(self) -> None:
+        """Jump straight to full linearisation (used before contraction)."""
+        self.current_step = self.total_steps
+        self.set_alpha(1.0)

@@ -1,0 +1,68 @@
+"""Minibatch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .datasets import ClassificationDataset
+from .transforms import Transform
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate over a :class:`ClassificationDataset` in shuffled minibatches.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to iterate over.
+    batch_size:
+        Number of samples per batch (the last batch may be smaller unless
+        ``drop_last`` is set).
+    shuffle:
+        Reshuffle indices at the start of every epoch.
+    transform:
+        Optional per-image augmentation applied on the fly.
+    seed:
+        Seed of the loader's private RNG (shuffling and augmentations).
+    """
+
+    def __init__(
+        self,
+        dataset: ClassificationDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        transform: Transform | None = None,
+        drop_last: bool = False,
+        seed: int = 0,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        if self.drop_last:
+            return len(self.dataset) // self.batch_size
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            images = self.dataset.images[batch_idx]
+            labels = self.dataset.labels[batch_idx]
+            if self.transform is not None:
+                images = np.stack([self.transform(img, self._rng) for img in images])
+            yield images.astype(np.float32), labels

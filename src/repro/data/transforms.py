@@ -1,0 +1,150 @@
+"""Data-augmentation transforms operating on ``(3, H, W)`` float arrays.
+
+The paper's Fig. 1(a) argument is that strong augmentation/regularisation,
+which helps large DNNs, *hurts* tiny networks because they under-fit.  The
+transforms here implement the standard recipes (flip/crop/erasing/colour
+jitter and a light RandAugment-style policy) so that this comparison can be
+reproduced on the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Transform",
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "RandomErasing",
+    "ColorJitter",
+    "GaussianNoise",
+    "RandAugmentLite",
+    "Normalize",
+]
+
+
+class Transform:
+    """Base class: transforms are callables ``image -> image``."""
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Compose(Transform):
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: list[Transform]):
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image, rng)
+        return image
+
+
+class RandomHorizontalFlip(Transform):
+    """Flip the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        self.p = p
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class RandomCrop(Transform):
+    """Pad by ``padding`` pixels then crop back to the original size."""
+
+    def __init__(self, padding: int = 2):
+        self.padding = padding
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return image
+        c, h, w = image.shape
+        padded = np.pad(image, ((0, 0), (self.padding, self.padding), (self.padding, self.padding)))
+        top = int(rng.integers(0, 2 * self.padding + 1))
+        left = int(rng.integers(0, 2 * self.padding + 1))
+        return padded[:, top : top + h, left : left + w].copy()
+
+
+class RandomErasing(Transform):
+    """Cutout-style square erasing (a strong regulariser)."""
+
+    def __init__(self, p: float = 0.5, size_fraction: float = 0.3):
+        self.p = p
+        self.size_fraction = size_fraction
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if rng.random() >= self.p:
+            return image
+        c, h, w = image.shape
+        size = max(int(min(h, w) * self.size_fraction), 1)
+        top = int(rng.integers(0, h - size + 1))
+        left = int(rng.integers(0, w - size + 1))
+        out = image.copy()
+        out[:, top : top + size, left : left + size] = rng.random()
+        return out
+
+
+class ColorJitter(Transform):
+    """Random brightness/contrast scaling."""
+
+    def __init__(self, brightness: float = 0.2, contrast: float = 0.2):
+        self.brightness = brightness
+        self.contrast = contrast
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = image
+        if self.brightness > 0:
+            out = out + rng.uniform(-self.brightness, self.brightness)
+        if self.contrast > 0:
+            factor = 1.0 + rng.uniform(-self.contrast, self.contrast)
+            mean = out.mean()
+            out = (out - mean) * factor + mean
+        return np.clip(out, 0.0, 1.0).astype(np.float32)
+
+
+class GaussianNoise(Transform):
+    """Additive pixel noise."""
+
+    def __init__(self, std: float = 0.05):
+        self.std = std
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        noisy = image + rng.normal(0.0, self.std, size=image.shape).astype(np.float32)
+        return np.clip(noisy, 0.0, 1.0)
+
+
+class RandAugmentLite(Transform):
+    """A small RandAugment-style policy: apply ``num_ops`` random transforms."""
+
+    def __init__(self, num_ops: int = 2, magnitude: float = 0.5):
+        self.num_ops = num_ops
+        self.pool: list[Transform] = [
+            RandomHorizontalFlip(p=1.0),
+            RandomCrop(padding=max(int(2 * magnitude), 1)),
+            RandomErasing(p=1.0, size_fraction=0.2 + 0.3 * magnitude),
+            ColorJitter(brightness=0.3 * magnitude, contrast=0.3 * magnitude),
+            GaussianNoise(std=0.1 * magnitude),
+        ]
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        indices = rng.choice(len(self.pool), size=self.num_ops, replace=False)
+        for index in indices:
+            image = self.pool[index](image, rng)
+        return image
+
+
+class Normalize(Transform):
+    """Standardise with fixed per-channel statistics."""
+
+    def __init__(self, mean: float = 0.5, std: float = 0.25):
+        self.mean = mean
+        self.std = std
+
+    def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return ((image - self.mean) / self.std).astype(np.float32)

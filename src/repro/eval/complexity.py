@@ -1,0 +1,126 @@
+"""FLOPs and parameter counting, plus structural comparison helpers.
+
+NetBooster's central claim is that the accuracy boost comes *for free* at
+inference time: after contraction the network has exactly the original
+structure.  These utilities measure multiply-accumulate counts and parameter
+counts by tracing a forward pass, so tests and benchmarks can assert that a
+contracted model matches the vanilla one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..nn.functional import conv_output_size
+
+__all__ = ["ComplexityReport", "count_complexity", "count_parameters", "same_structure"]
+
+
+@dataclass
+class ComplexityReport:
+    """Aggregate multiply-accumulate and parameter counts for one model."""
+
+    flops: int
+    params: int
+    per_layer: dict[str, tuple[int, int]]
+
+    @property
+    def mflops(self) -> float:
+        return self.flops / 1e6
+
+    def __str__(self) -> str:
+        return f"ComplexityReport(flops={self.flops:,}, params={self.params:,})"
+
+
+def count_parameters(model: nn.Module, trainable_only: bool = False) -> int:
+    """Total number of scalar parameters."""
+    total = 0
+    for parameter in model.parameters():
+        if trainable_only and not parameter.requires_grad:
+            continue
+        total += parameter.size
+    return total
+
+
+def count_complexity(model: nn.Module, input_shape: tuple[int, int, int]) -> ComplexityReport:
+    """Count multiply-accumulates (FLOPs) for a single input of ``input_shape``.
+
+    Conv and linear layers are counted analytically while spatial dimensions
+    are tracked by tracing a forward pass with shape hooks.  BatchNorm and
+    activations contribute negligible FLOPs and are ignored (consistent with
+    the convention used by the paper's FLOPs column).
+    """
+    per_layer: dict[str, tuple[int, int]] = {}
+    shapes: dict[int, tuple[int, ...]] = {}
+
+    # Trace input shapes by monkey-patching forward on leaf layers.
+    records: list[tuple[str, nn.Module, tuple[int, ...]]] = []
+    originals: list[tuple[nn.Module, object]] = []
+    try:
+        for name, module in model.named_modules():
+            if isinstance(module, (nn.Conv2d, nn.Linear)):
+                def make_wrapper(mod, mod_name, original_forward):
+                    def wrapped(x):
+                        records.append((mod_name, mod, x.shape))
+                        return original_forward(x)
+                    return wrapped
+
+                originals.append((module, module.forward))
+                module.forward = make_wrapper(module, name, module.forward)
+        probe = nn.Tensor(np.zeros((1,) + tuple(input_shape), dtype=np.float32))
+        was_training = model.training
+        model.eval()
+        with nn.no_grad():
+            model(probe)
+        model.train(was_training)
+    finally:
+        for module, forward in originals:
+            module.forward = forward
+
+    total_flops = 0
+    total_params = count_parameters(model)
+    for name, module, in_shape in records:
+        if isinstance(module, nn.Conv2d):
+            h, w = in_shape[2], in_shape[3]
+            out_h = conv_output_size(h, module.kernel_size, module.stride, module.padding)
+            out_w = conv_output_size(w, module.kernel_size, module.stride, module.padding)
+            kernel_flops = (
+                module.kernel_size ** 2 * (module.in_channels // module.groups) * module.out_channels
+            )
+            flops = kernel_flops * out_h * out_w
+            if module.bias is not None:
+                flops += module.out_channels * out_h * out_w
+            params = module.weight.size + (module.bias.size if module.bias is not None else 0)
+        else:  # Linear
+            flops = module.in_features * module.out_features
+            if module.bias is not None:
+                flops += module.out_features
+            params = module.weight.size + (module.bias.size if module.bias is not None else 0)
+        per_layer[name] = (int(flops), int(params))
+        total_flops += flops
+
+    return ComplexityReport(flops=int(total_flops), params=int(total_params), per_layer=per_layer)
+
+
+def same_structure(
+    model_a: nn.Module,
+    model_b: nn.Module,
+    input_shape: tuple[int, int, int],
+    flops_tolerance: float = 0.0,
+    params_tolerance: float = 0.02,
+) -> bool:
+    """Check that two models have matching inference complexity.
+
+    ``params_tolerance`` allows a small relative slack: a contracted conv may
+    carry an explicit bias where the original relied on the following
+    BatchNorm shift, which changes the parameter count by a few tenths of a
+    percent without changing the architecture.
+    """
+    report_a = count_complexity(model_a, input_shape)
+    report_b = count_complexity(model_b, input_shape)
+    flops_ok = abs(report_a.flops - report_b.flops) <= flops_tolerance * max(report_a.flops, 1)
+    params_ok = abs(report_a.params - report_b.params) <= params_tolerance * max(report_a.params, 1)
+    return flops_ok and params_ok

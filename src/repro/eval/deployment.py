@@ -1,0 +1,202 @@
+"""MCU deployment analysis: memory footprint, latency estimate, device fit.
+
+The paper's motivation is deploying TNNs on IoT-class hardware (MCUNet's
+STM32-style targets).  This module provides the analytic deployment checks a
+practitioner runs before flashing a model:
+
+* weight (flash) footprint at a chosen word length;
+* peak activation (SRAM) footprint, taken as the largest simultaneous
+  input+output working set across layers — the standard MCUNet approximation;
+* a simple roofline latency estimate from the MAC count and the device's
+  effective MACs/second;
+* :func:`fits_device` combining all three against a device profile.
+
+Because NetBooster restores the original TNN structure after contraction,
+the deployment report of a NetBooster-trained model must be identical to that
+of the vanilla model — a property asserted in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from .complexity import count_complexity, count_parameters
+
+__all__ = [
+    "DeviceProfile",
+    "STM32F411",
+    "STM32F746",
+    "STM32H743",
+    "DEVICE_PROFILES",
+    "activation_footprints",
+    "peak_activation_memory",
+    "weight_memory",
+    "estimate_latency_ms",
+    "DeploymentReport",
+    "deployment_report",
+    "fits_device",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A microcontroller target for deployment feasibility checks.
+
+    ``effective_macs_per_second`` folds clock frequency and per-cycle MAC
+    throughput (including the memory stalls typical of CMSIS-NN kernels) into
+    a single number, which is all a roofline estimate needs.
+    """
+
+    name: str
+    flash_kb: int
+    sram_kb: int
+    effective_macs_per_second: float
+
+    def __post_init__(self):
+        if self.flash_kb <= 0 or self.sram_kb <= 0 or self.effective_macs_per_second <= 0:
+            raise ValueError("device resources must be positive")
+
+
+# Representative profiles from the MCUNet / TinyML literature.
+STM32F411 = DeviceProfile("STM32F411", flash_kb=512, sram_kb=128, effective_macs_per_second=25e6)
+STM32F746 = DeviceProfile("STM32F746", flash_kb=1024, sram_kb=320, effective_macs_per_second=80e6)
+STM32H743 = DeviceProfile("STM32H743", flash_kb=2048, sram_kb=512, effective_macs_per_second=160e6)
+
+DEVICE_PROFILES = {profile.name: profile for profile in (STM32F411, STM32F746, STM32H743)}
+
+
+def _trace_leaf_shapes(
+    model: nn.Module, input_shape: tuple[int, int, int]
+) -> list[tuple[str, tuple[int, ...], tuple[int, ...]]]:
+    """Record (name, input shape, output shape) for every leaf layer."""
+    records: list[tuple[str, tuple[int, ...], tuple[int, ...]]] = []
+    originals: list[tuple[nn.Module, object]] = []
+    try:
+        for name, module in model.named_modules():
+            if module.children():
+                continue  # only leaves carry activations worth counting
+
+            def make_wrapper(mod, mod_name, original_forward):
+                def wrapped(x, *args, **kwargs):
+                    out = original_forward(x, *args, **kwargs)
+                    if isinstance(x, nn.Tensor) and isinstance(out, nn.Tensor):
+                        records.append((mod_name, x.shape, out.shape))
+                    return out
+
+                return wrapped
+
+            originals.append((module, module.forward))
+            module.forward = make_wrapper(module, name, module.forward)
+        probe = nn.Tensor(np.zeros((1,) + tuple(input_shape), dtype=np.float32))
+        was_training = model.training
+        model.eval()
+        with nn.no_grad():
+            model(probe)
+        model.train(was_training)
+    finally:
+        for module, forward in originals:
+            module.forward = forward
+    return records
+
+
+def activation_footprints(
+    model: nn.Module, input_shape: tuple[int, int, int], bytes_per_element: int = 1
+) -> dict[str, int]:
+    """Per-layer working-set size (input + output activations) in bytes."""
+    footprints: dict[str, int] = {}
+    for name, in_shape, out_shape in _trace_leaf_shapes(model, input_shape):
+        working_set = int(np.prod(in_shape)) + int(np.prod(out_shape))
+        footprints[name] = working_set * bytes_per_element
+    return footprints
+
+
+def peak_activation_memory(
+    model: nn.Module, input_shape: tuple[int, int, int], bytes_per_element: int = 1
+) -> int:
+    """Peak SRAM usage in bytes under layer-by-layer execution."""
+    footprints = activation_footprints(model, input_shape, bytes_per_element)
+    return max(footprints.values()) if footprints else 0
+
+
+def weight_memory(model: nn.Module, bytes_per_parameter: int = 1) -> int:
+    """Flash footprint of the weights in bytes (int8 by default)."""
+    return count_parameters(model) * bytes_per_parameter
+
+
+def estimate_latency_ms(
+    model: nn.Module,
+    input_shape: tuple[int, int, int],
+    device: DeviceProfile,
+) -> float:
+    """Roofline latency estimate: MAC count divided by device throughput."""
+    report = count_complexity(model, input_shape)
+    return report.flops / device.effective_macs_per_second * 1e3
+
+
+@dataclass
+class DeploymentReport:
+    """Feasibility summary for one model on one device."""
+
+    device: DeviceProfile
+    flash_bytes: int
+    peak_sram_bytes: int
+    latency_ms: float
+    mflops: float
+
+    @property
+    def fits_flash(self) -> bool:
+        return self.flash_bytes <= self.device.flash_kb * 1024
+
+    @property
+    def fits_sram(self) -> bool:
+        return self.peak_sram_bytes <= self.device.sram_kb * 1024
+
+    @property
+    def fits(self) -> bool:
+        return self.fits_flash and self.fits_sram
+
+    def summary(self) -> str:
+        flash_status = "ok" if self.fits_flash else "OVER"
+        sram_status = "ok" if self.fits_sram else "OVER"
+        return "\n".join(
+            [
+                f"device            : {self.device.name}",
+                f"flash (weights)   : {self.flash_bytes / 1024:8.1f} kB / {self.device.flash_kb} kB [{flash_status}]",
+                f"peak SRAM (act.)  : {self.peak_sram_bytes / 1024:8.1f} kB / {self.device.sram_kb} kB [{sram_status}]",
+                f"estimated latency : {self.latency_ms:8.1f} ms",
+                f"compute           : {self.mflops:8.1f} MFLOPs",
+            ]
+        )
+
+
+def deployment_report(
+    model: nn.Module,
+    input_shape: tuple[int, int, int],
+    device: DeviceProfile = STM32F746,
+    weight_bytes: int = 1,
+    activation_bytes: int = 1,
+) -> DeploymentReport:
+    """Build a :class:`DeploymentReport` for ``model`` on ``device``.
+
+    Defaults assume int8 deployment (one byte per weight and per activation).
+    """
+    complexity = count_complexity(model, input_shape)
+    return DeploymentReport(
+        device=device,
+        flash_bytes=weight_memory(model, weight_bytes),
+        peak_sram_bytes=peak_activation_memory(model, input_shape, activation_bytes),
+        latency_ms=complexity.flops / device.effective_macs_per_second * 1e3,
+        mflops=complexity.mflops,
+    )
+
+
+def fits_device(
+    model: nn.Module,
+    input_shape: tuple[int, int, int],
+    device: DeviceProfile = STM32F746,
+) -> bool:
+    """True when the model's weights and activations fit the device."""
+    return deployment_report(model, input_shape, device).fits

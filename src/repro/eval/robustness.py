@@ -1,0 +1,89 @@
+"""Robustness evaluation under common corruptions.
+
+Measures classification accuracy when the evaluation images are perturbed by
+the ImageNet-C-style corruptions from :mod:`repro.data.corruptions`.  The
+headline number is the *mean corruption accuracy* (average over corruption
+types and severities), reported alongside the clean accuracy so the robustness
+gap is explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..data.corruptions import available_corruptions, corrupt
+from ..data.datasets import ClassificationDataset
+from ..train.trainer import evaluate
+
+__all__ = ["RobustnessReport", "evaluate_robustness"]
+
+
+@dataclass
+class RobustnessReport:
+    """Clean vs corrupted accuracy for one model."""
+
+    clean_accuracy: float
+    per_corruption: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    @property
+    def mean_corruption_accuracy(self) -> float:
+        values = [
+            accuracy
+            for severities in self.per_corruption.values()
+            for accuracy in severities.values()
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def robustness_gap(self) -> float:
+        """Clean accuracy minus mean corruption accuracy (lower is better)."""
+        return self.clean_accuracy - self.mean_corruption_accuracy
+
+    def summary(self) -> str:
+        lines = [
+            f"clean accuracy           : {self.clean_accuracy:6.2f}%",
+            f"mean corruption accuracy : {self.mean_corruption_accuracy:6.2f}%",
+            f"robustness gap           : {self.robustness_gap:6.2f}%",
+        ]
+        for name, severities in sorted(self.per_corruption.items()):
+            row = ", ".join(f"s{severity}={accuracy:5.1f}%" for severity, accuracy in sorted(severities.items()))
+            lines.append(f"  {name:<16s} {row}")
+        return "\n".join(lines)
+
+
+def evaluate_robustness(
+    model: nn.Module,
+    dataset: ClassificationDataset,
+    corruptions: list[str] | None = None,
+    severities: tuple[int, ...] = (1, 3, 5),
+    batch_size: int = 64,
+    seed: int = 0,
+) -> RobustnessReport:
+    """Evaluate ``model`` on clean and corrupted copies of ``dataset``.
+
+    Parameters
+    ----------
+    corruptions:
+        Names from :func:`repro.data.corruptions.available_corruptions`;
+        defaults to the full battery.
+    severities:
+        Severity levels evaluated for every corruption type.
+    """
+    corruptions = corruptions if corruptions is not None else available_corruptions()
+    for severity in severities:
+        if not 1 <= severity <= 5:
+            raise ValueError("severities must lie in [1, 5]")
+
+    report = RobustnessReport(clean_accuracy=evaluate(model, dataset, batch_size))
+    for name in corruptions:
+        report.per_corruption[name] = {}
+        for severity in severities:
+            corrupted_images = corrupt(dataset.images, name, severity=severity, seed=seed)
+            corrupted_set = ClassificationDataset(
+                corrupted_images, dataset.labels, dataset.num_classes
+            )
+            report.per_corruption[name][severity] = evaluate(model, corrupted_set, batch_size)
+    return report

@@ -1,0 +1,32 @@
+"""Programmatic access to the paper's experiments.
+
+The ``benchmarks/`` directory regenerates every table and figure of the paper
+under ``pytest-benchmark``; this subpackage exposes the same comparisons as a
+library API (and a small CLI, ``python -m repro.experiments``) so that a
+downstream user can re-run an individual experiment at an arbitrary scale
+without going through pytest:
+
+>>> from repro.experiments import run_experiment, ExperimentScale
+>>> rows = run_experiment("table1", ExperimentScale.tiny())
+>>> for row in rows:
+...     print(row)
+
+Every experiment returns a list of :class:`ResultRow` (method / setting name,
+paper value, measured value), which is also what the CLI prints.
+"""
+
+from .registry import (
+    EXPERIMENTS,
+    ExperimentScale,
+    ResultRow,
+    available_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentScale",
+    "ResultRow",
+    "available_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,72 @@
+"""Command-line entry point: ``python -m repro.experiments [name ...]``.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro.experiments --list
+
+Run the Table I comparison at the default (CPU-friendly) scale::
+
+    python -m repro.experiments table1
+
+Run two ablations at the seconds-scale smoke-test workload::
+
+    python -m repro.experiments table4 table6 --tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .registry import ExperimentScale, available_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Re-run individual NetBooster paper experiments on the synthetic substrate.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (see --list); default: the analytic 'cost' experiment",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument("--tiny", action="store_true", help="use the seconds-scale smoke-test workload")
+    parser.add_argument("--classes", type=int, default=None, help="override the number of corpus classes")
+    parser.add_argument("--epochs", type=int, default=None, help="override the pretraining epochs")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    scale = ExperimentScale.tiny() if args.tiny else ExperimentScale()
+    overrides = {}
+    if args.classes is not None:
+        overrides["num_classes"] = args.classes
+    if args.epochs is not None:
+        overrides["pretrain_epochs"] = args.epochs
+    if args.seed:
+        overrides["seed"] = args.seed
+    if overrides:
+        scale = ExperimentScale(**{**scale.__dict__, **overrides})
+
+    names = args.experiments or ["cost"]
+    for name in names:
+        print(f"\n--- {name} ---")
+        for row in run_experiment(name, scale):
+            print(row)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,318 @@
+"""Experiment registry: each paper table/figure as a plain Python function.
+
+The functions here are *scale-parameterised* versions of the comparisons in
+``benchmarks/``: they build the synthetic workload, train every method under
+the same budget, and return paper-vs-measured rows.  They are intentionally
+lighter than the benchmark suite (fewer baselines per experiment) so that a
+single experiment finishes in minutes at the default scale and in seconds at
+:meth:`ExperimentScale.tiny`, which is what the unit tests use.
+
+For the full paper comparison (all baselines, all networks, noise-floor
+assertions) run the benchmark suite instead::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..baselines import train_vanilla, train_with_netaug
+from ..core import ExpansionConfig, NetBooster, NetBoosterConfig
+from ..data import SyntheticImageNet, SyntheticVOC, downstream_dataset
+from ..eval import count_complexity
+from ..models import TinyDetector, create_model
+from ..train import DetectionTrainer, evaluate, evaluate_ap50, finetune
+from ..utils import ExperimentConfig, seed_everything
+
+__all__ = ["ExperimentScale", "ResultRow", "EXPERIMENTS", "available_experiments", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Workload size shared by every registered experiment.
+
+    The default constructor is a CPU-friendly scale comparable to the
+    benchmark suite's ``small`` profile; :meth:`tiny` is a smoke-test scale
+    used by the unit tests.
+    """
+
+    num_classes: int = 16
+    samples_per_class: int = 120
+    val_samples_per_class: int = 40
+    resolution: int = 20
+    intra_class_std: float = 1.0
+    pretrain_epochs: int = 12
+    finetune_epochs: int = 6
+    batch_size: int = 64
+    lr: float = 0.1
+    finetune_lr: float = 0.03
+    seed: int = 0
+
+    @classmethod
+    def tiny(cls) -> "ExperimentScale":
+        """A seconds-scale configuration for smoke tests and demos."""
+        return cls(
+            num_classes=4,
+            samples_per_class=12,
+            val_samples_per_class=6,
+            resolution=16,
+            intra_class_std=0.8,
+            pretrain_epochs=2,
+            finetune_epochs=1,
+            batch_size=16,
+            lr=0.05,
+            finetune_lr=0.02,
+        )
+
+    def corpus(self) -> SyntheticImageNet:
+        seed_everything(self.seed)
+        return SyntheticImageNet(
+            num_classes=self.num_classes,
+            samples_per_class=self.samples_per_class,
+            val_samples_per_class=self.val_samples_per_class,
+            resolution=self.resolution,
+            intra_class_std=self.intra_class_std,
+        )
+
+    def pretrain_config(self, extra_epochs: int = 0) -> ExperimentConfig:
+        return ExperimentConfig(
+            epochs=self.pretrain_epochs + extra_epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            seed=self.seed,
+        )
+
+    def finetune_config(self) -> ExperimentConfig:
+        return ExperimentConfig(
+            epochs=self.finetune_epochs,
+            batch_size=min(self.batch_size, 32),
+            lr=self.finetune_lr,
+            seed=self.seed,
+        )
+
+    def booster(self, expansion: ExpansionConfig | None = None) -> NetBooster:
+        return NetBooster(
+            NetBoosterConfig(
+                expansion=expansion or ExpansionConfig(),
+                pretrain=self.pretrain_config(),
+                finetune=self.finetune_config(),
+                plt_decay_fraction=0.3,
+            )
+        )
+
+
+@dataclass
+class ResultRow:
+    """One row of a paper-vs-measured comparison."""
+
+    experiment: str
+    setting: str
+    paper_value: float | None
+    measured_value: float
+    unit: str = "top-1 %"
+
+    def __str__(self) -> str:
+        paper = f"{self.paper_value:.1f}" if self.paper_value is not None else "   -"
+        return (
+            f"{self.experiment:<10s} {self.setting:<28s} "
+            f"paper={paper:>6s}  measured={self.measured_value:6.2f}  [{self.unit}]"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# experiment implementations
+# --------------------------------------------------------------------------- #
+def _table1(scale: ExperimentScale) -> list[ResultRow]:
+    """Table I (condensed): Vanilla vs NetAug vs NetBooster on the large corpus."""
+    corpus = scale.corpus()
+    network = "mobilenetv2-tiny"
+    rows: list[ResultRow] = []
+
+    seed_everything(scale.seed + 1)
+    vanilla = create_model(network, num_classes=scale.num_classes)
+    history = train_vanilla(
+        vanilla, corpus.train, corpus.val, scale.pretrain_config(scale.finetune_epochs)
+    )
+    rows.append(ResultRow("table1", "Vanilla", 51.2, history.final_val_accuracy))
+
+    seed_everything(scale.seed + 1)
+    exported, _ = train_with_netaug(
+        create_model(network, num_classes=scale.num_classes),
+        corpus.train,
+        None,
+        scale.pretrain_config(scale.finetune_epochs),
+    )
+    rows.append(ResultRow("table1", "NetAug", 53.0, evaluate(exported, corpus.val)))
+
+    seed_everything(scale.seed + 1)
+    result = scale.booster().run(
+        create_model(network, num_classes=scale.num_classes), corpus.train, corpus.val
+    )
+    rows.append(ResultRow("table1", "NetBooster", 53.7, result.final_accuracy))
+    return rows
+
+
+def _table2(scale: ExperimentScale, dataset_name: str = "cifar100") -> list[ResultRow]:
+    """Table II (one dataset): downstream transfer, Vanilla vs NetBooster."""
+    corpus = scale.corpus()
+    train_set, val_set = downstream_dataset(dataset_name, resolution=scale.resolution)
+    network = "mobilenetv2-tiny"
+    paper = {"cifar100": (74.07, 75.46), "cars": (76.18, 80.93), "flowers102": (90.01, 90.53),
+             "food101": (75.43, 75.96), "pets": (78.30, 78.90)}[dataset_name]
+
+    seed_everything(scale.seed + 1)
+    vanilla = create_model(network, num_classes=scale.num_classes)
+    train_vanilla(vanilla, corpus.train, None, scale.pretrain_config())
+    history = finetune(
+        vanilla, train_set, val_set, scale.finetune_config(), new_num_classes=train_set.num_classes
+    )
+    rows = [ResultRow("table2", f"{dataset_name} / Vanilla", paper[0], history.final_val_accuracy)]
+
+    seed_everything(scale.seed + 1)
+    booster = scale.booster()
+    giant, records = booster.build_giant(create_model(network, num_classes=scale.num_classes))
+    booster.pretrain_giant(giant, corpus.train, None)
+    booster.plt_finetune(giant, train_set, val_set, new_num_classes=train_set.num_classes)
+    contracted = booster.contract(giant, records)
+    rows.append(ResultRow("table2", f"{dataset_name} / NetBooster", paper[1], evaluate(contracted, val_set)))
+    return rows
+
+
+def _table3(scale: ExperimentScale) -> list[ResultRow]:
+    """Table III: synthetic-VOC detection AP50, Vanilla vs NetBooster backbone."""
+    seed_everything(scale.seed)
+    voc = SyntheticVOC(
+        num_classes=4,
+        num_train=max(8 * scale.samples_per_class // 10, 16),
+        num_val=max(4 * scale.val_samples_per_class // 10, 8),
+        resolution=max(scale.resolution, 32),
+        object_size=12,
+    )
+    corpus = scale.corpus()
+    rows: list[ResultRow] = []
+    for label, paper_value, boosted in (("Vanilla", 60.8, False), ("NetBooster", 62.6, True)):
+        seed_everything(scale.seed + 2)
+        backbone = create_model("mobilenetv2-tiny", num_classes=scale.num_classes)
+        if boosted:
+            booster = scale.booster()
+            giant, records = booster.build_giant(backbone)
+            booster.pretrain_giant(giant, corpus.train, None)
+            booster.plt_finetune(giant, corpus.train, None)
+            backbone = booster.contract(giant, records)
+        else:
+            train_vanilla(backbone, corpus.train, None, scale.pretrain_config(scale.finetune_epochs))
+        detector = TinyDetector(backbone, num_classes=voc.num_classes, image_size=voc.resolution)
+        trainer = DetectionTrainer(detector, scale.finetune_config().replace(batch_size=16, lr=0.05))
+        trainer.fit(voc.train)
+        rows.append(ResultRow("table3", label, paper_value, evaluate_ap50(detector, voc.val), unit="AP50"))
+    return rows
+
+
+def _table4(scale: ExperimentScale) -> list[ResultRow]:
+    """Table IV: inserted-block-type ablation (final accuracy after contraction)."""
+    corpus = scale.corpus()
+    paper = {"inverted_residual": 53.70, "basic": 53.41, "bottleneck": 53.62}
+    rows = []
+    for block_type, paper_value in paper.items():
+        seed_everything(scale.seed + 1)
+        booster = scale.booster(ExpansionConfig(block_type=block_type))
+        result = booster.run(
+            create_model("mobilenetv2-tiny", num_classes=scale.num_classes), corpus.train, corpus.val
+        )
+        rows.append(ResultRow("table4", block_type, paper_value, result.final_accuracy))
+    return rows
+
+
+def _table5(scale: ExperimentScale) -> list[ResultRow]:
+    """Table V: expansion-placement ablation."""
+    corpus = scale.corpus()
+    paper = {"first": 51.50, "middle": 52.62, "last": 52.47, "uniform": 53.70}
+    rows = []
+    for placement, paper_value in paper.items():
+        seed_everything(scale.seed + 1)
+        booster = scale.booster(ExpansionConfig(placement=placement))
+        result = booster.run(
+            create_model("mobilenetv2-tiny", num_classes=scale.num_classes), corpus.train, corpus.val
+        )
+        rows.append(ResultRow("table5", placement, paper_value, result.final_accuracy))
+    return rows
+
+
+def _table6(scale: ExperimentScale) -> list[ResultRow]:
+    """Table VI: expansion-ratio ablation."""
+    corpus = scale.corpus()
+    paper = {2: 52.94, 4: 53.52, 6: 53.70, 8: 52.56}
+    rows = []
+    for ratio, paper_value in paper.items():
+        seed_everything(scale.seed + 1)
+        booster = scale.booster(ExpansionConfig(expansion_ratio=ratio))
+        result = booster.run(
+            create_model("mobilenetv2-tiny", num_classes=scale.num_classes), corpus.train, corpus.val
+        )
+        rows.append(ResultRow("table6", f"ratio={ratio}", paper_value, result.final_accuracy))
+    return rows
+
+
+def _fig1a(scale: ExperimentScale) -> list[ResultRow]:
+    """Fig. 1(a): vanilla vs DropBlock-regularised vs NetBooster training."""
+    from ..baselines import insert_dropblock
+
+    corpus = scale.corpus()
+    rows = []
+
+    seed_everything(scale.seed + 1)
+    vanilla = create_model("mobilenetv2-tiny", num_classes=scale.num_classes)
+    history = train_vanilla(vanilla, corpus.train, corpus.val, scale.pretrain_config(scale.finetune_epochs))
+    rows.append(ResultRow("fig1a", "Vanilla", 51.2, history.final_val_accuracy))
+
+    seed_everything(scale.seed + 1)
+    regularised = insert_dropblock(
+        create_model("mobilenetv2-tiny", num_classes=scale.num_classes), drop_prob=0.15
+    )
+    history = train_vanilla(regularised, corpus.train, corpus.val, scale.pretrain_config(scale.finetune_epochs))
+    rows.append(ResultRow("fig1a", "DropBlock", 50.9, history.final_val_accuracy))
+
+    seed_everything(scale.seed + 1)
+    result = scale.booster().run(
+        create_model("mobilenetv2-tiny", num_classes=scale.num_classes), corpus.train, corpus.val
+    )
+    rows.append(ResultRow("fig1a", "NetBooster", 53.7, result.final_accuracy))
+    return rows
+
+
+def _cost(scale: ExperimentScale) -> list[ResultRow]:
+    """Table I cost columns: MFLOPs of the model zoo (analytic, no training)."""
+    paper = {"mobilenetv2-tiny": 23.5, "mcunet": 81.8, "mobilenetv2-50": 50.2, "mobilenetv2-100": 154.1}
+    input_shape = (3, scale.resolution, scale.resolution)
+    rows = []
+    for network, paper_value in paper.items():
+        seed_everything(scale.seed)
+        report = count_complexity(create_model(network, num_classes=scale.num_classes), input_shape)
+        rows.append(ResultRow("cost", network, paper_value, report.mflops, unit="MFLOPs"))
+    return rows
+
+
+EXPERIMENTS: dict[str, Callable[[ExperimentScale], list[ResultRow]]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "table5": _table5,
+    "table6": _table6,
+    "fig1a": _fig1a,
+    "cost": _cost,
+}
+
+
+def available_experiments() -> list[str]:
+    """Names accepted by :func:`run_experiment`."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str, scale: ExperimentScale | None = None) -> list[ResultRow]:
+    """Run one registered experiment and return its paper-vs-measured rows."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {available_experiments()}")
+    return EXPERIMENTS[name](scale or ExperimentScale())

@@ -1,0 +1,25 @@
+"""Model zoo: MobileNetV2 family, MCUNet and the tiny detector."""
+
+from .blocks import BasicBlock, Bottleneck, ConvBNAct, InvertedResidual, make_divisible
+from .detector import DetectionLoss, TinyDetector, decode_predictions
+from .mcunet import MCUNet, mcunet
+from .mobilenetv2 import MobileNetV2, mobilenet_v2
+from .registry import MODEL_REGISTRY, available_models, create_model
+
+__all__ = [
+    "ConvBNAct",
+    "InvertedResidual",
+    "BasicBlock",
+    "Bottleneck",
+    "make_divisible",
+    "MobileNetV2",
+    "mobilenet_v2",
+    "MCUNet",
+    "mcunet",
+    "TinyDetector",
+    "DetectionLoss",
+    "decode_predictions",
+    "MODEL_REGISTRY",
+    "create_model",
+    "available_models",
+]

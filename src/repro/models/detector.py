@@ -1,0 +1,208 @@
+"""Tiny single-scale anchor-free detector used for the Pascal-VOC experiment.
+
+The paper finetunes an ImageNet-pretrained MobileNetV2-0.35 backbone on Pascal
+VOC and reports AP50 (Table III).  This module provides the matching pieces
+for the synthetic substrate:
+
+* :class:`TinyDetector` — backbone features followed by a convolutional head
+  that predicts, for every cell of the final feature map, an objectness score,
+  a box (cell-relative centre + image-relative size) and class logits;
+* target assignment (`build_targets`) and the multi-part detection loss;
+* decoding of predictions into scored boxes for AP evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .blocks import ConvBNAct
+
+__all__ = ["TinyDetector", "DetectionLoss", "decode_predictions"]
+
+
+class TinyDetector(nn.Module):
+    """Single-scale dense detector on top of a classification backbone.
+
+    Parameters
+    ----------
+    backbone:
+        Any model exposing ``forward_features`` and ``feature_channels``
+        (e.g. :class:`~repro.models.mobilenetv2.MobileNetV2`).
+    num_classes:
+        Number of object categories.
+    image_size:
+        Input resolution; together with the backbone stride this determines
+        the prediction grid size.
+    """
+
+    def __init__(self, backbone: nn.Module, num_classes: int, image_size: int = 32, head_channels: int = 32):
+        super().__init__()
+        self.backbone = backbone
+        self.num_classes = num_classes
+        self.image_size = image_size
+        self.head = ConvBNAct(backbone.feature_channels, head_channels, kernel_size=3, activation="relu")
+        # Per-cell predictions: [objectness, tx, ty, tw, th, class logits...]
+        self.predictor = nn.Conv2d(head_channels, 5 + num_classes, kernel_size=1, bias=True)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        features = self.backbone.forward_features(x)
+        return self.predictor(self.head(features))
+
+    def grid_size(self, image_size: int | None = None) -> int:
+        """Prediction grid size for a given input resolution."""
+        image_size = image_size or self.image_size
+        probe = nn.Tensor(np.zeros((1, 3, image_size, image_size), dtype=np.float32))
+        with nn.no_grad():
+            was_training = self.training
+            self.eval()
+            out = self.forward(probe)
+            self.train(was_training)
+        return out.shape[-1]
+
+
+def build_targets(
+    boxes: np.ndarray,
+    labels: np.ndarray,
+    grid: int,
+    image_size: int,
+    num_classes: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Assign ground-truth boxes to grid cells.
+
+    Each object is assigned to the cell containing its centre.  Returns
+    ``(objectness, box_targets, class_targets, positive_mask)`` with shapes
+    ``(grid, grid)``, ``(grid, grid, 4)``, ``(grid, grid)`` and
+    ``(grid, grid)`` respectively.  Box targets are
+    ``(cx_offset, cy_offset, w_frac, h_frac)`` — centre offsets within the
+    cell in ``[0, 1]`` and width/height as a fraction of the image.
+    """
+    objectness = np.zeros((grid, grid), dtype=np.float32)
+    box_targets = np.zeros((grid, grid, 4), dtype=np.float32)
+    class_targets = np.zeros((grid, grid), dtype=np.int64)
+    cell = image_size / grid
+    for box, label in zip(boxes, labels):
+        x0, y0, x1, y1 = box
+        cx, cy = (x0 + x1) / 2.0, (y0 + y1) / 2.0
+        col = min(int(cx / cell), grid - 1)
+        row = min(int(cy / cell), grid - 1)
+        objectness[row, col] = 1.0
+        box_targets[row, col] = [
+            cx / cell - col,
+            cy / cell - row,
+            (x1 - x0) / image_size,
+            (y1 - y0) / image_size,
+        ]
+        class_targets[row, col] = label
+    return objectness, box_targets, class_targets, objectness.copy()
+
+
+@dataclass
+class DetectionLoss:
+    """Weighted sum of objectness, box-regression and classification losses."""
+
+    box_weight: float = 5.0
+    class_weight: float = 1.0
+    noobj_weight: float = 0.5
+
+    def __call__(
+        self,
+        predictions: nn.Tensor,
+        objectness: np.ndarray,
+        box_targets: np.ndarray,
+        class_targets: np.ndarray,
+    ) -> nn.Tensor:
+        """Compute the loss for a batch.
+
+        Parameters
+        ----------
+        predictions:
+            Raw head output ``(N, 5 + C, G, G)``.
+        objectness / box_targets / class_targets:
+            Stacked outputs of :func:`build_targets` for the batch, shapes
+            ``(N, G, G)``, ``(N, G, G, 4)`` and ``(N, G, G)``.
+        """
+        n, channels, grid, _ = predictions.shape
+        num_classes = channels - 5
+
+        obj_logits = predictions[:, 0, :, :]
+        weights = np.where(objectness > 0.5, 1.0, self.noobj_weight).astype(np.float32)
+        obj_loss = F.binary_cross_entropy_with_logits(obj_logits, objectness, weight=weights)
+
+        positive = objectness > 0.5
+        num_positive = int(positive.sum())
+        if num_positive == 0:
+            return obj_loss
+
+        # Box regression on positive cells only.
+        box_preds = predictions[:, 1:5, :, :].transpose(0, 2, 3, 1).sigmoid()
+        mask = nn.Tensor(positive[..., None].astype(np.float32))
+        box_diff = (box_preds - nn.Tensor(box_targets)) * mask
+        box_loss = (box_diff * box_diff).sum() * (1.0 / max(num_positive, 1))
+
+        # Classification on positive cells.
+        class_logits = predictions[:, 5:, :, :].transpose(0, 2, 3, 1).reshape(-1, num_classes)
+        flat_positive = positive.reshape(-1)
+        positive_logits = class_logits[np.nonzero(flat_positive)[0]]
+        class_loss = F.cross_entropy(positive_logits, class_targets.reshape(-1)[flat_positive])
+
+        return obj_loss + self.box_weight * box_loss + self.class_weight * class_loss
+
+
+def decode_predictions(
+    predictions: np.ndarray,
+    image_size: int,
+    score_threshold: float = 0.3,
+    max_detections: int = 10,
+) -> list[dict[str, np.ndarray]]:
+    """Convert raw head outputs into per-image detection lists.
+
+    Returns one dict per image with keys ``boxes`` (``(K, 4)``), ``scores``
+    and ``labels``, sorted by score and truncated to ``max_detections``.
+    """
+    results = []
+    n, channels, grid, _ = predictions.shape
+    cell = image_size / grid
+    for i in range(n):
+        pred = predictions[i]
+        obj = 1.0 / (1.0 + np.exp(-pred[0]))
+        box_raw = 1.0 / (1.0 + np.exp(-pred[1:5]))
+        class_logits = pred[5:]
+        class_probs = np.exp(class_logits - class_logits.max(axis=0, keepdims=True))
+        class_probs /= class_probs.sum(axis=0, keepdims=True)
+
+        boxes, scores, labels = [], [], []
+        for row in range(grid):
+            for col in range(grid):
+                score = float(obj[row, col])
+                if score < score_threshold:
+                    continue
+                cx = (col + box_raw[0, row, col]) * cell
+                cy = (row + box_raw[1, row, col]) * cell
+                w = box_raw[2, row, col] * image_size
+                h = box_raw[3, row, col] * image_size
+                label = int(class_probs[:, row, col].argmax())
+                boxes.append([cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2])
+                scores.append(score * float(class_probs[label, row, col]))
+                labels.append(label)
+        if boxes:
+            order = np.argsort(scores)[::-1][:max_detections]
+            results.append(
+                {
+                    "boxes": np.asarray(boxes, dtype=np.float32)[order],
+                    "scores": np.asarray(scores, dtype=np.float32)[order],
+                    "labels": np.asarray(labels, dtype=np.int64)[order],
+                }
+            )
+        else:
+            results.append(
+                {
+                    "boxes": np.zeros((0, 4), dtype=np.float32),
+                    "scores": np.zeros((0,), dtype=np.float32),
+                    "labels": np.zeros((0,), dtype=np.int64),
+                }
+            )
+    return results

@@ -1,0 +1,33 @@
+"""Model registry mapping the paper's network names to constructors."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .. import nn
+from .mcunet import mcunet
+from .mobilenetv2 import mobilenet_v2
+
+__all__ = ["MODEL_REGISTRY", "create_model", "available_models"]
+
+
+MODEL_REGISTRY: dict[str, Callable[..., nn.Module]] = {
+    "mobilenetv2-tiny": lambda num_classes=16, **kw: mobilenet_v2("tiny", num_classes=num_classes, **kw),
+    "mobilenetv2-35": lambda num_classes=16, **kw: mobilenet_v2("35", num_classes=num_classes, **kw),
+    "mobilenetv2-50": lambda num_classes=16, **kw: mobilenet_v2("50", num_classes=num_classes, **kw),
+    "mobilenetv2-100": lambda num_classes=16, **kw: mobilenet_v2("100", num_classes=num_classes, **kw),
+    "mcunet": lambda num_classes=16, **kw: mcunet(num_classes=num_classes, **kw),
+}
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`create_model`."""
+    return sorted(MODEL_REGISTRY)
+
+
+def create_model(name: str, num_classes: int = 16, **kwargs) -> nn.Module:
+    """Instantiate a registered model by (case-insensitive) name."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return MODEL_REGISTRY[key](num_classes=num_classes, **kwargs)

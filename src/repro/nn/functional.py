@@ -1,0 +1,394 @@
+"""Neural-network primitives built on top of :class:`repro.nn.tensor.Tensor`.
+
+These functions implement the heavy-weight operations (convolution, pooling,
+batch normalisation, losses) as single autograd nodes with hand-written
+backward passes, which keeps the tape small and the NumPy implementation
+reasonably fast.
+
+All spatial operations use the ``NCHW`` layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "avg_pool2d",
+    "max_pool2d",
+    "global_avg_pool2d",
+    "batch_norm2d",
+    "linear",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "kl_divergence",
+    "mse_loss",
+    "smooth_l1_loss",
+    "binary_cross_entropy_with_logits",
+    "dropout",
+    "one_hot",
+    "conv_output_size",
+]
+
+
+# --------------------------------------------------------------------------- #
+# im2col / col2im
+# --------------------------------------------------------------------------- #
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel:
+        ``(kH, kW)`` patch size.
+
+    Returns
+    -------
+    Array of shape ``(N, C, kH, kW, out_h, out_w)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# --------------------------------------------------------------------------- #
+# convolution
+# --------------------------------------------------------------------------- #
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution (cross-correlation) with optional grouping.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel tensor of shape ``(C_out, C_in // groups, kH, kW)``.
+    bias:
+        Optional bias of shape ``(C_out,)``.
+    groups:
+        Number of channel groups; ``groups == C_in`` yields a depthwise
+        convolution.
+    """
+    xd, wd = x.data, weight.data
+    n, c_in, h, w = xd.shape
+    c_out, c_in_g, kh, kw = wd.shape
+    if c_in != c_in_g * groups:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {c_in} channels, "
+            f"weight expects {c_in_g * groups} (groups={groups})"
+        )
+    if c_out % groups != 0:
+        raise ValueError("output channels must be divisible by groups")
+
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(xd, (kh, kw), stride, padding)  # (N, C, kh, kw, oh, ow)
+    cols_mat = cols.reshape(n, groups, c_in_g * kh * kw, out_h * out_w)
+    w_mat = wd.reshape(groups, c_out // groups, c_in_g * kh * kw)
+
+    # (N, G, c_out/G, oh*ow)
+    out = np.einsum("goc,ngcp->ngop", w_mat, cols_mat, optimize=True)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=xd.dtype)
+        grad_mat = grad.reshape(n, groups, c_out // groups, out_h * out_w)
+
+        if weight.requires_grad:
+            grad_w = np.einsum("ngop,ngcp->goc", grad_mat, cols_mat, optimize=True)
+            weight._accumulate(grad_w.reshape(wd.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_cols = np.einsum("goc,ngop->ngcp", w_mat, grad_mat, optimize=True)
+            grad_cols = grad_cols.reshape(n, c_in, kh, kw, out_h, out_w)
+            grad_x = col2im(grad_cols, xd.shape, (kh, kw), stride, padding)
+            x._accumulate(grad_x)
+
+    return Tensor._make(out, parents, backward)
+
+
+# --------------------------------------------------------------------------- #
+# pooling
+# --------------------------------------------------------------------------- #
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None, padding: int = 0) -> Tensor:
+    """Average pooling over ``kernel x kernel`` windows."""
+    stride = stride or kernel
+    xd = x.data
+    n, c, h, w = xd.shape
+    cols = im2col(xd, (kernel, kernel), stride, padding)
+    out = cols.mean(axis=(2, 3))
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=xd.dtype) / (kernel * kernel)
+        grad_cols = np.broadcast_to(
+            grad[:, :, None, None, :, :], (n, c, kernel, kernel) + grad.shape[2:]
+        )
+        x._accumulate(col2im(np.ascontiguousarray(grad_cols), xd.shape, (kernel, kernel), stride, padding))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None, padding: int = 0) -> Tensor:
+    """Max pooling over ``kernel x kernel`` windows."""
+    stride = stride or kernel
+    xd = x.data
+    n, c, h, w = xd.shape
+    cols = im2col(xd, (kernel, kernel), stride, padding)
+    flat = cols.reshape(n, c, kernel * kernel, cols.shape[4], cols.shape[5])
+    arg = flat.argmax(axis=2)
+    out = flat.max(axis=2)
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=xd.dtype)
+        grad_flat = np.zeros_like(flat)
+        idx_n, idx_c, idx_h, idx_w = np.indices(arg.shape)
+        grad_flat[idx_n, idx_c, arg, idx_h, idx_w] = grad
+        grad_cols = grad_flat.reshape(cols.shape)
+        x._accumulate(col2im(grad_cols, xd.shape, (kernel, kernel), stride, padding))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning ``(N, C, 1, 1)``."""
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+# --------------------------------------------------------------------------- #
+# normalisation
+# --------------------------------------------------------------------------- #
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over the channel dimension of an NCHW tensor.
+
+    ``running_mean`` / ``running_var`` are plain NumPy buffers updated in
+    place when ``training`` is true.
+    """
+    xd = x.data
+    c = xd.shape[1]
+
+    if training:
+        mean = xd.mean(axis=(0, 2, 3))
+        var = xd.var(axis=(0, 2, 3))
+        count = xd.shape[0] * xd.shape[2] * xd.shape[3]
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (xd - mean.reshape(1, c, 1, 1)) * inv_std.reshape(1, c, 1, 1)
+    out = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=xd.dtype)
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            g = gamma.data.reshape(1, c, 1, 1)
+            if training:
+                m = xd.shape[0] * xd.shape[2] * xd.shape[3]
+                grad_xhat = grad * g
+                sum_grad = grad_xhat.sum(axis=(0, 2, 3), keepdims=True)
+                sum_grad_xhat = (grad_xhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+                grad_x = (
+                    inv_std.reshape(1, c, 1, 1)
+                    * (grad_xhat - sum_grad / m - x_hat * sum_grad_xhat / m)
+                )
+            else:
+                grad_x = grad * g * inv_std.reshape(1, c, 1, 1)
+            x._accumulate(grad_x)
+
+    return Tensor._make(out, (x, gamma, beta), backward)
+
+
+# --------------------------------------------------------------------------- #
+# linear layers and activations on logits
+# --------------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias``."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` to one-hot ``(N, num_classes)`` float array."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray | Tensor,
+    label_smoothing: float = 0.0,
+    soft_targets: bool = False,
+) -> Tensor:
+    """Cross-entropy between logits and integer labels or soft targets.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, C)`` unnormalised scores.
+    targets:
+        Integer labels ``(N,)`` unless ``soft_targets`` is true, in which case
+        a ``(N, C)`` probability matrix (Tensor or ndarray).
+    label_smoothing:
+        Mixes the hard target distribution with a uniform distribution.
+    """
+    num_classes = logits.shape[-1]
+    if soft_targets:
+        target_probs = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    else:
+        target_probs = one_hot(np.asarray(targets), num_classes)
+    if label_smoothing > 0.0:
+        target_probs = (
+            (1.0 - label_smoothing) * target_probs + label_smoothing / num_classes
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    loss = -(Tensor(target_probs) * log_probs).sum(axis=-1).mean()
+    return loss
+
+
+def kl_divergence(teacher_logits: Tensor, student_logits: Tensor, temperature: float = 1.0) -> Tensor:
+    """KL(teacher || student) on temperature-scaled distributions.
+
+    The teacher distribution is detached; the usual ``T**2`` factor is applied
+    so gradients are comparable across temperatures (Hinton et al., 2015).
+    """
+    t_probs = softmax(teacher_logits * (1.0 / temperature), axis=-1).detach()
+    s_log_probs = log_softmax(student_logits * (1.0 / temperature), axis=-1)
+    t = Tensor(t_probs.data)
+    loss = (t * (Tensor(np.log(np.clip(t_probs.data, 1e-12, None))) - s_log_probs)).sum(axis=-1).mean()
+    return loss * (temperature ** 2)
+
+
+def mse_loss(pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target.detach()
+    return (diff * diff).mean()
+
+
+def smooth_l1_loss(pred: Tensor, target: Tensor | np.ndarray, beta: float = 1.0) -> Tensor:
+    """Huber/smooth-L1 loss used for bounding-box regression."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target.detach()
+    abs_diff = diff.abs()
+    quadratic = (diff * diff) * (0.5 / beta)
+    linear_part = abs_diff - 0.5 * beta
+    mask = Tensor((abs_diff.data < beta).astype(pred.data.dtype))
+    return (mask * quadratic + (Tensor(1.0) - mask) * linear_part).mean()
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: np.ndarray | Tensor, weight: np.ndarray | None = None
+) -> Tensor:
+    """Numerically-stable sigmoid cross entropy."""
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=np.float32)
+    t = Tensor(targets)
+    max_part = logits.maximum(0.0)
+    loss = max_part - logits * t + ((-logits.abs()).exp() + 1.0).log()
+    if weight is not None:
+        loss = loss * Tensor(np.asarray(weight, dtype=np.float32))
+    return loss.mean()
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout: identity at evaluation time."""
+    if not training or rate <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= rate).astype(x.data.dtype) / (1.0 - rate)
+    return x * Tensor(mask)

@@ -1,0 +1,75 @@
+"""Weight initialisation schemes.
+
+All functions return freshly allocated ``float32`` NumPy arrays; callers wrap
+them in :class:`repro.nn.module.Parameter`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "zeros",
+    "ones",
+    "normal",
+]
+
+_rng = np.random.default_rng(0)
+
+
+def set_init_rng(seed: int) -> None:
+    """Reseed the module-level RNG used by all initialisers."""
+    global _rng
+    _rng = np.random.default_rng(seed)
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # conv: (out, in/groups, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: tuple[int, ...], nonlinearity: str = "relu") -> np.ndarray:
+    """He-normal initialisation suited to ReLU-family activations."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / math.sqrt(max(fan_in, 1))
+    return _rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: tuple[int, ...], nonlinearity: str = "relu") -> np.ndarray:
+    """He-uniform initialisation."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return _rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...]) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return _rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def normal(shape: tuple[int, ...], std: float = 0.01) -> np.ndarray:
+    return _rng.normal(0.0, std, size=shape).astype(np.float32)

@@ -1,0 +1,178 @@
+"""Additional normalisation layers beyond :class:`~repro.nn.layers.BatchNorm2d`.
+
+These layers are part of the general-purpose substrate: Group/Layer/Instance
+normalisation are composed from differentiable :class:`~repro.nn.tensor.Tensor`
+primitives (no hand-written backward pass needed), and
+:class:`FrozenBatchNorm2d` provides the inference-only affine form produced by
+batch-norm folding, which the contraction step (paper Eq. 3-4) relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "GroupNorm",
+    "LayerNorm",
+    "InstanceNorm2d",
+    "FrozenBatchNorm2d",
+]
+
+
+class GroupNorm(Module):
+    """Group normalisation over an NCHW tensor (Wu & He, 2018).
+
+    Channels are split into ``num_groups`` groups; mean and variance are
+    computed per sample and per group, so the statistics do not depend on the
+    batch size.  With ``num_groups == 1`` this is layer normalisation over
+    ``(C, H, W)``; with ``num_groups == num_channels`` it is instance
+    normalisation.
+    """
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5, affine: bool = True):
+        super().__init__()
+        if num_channels % num_groups != 0:
+            raise ValueError(
+                f"num_channels ({num_channels}) must be divisible by num_groups ({num_groups})"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(init.ones((num_channels,)))
+            self.bias = Parameter(init.zeros((num_channels,)))
+        else:
+            self.weight = None
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        if c != self.num_channels:
+            raise ValueError(f"expected {self.num_channels} channels, got {c}")
+        grouped = x.reshape(n, self.num_groups, c // self.num_groups, h, w)
+        mean = grouped.mean(axis=(2, 3, 4), keepdims=True)
+        centered = grouped - mean
+        var = (centered * centered).mean(axis=(2, 3, 4), keepdims=True)
+        normalised = centered / (var + self.eps).sqrt()
+        out = normalised.reshape(n, c, h, w)
+        if self.affine:
+            out = out * self.weight.reshape(1, c, 1, 1) + self.bias.reshape(1, c, 1, 1)
+        return out
+
+    def __repr__(self) -> str:
+        return f"GroupNorm({self.num_groups}, {self.num_channels}, affine={self.affine})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature dimension of a 2-D input.
+
+    Used by classifier heads and, in general, anywhere a batch-size-independent
+    normaliser is preferable (e.g. tiny-batch finetuning on downstream tasks).
+    """
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5, affine: bool = True):
+        super().__init__()
+        self.normalized_shape = int(normalized_shape)
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(init.ones((self.normalized_shape,)))
+            self.bias = Parameter(init.zeros((self.normalized_shape,)))
+        else:
+            self.weight = None
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.normalized_shape:
+            raise ValueError(
+                f"expected trailing dimension {self.normalized_shape}, got {x.shape[-1]}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        out = centered / (var + self.eps).sqrt()
+        if self.affine:
+            out = out * self.weight + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape}, affine={self.affine})"
+
+
+class InstanceNorm2d(Module):
+    """Instance normalisation: per-sample, per-channel spatial statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, affine: bool = False):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(init.ones((num_features,)))
+            self.bias = Parameter(init.zeros((num_features,)))
+        else:
+            self.weight = None
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        if c != self.num_features:
+            raise ValueError(f"expected {self.num_features} channels, got {c}")
+        mean = x.mean(axis=(2, 3), keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=(2, 3), keepdims=True)
+        out = centered / (var + self.eps).sqrt()
+        if self.affine:
+            out = out * self.weight.reshape(1, c, 1, 1) + self.bias.reshape(1, c, 1, 1)
+        return out
+
+    def __repr__(self) -> str:
+        return f"InstanceNorm2d({self.num_features}, affine={self.affine})"
+
+
+class FrozenBatchNorm2d(Module):
+    """Batch norm with fixed statistics and affine parameters.
+
+    The forward pass is the purely affine map ``y = scale * x + shift`` with
+    per-channel constants, which is exactly what folding a trained
+    :class:`~repro.nn.layers.BatchNorm2d` produces.  Because it is affine it
+    never blocks the kernel-merging step of block contraction.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.register_buffer("weight", np.ones(num_features, dtype=np.float32))
+        self.register_buffer("bias", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    @classmethod
+    def from_batch_norm(cls, bn) -> "FrozenBatchNorm2d":
+        """Copy the statistics and affine parameters of a live ``BatchNorm2d``."""
+        frozen = cls(bn.num_features, eps=bn.eps)
+        frozen.weight[...] = bn.weight.data
+        frozen.bias[...] = bn.bias.data
+        frozen.running_mean[...] = bn.running_mean
+        frozen.running_var[...] = bn.running_var
+        return frozen
+
+    def scale_and_shift(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the equivalent per-channel affine ``(scale, shift)`` pair."""
+        scale = self.weight / np.sqrt(self.running_var + self.eps)
+        shift = self.bias - self.running_mean * scale
+        return scale, shift
+
+    def forward(self, x: Tensor) -> Tensor:
+        scale, shift = self.scale_and_shift()
+        c = self.num_features
+        return x * Tensor(scale.reshape(1, c, 1, 1)) + Tensor(shift.reshape(1, c, 1, 1))
+
+    def __repr__(self) -> str:
+        return f"FrozenBatchNorm2d({self.num_features})"

@@ -1,0 +1,38 @@
+"""Optimisers, learning-rate schedules and training-stability utilities."""
+
+from .adaptive import Adam, AdamW, RMSprop
+from .clip import clip_grad_norm, clip_grad_value, global_grad_norm
+from .ema import ModelEMA
+from .schedulers import (
+    ConstantLR,
+    CosineAnnealingLR,
+    ExponentialLR,
+    LambdaLR,
+    LinearWarmup,
+    LRScheduler,
+    MultiStepLR,
+    PolynomialLR,
+    StepLR,
+)
+from .sgd import SGD, Optimizer
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSprop",
+    "Optimizer",
+    "ModelEMA",
+    "clip_grad_norm",
+    "clip_grad_value",
+    "global_grad_norm",
+    "LRScheduler",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "StepLR",
+    "MultiStepLR",
+    "ExponentialLR",
+    "PolynomialLR",
+    "LambdaLR",
+    "LinearWarmup",
+]

@@ -1,0 +1,141 @@
+"""Adaptive first-order optimisers: Adam, AdamW and RMSprop.
+
+The paper's recipe uses SGD with momentum, but downstream finetuning and the
+detection head train more robustly with adaptive step sizes at very small
+batch sizes, so the substrate ships the standard family.  All optimisers share
+the :class:`~repro.optim.sgd.Optimizer` base class so that the learning-rate
+schedulers apply uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .sgd import Optimizer
+
+__all__ = ["Adam", "AdamW", "RMSprop"]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with optional coupled L2 weight decay.
+
+    Parameters
+    ----------
+    params:
+        Parameters to optimise.
+    lr:
+        Step size.
+    betas:
+        Exponential decay rates for the first and second moment estimates.
+    eps:
+        Numerical damping added to the denominator.
+    weight_decay:
+        Classic (coupled) L2 penalty added to the gradient; see
+        :class:`AdamW` for the decoupled variant.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must lie in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._exp_avg = [np.zeros_like(p.data) for p in self.params]
+        self._exp_avg_sq = [np.zeros_like(p.data) for p in self.params]
+
+    def _apply_update(self, param: Parameter, grad: np.ndarray, index: int) -> None:
+        exp_avg = self._exp_avg[index]
+        exp_avg_sq = self._exp_avg_sq[index]
+        exp_avg *= self.beta1
+        exp_avg += (1.0 - self.beta1) * grad
+        exp_avg_sq *= self.beta2
+        exp_avg_sq += (1.0 - self.beta2) * grad * grad
+        bias_correction1 = 1.0 - self.beta1 ** self._step_count
+        bias_correction2 = 1.0 - self.beta2 ** self._step_count
+        corrected_avg = exp_avg / bias_correction1
+        corrected_sq = exp_avg_sq / bias_correction2
+        param.data -= self.lr * corrected_avg / (np.sqrt(corrected_sq) + self.eps)
+
+    def step(self) -> None:
+        """Apply one Adam update from the accumulated gradients."""
+        self._step_count += 1
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._apply_update(param, grad, index)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019).
+
+    The decay is applied directly to the weights, scaled by the learning rate,
+    instead of being folded into the gradient.
+    """
+
+    def step(self) -> None:
+        self._step_count += 1
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            if self.weight_decay:
+                param.data -= self.lr * self.weight_decay * param.data
+            self._apply_update(param, param.grad, index)
+
+
+class RMSprop(Optimizer):
+    """RMSprop with optional momentum, following the TensorFlow formulation."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-2,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError("alpha must lie in [0, 1)")
+        self.alpha = alpha
+        self.eps = eps
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._square_avg = [np.zeros_like(p.data) for p in self.params]
+        self._buffer = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one RMSprop update from the accumulated gradients."""
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            square_avg = self._square_avg[index]
+            square_avg *= self.alpha
+            square_avg += (1.0 - self.alpha) * grad * grad
+            update = grad / (np.sqrt(square_avg) + self.eps)
+            if self.momentum:
+                buffer = self._buffer[index]
+                buffer *= self.momentum
+                buffer += update
+                update = buffer
+            param.data -= self.lr * update

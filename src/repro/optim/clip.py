@@ -1,0 +1,53 @@
+"""Gradient clipping utilities.
+
+Clipping stabilises the first epochs of deep-giant training (the expanded
+network is substantially deeper than the original TNN, so early gradients can
+spike) and the tiny-batch downstream finetuning runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["clip_grad_norm", "clip_grad_value", "global_grad_norm"]
+
+
+def global_grad_norm(params: Iterable[Parameter]) -> float:
+    """L2 norm of all gradients concatenated, ignoring parameters without one."""
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float(np.sum(param.grad.astype(np.float64) ** 2))
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Rescale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm measured *before* clipping, mirroring the PyTorch API so
+    callers can log it.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    params = list(params)
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for param in params:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm
+
+
+def clip_grad_value(params: Iterable[Parameter], clip_value: float) -> None:
+    """Clamp every gradient element to ``[-clip_value, clip_value]`` in place."""
+    if clip_value <= 0:
+        raise ValueError("clip_value must be positive")
+    for param in params:
+        if param.grad is not None:
+            np.clip(param.grad, -clip_value, clip_value, out=param.grad)

@@ -1,0 +1,69 @@
+"""Exponential moving average of model weights.
+
+Weight averaging is a cheap way to squeeze extra validation accuracy out of
+the deep-giant training run; the averaged weights are what get handed to
+Progressive Linearization Tuning in the "EMA" ablation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["ModelEMA"]
+
+
+class ModelEMA:
+    """Track an exponential moving average of a model's state dict.
+
+    Parameters
+    ----------
+    model:
+        The live model being trained.  Its current state initialises the
+        average.
+    decay:
+        Smoothing factor; ``averaged = decay * averaged + (1 - decay) * live``.
+
+    Usage::
+
+        ema = ModelEMA(model, decay=0.999)
+        for batch in loader:
+            ...optimiser step...
+            ema.update(model)
+        ema.copy_to(eval_model)
+    """
+
+    def __init__(self, model: Module, decay: float = 0.999):
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must lie in (0, 1)")
+        self.decay = decay
+        self.updates = 0
+        self.shadow: "OrderedDict[str, np.ndarray]" = OrderedDict(
+            (name, value.copy()) for name, value in model.state_dict().items()
+        )
+
+    def update(self, model: Module) -> None:
+        """Fold the model's current weights into the running average."""
+        self.updates += 1
+        state = model.state_dict()
+        if set(state) != set(self.shadow):
+            raise KeyError("model state keys changed since the EMA was created")
+        for name, value in state.items():
+            shadow = self.shadow[name]
+            if np.issubdtype(shadow.dtype, np.floating):
+                shadow *= self.decay
+                shadow += (1.0 - self.decay) * value
+            else:
+                # Integer buffers (e.g. counters) track the live model exactly.
+                self.shadow[name] = value.copy()
+
+    def copy_to(self, model: Module) -> None:
+        """Write the averaged weights into ``model``."""
+        model.load_state_dict(self.shadow)
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return a copy of the averaged weights."""
+        return OrderedDict((name, value.copy()) for name, value in self.shadow.items())

@@ -1,0 +1,77 @@
+"""Stochastic gradient descent with momentum, Nesterov and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["SGD", "Optimizer"]
+
+
+class Optimizer:
+    """Base optimiser: tracks a parameter list and a mutable learning rate."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if lr < 0:
+            raise ValueError("learning rate must be non-negative")
+        self.params = [p for p in params if p.requires_grad]
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical or Nesterov momentum and decoupled-style weight decay.
+
+    Matches the paper's training recipe (SGD, momentum 0.9, cosine schedule).
+
+    Parameters
+    ----------
+    params:
+        Parameters to optimise.
+    lr:
+        Initial learning rate (mutated in place by LR schedulers).
+    momentum:
+        Momentum coefficient; ``0`` disables the velocity buffer.
+    weight_decay:
+        L2 penalty added to the gradient.
+    nesterov:
+        Use Nesterov momentum.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        """Apply one update using the gradients accumulated on the parameters."""
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                if self._velocity[index] is None:
+                    self._velocity[index] = np.zeros_like(param.data)
+                velocity = self._velocity[index]
+                velocity *= self.momentum
+                velocity += grad
+                grad = grad + self.momentum * velocity if self.nesterov else velocity
+            param.data -= self.lr * grad

@@ -1,0 +1,23 @@
+"""Training harness: classification trainer, transfer recipes, detection, metrics."""
+
+from .detection import DetectionTrainer, evaluate_ap50
+from .metrics import AverageMeter, accuracy, box_iou, mean_ap50, top_k_accuracy
+from .trainer import LossComputer, StandardLoss, Trainer, TrainingHistory, evaluate
+from .transfer import finetune, reset_classifier
+
+__all__ = [
+    "Trainer",
+    "TrainingHistory",
+    "StandardLoss",
+    "LossComputer",
+    "evaluate",
+    "finetune",
+    "reset_classifier",
+    "DetectionTrainer",
+    "evaluate_ap50",
+    "accuracy",
+    "top_k_accuracy",
+    "AverageMeter",
+    "box_iou",
+    "mean_ap50",
+]

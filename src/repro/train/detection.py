@@ -1,0 +1,114 @@
+"""Detection training and AP50 evaluation (the paper's Pascal VOC experiment)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.detection import DetectionDataset
+from ..models.detector import DetectionLoss, TinyDetector, build_targets, decode_predictions
+from ..optim import SGD, CosineAnnealingLR
+from ..utils.config import ExperimentConfig
+from .metrics import AverageMeter, mean_ap50
+
+__all__ = ["DetectionTrainer", "evaluate_ap50"]
+
+
+def _batch_targets(
+    dataset: DetectionDataset, indices: np.ndarray, grid: int, num_classes: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stack images and per-cell targets for a batch of dataset indices."""
+    images, objectness, boxes, classes = [], [], [], []
+    for index in indices:
+        sample = dataset[int(index)]
+        obj, box, cls, _ = build_targets(
+            sample.boxes, sample.labels, grid, dataset.resolution, num_classes
+        )
+        images.append(sample.image)
+        objectness.append(obj)
+        boxes.append(box)
+        classes.append(cls)
+    return (
+        np.stack(images).astype(np.float32),
+        np.stack(objectness),
+        np.stack(boxes),
+        np.stack(classes),
+    )
+
+
+def evaluate_ap50(model: TinyDetector, dataset: DetectionDataset, score_threshold: float = 0.3) -> float:
+    """AP at IoU 0.5 (percent) of a detector on a detection dataset."""
+    was_training = model.training
+    model.eval()
+    detections = []
+    ground_truths = []
+    with nn.no_grad():
+        for start in range(0, len(dataset), 16):
+            indices = np.arange(start, min(start + 16, len(dataset)))
+            images = np.stack([dataset[int(i)].image for i in indices])
+            predictions = model(nn.Tensor(images)).numpy()
+            detections.extend(
+                decode_predictions(predictions, dataset.resolution, score_threshold=score_threshold)
+            )
+            for i in indices:
+                sample = dataset[int(i)]
+                ground_truths.append({"boxes": sample.boxes, "labels": sample.labels})
+    model.train(was_training)
+    return mean_ap50(detections, ground_truths, dataset.num_classes)
+
+
+class DetectionTrainer:
+    """SGD training loop for :class:`~repro.models.detector.TinyDetector`.
+
+    The backbone is typically pretrained on the classification corpus (either
+    vanilla or via NetBooster); the detection head is trained from scratch.
+    """
+
+    def __init__(
+        self,
+        model: TinyDetector,
+        config: ExperimentConfig,
+        loss: DetectionLoss | None = None,
+        iteration_callbacks: list | None = None,
+    ):
+        self.model = model
+        self.config = config
+        self.loss = loss or DetectionLoss()
+        self.iteration_callbacks = list(iteration_callbacks or [])
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        self.scheduler = CosineAnnealingLR(self.optimizer, total_steps=config.epochs, min_lr=config.min_lr)
+        self.global_iteration = 0
+
+    def fit(self, train_set: DetectionDataset, val_set: DetectionDataset | None = None) -> dict:
+        """Train for the configured number of epochs; returns loss/AP history."""
+        rng = np.random.default_rng(self.config.seed)
+        grid = self.model.grid_size(train_set.resolution)
+        history = {"train_loss": [], "val_ap50": []}
+        for _ in range(self.config.epochs):
+            self.scheduler.step()
+            loss_meter = AverageMeter("loss")
+            order = rng.permutation(len(train_set))
+            self.model.train()
+            for start in range(0, len(order), self.config.batch_size):
+                indices = order[start : start + self.config.batch_size]
+                images, objectness, boxes, classes = _batch_targets(
+                    train_set, indices, grid, train_set.num_classes
+                )
+                self.optimizer.zero_grad()
+                predictions = self.model(nn.Tensor(images))
+                loss = self.loss(predictions, objectness, boxes, classes)
+                loss.backward()
+                self.optimizer.step()
+                self.global_iteration += 1
+                for callback in self.iteration_callbacks:
+                    callback(self.global_iteration)
+                loss_meter.update(loss.item(), n=len(indices))
+            history["train_loss"].append(loss_meter.average)
+            if val_set is not None:
+                history["val_ap50"].append(evaluate_ap50(self.model, val_set))
+        return history

@@ -1,0 +1,132 @@
+"""Evaluation metrics: classification accuracy and detection AP50."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "top_k_accuracy", "AverageMeter", "box_iou", "average_precision", "mean_ap50"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in percent."""
+    predictions = np.asarray(logits).argmax(axis=-1)
+    return float((predictions == np.asarray(labels)).mean() * 100.0)
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy in percent."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    k = min(k, logits.shape[-1])
+    top_k = np.argsort(-logits, axis=-1)[:, :k]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(hits.mean() * 100.0)
+
+
+class AverageMeter:
+    """Tracks a running average of a scalar (loss, accuracy, ...)."""
+
+    def __init__(self, name: str = "metric"):
+        self.name = name
+        self.reset()
+
+    def reset(self) -> None:
+        self.sum = 0.0
+        self.count = 0
+
+    def update(self, value: float, n: int = 1) -> None:
+        self.sum += float(value) * n
+        self.count += n
+
+    @property
+    def average(self) -> float:
+        return self.sum / max(self.count, 1)
+
+    def __repr__(self) -> str:
+        return f"{self.name}={self.average:.4f}"
+
+
+def box_iou(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
+    """Pairwise IoU between two sets of ``(x0, y0, x1, y1)`` boxes.
+
+    Returns an ``(len(a), len(b))`` matrix.
+    """
+    boxes_a = np.asarray(boxes_a, dtype=np.float64).reshape(-1, 4)
+    boxes_b = np.asarray(boxes_b, dtype=np.float64).reshape(-1, 4)
+    if len(boxes_a) == 0 or len(boxes_b) == 0:
+        return np.zeros((len(boxes_a), len(boxes_b)))
+
+    x0 = np.maximum(boxes_a[:, None, 0], boxes_b[None, :, 0])
+    y0 = np.maximum(boxes_a[:, None, 1], boxes_b[None, :, 1])
+    x1 = np.minimum(boxes_a[:, None, 2], boxes_b[None, :, 2])
+    y1 = np.minimum(boxes_a[:, None, 3], boxes_b[None, :, 3])
+    intersection = np.clip(x1 - x0, 0, None) * np.clip(y1 - y0, 0, None)
+
+    area_a = (boxes_a[:, 2] - boxes_a[:, 0]) * (boxes_a[:, 3] - boxes_a[:, 1])
+    area_b = (boxes_b[:, 2] - boxes_b[:, 0]) * (boxes_b[:, 3] - boxes_b[:, 1])
+    union = area_a[:, None] + area_b[None, :] - intersection
+    return intersection / np.maximum(union, 1e-9)
+
+
+def average_precision(recalls: np.ndarray, precisions: np.ndarray) -> float:
+    """All-point interpolated average precision (VOC2010-style)."""
+    recalls = np.concatenate([[0.0], recalls, [1.0]])
+    precisions = np.concatenate([[0.0], precisions, [0.0]])
+    for i in range(len(precisions) - 1, 0, -1):
+        precisions[i - 1] = max(precisions[i - 1], precisions[i])
+    changes = np.where(recalls[1:] != recalls[:-1])[0]
+    return float(np.sum((recalls[changes + 1] - recalls[changes]) * precisions[changes + 1]))
+
+
+def mean_ap50(
+    detections: list[dict[str, np.ndarray]],
+    ground_truths: list[dict[str, np.ndarray]],
+    num_classes: int,
+    iou_threshold: float = 0.5,
+) -> float:
+    """Mean average precision at IoU 0.5 (the paper's AP50 metric), in percent.
+
+    Parameters
+    ----------
+    detections:
+        Per image: dict with ``boxes`` (K, 4), ``scores`` (K,), ``labels`` (K,).
+    ground_truths:
+        Per image: dict with ``boxes`` (M, 4), ``labels`` (M,).
+    """
+    aps = []
+    for cls in range(num_classes):
+        records = []  # (score, is_true_positive)
+        total_gt = 0
+        for det, gt in zip(detections, ground_truths):
+            gt_mask = np.asarray(gt["labels"]) == cls
+            gt_boxes = np.asarray(gt["boxes"]).reshape(-1, 4)[gt_mask]
+            total_gt += len(gt_boxes)
+            matched = np.zeros(len(gt_boxes), dtype=bool)
+
+            det_mask = np.asarray(det["labels"]) == cls
+            det_boxes = np.asarray(det["boxes"]).reshape(-1, 4)[det_mask]
+            det_scores = np.asarray(det["scores"])[det_mask]
+            order = np.argsort(-det_scores)
+            for index in order:
+                if len(gt_boxes) == 0:
+                    records.append((det_scores[index], False))
+                    continue
+                ious = box_iou(det_boxes[index : index + 1], gt_boxes)[0]
+                best = int(ious.argmax())
+                if ious[best] >= iou_threshold and not matched[best]:
+                    matched[best] = True
+                    records.append((det_scores[index], True))
+                else:
+                    records.append((det_scores[index], False))
+        if total_gt == 0:
+            continue
+        if not records:
+            aps.append(0.0)
+            continue
+        records.sort(key=lambda item: -item[0])
+        tp = np.cumsum([1.0 if flag else 0.0 for _, flag in records])
+        fp = np.cumsum([0.0 if flag else 1.0 for _, flag in records])
+        recalls = tp / total_gt
+        precisions = tp / np.maximum(tp + fp, 1e-9)
+        aps.append(average_precision(recalls, precisions))
+    return float(np.mean(aps) * 100.0) if aps else 0.0

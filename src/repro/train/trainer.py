@@ -1,0 +1,206 @@
+"""Classification training loop shared by every experiment in the repo.
+
+The :class:`Trainer` implements the paper's recipe — SGD with momentum,
+cosine-annealed learning rate, optional label smoothing — and is deliberately
+pluggable:
+
+* the loss is computed by a *loss computer* object so that knowledge
+  distillation, NetAug auxiliary supervision and RocketLaunching joint
+  training can reuse the same loop;
+* per-iteration callbacks allow Progressive Linearization Tuning to decay the
+  activation slopes between optimiser steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from .. import nn
+from ..data.dataloader import DataLoader
+from ..data.datasets import ClassificationDataset
+from ..data.transforms import Transform
+from ..nn import functional as F
+from ..optim import SGD, ConstantLR, CosineAnnealingLR, LinearWarmup, StepLR
+from ..utils.config import ExperimentConfig
+from .metrics import AverageMeter, accuracy
+
+__all__ = ["LossComputer", "StandardLoss", "TrainingHistory", "Trainer", "evaluate"]
+
+
+class LossComputer(Protocol):
+    """Interface for pluggable loss computation.
+
+    Implementations receive the model plus a batch and return the scalar loss
+    tensor and the logits used for accuracy tracking.
+    """
+
+    def __call__(
+        self, model: nn.Module, images: nn.Tensor, labels: np.ndarray
+    ) -> tuple[nn.Tensor, nn.Tensor]: ...
+
+
+class StandardLoss:
+    """Plain cross-entropy with optional label smoothing."""
+
+    def __init__(self, label_smoothing: float = 0.0):
+        self.label_smoothing = label_smoothing
+
+    def __call__(
+        self, model: nn.Module, images: nn.Tensor, labels: np.ndarray
+    ) -> tuple[nn.Tensor, nn.Tensor]:
+        logits = model(images)
+        loss = F.cross_entropy(logits, labels, label_smoothing=self.label_smoothing)
+        return loss, logits
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch statistics collected by :meth:`Trainer.fit`."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    learning_rate: list[float] = field(default_factory=list)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        return max(self.val_accuracy) if self.val_accuracy else float("nan")
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val_accuracy[-1] if self.val_accuracy else float("nan")
+
+    def extend(self, other: "TrainingHistory") -> None:
+        """Append another history (used when training happens in phases)."""
+        self.train_loss.extend(other.train_loss)
+        self.train_accuracy.extend(other.train_accuracy)
+        self.val_accuracy.extend(other.val_accuracy)
+        self.learning_rate.extend(other.learning_rate)
+
+
+def _build_scheduler(optimizer: SGD, config: ExperimentConfig, total_epochs: int):
+    if config.lr_schedule == "cosine":
+        main = CosineAnnealingLR(optimizer, total_steps=max(total_epochs - config.warmup_epochs, 1), min_lr=config.min_lr)
+    elif config.lr_schedule == "step":
+        main = StepLR(optimizer, step_size=max(total_epochs // 3, 1))
+    elif config.lr_schedule == "constant":
+        main = ConstantLR(optimizer)
+    else:
+        raise ValueError(f"unknown lr_schedule {config.lr_schedule!r}")
+    if config.warmup_epochs > 0:
+        return LinearWarmup(optimizer, warmup_steps=config.warmup_epochs, after=main)
+    return main
+
+
+def evaluate(model: nn.Module, dataset: ClassificationDataset, batch_size: int = 128) -> float:
+    """Top-1 accuracy (percent) of ``model`` on ``dataset``."""
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    was_training = model.training
+    model.eval()
+    correct_meter = AverageMeter("accuracy")
+    with nn.no_grad():
+        for images, labels in loader:
+            logits = model(nn.Tensor(images))
+            correct_meter.update(accuracy(logits.numpy(), labels), n=len(labels))
+    model.train(was_training)
+    return correct_meter.average
+
+
+class Trainer:
+    """Generic classification trainer.
+
+    Parameters
+    ----------
+    model:
+        Network to optimise.
+    config:
+        Hyper-parameters (epochs, batch size, optimiser settings, ...).
+    loss_computer:
+        Pluggable loss; defaults to cross-entropy with the config's label
+        smoothing.
+    train_transform:
+        Optional data augmentation applied to training batches.
+    iteration_callbacks:
+        Called (with the iteration index) after every optimiser step — PLT
+        hooks its alpha schedule in here.
+    epoch_callbacks:
+        Called (with the epoch index and the running history) after every
+        epoch.
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        config: ExperimentConfig,
+        loss_computer: LossComputer | None = None,
+        train_transform: Transform | None = None,
+        iteration_callbacks: list[Callable[[int], None]] | None = None,
+        epoch_callbacks: list[Callable[[int, TrainingHistory], None]] | None = None,
+    ):
+        self.model = model
+        self.config = config
+        self.loss_computer = loss_computer or StandardLoss(config.label_smoothing)
+        self.train_transform = train_transform
+        self.iteration_callbacks = list(iteration_callbacks or [])
+        self.epoch_callbacks = list(epoch_callbacks or [])
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        self.scheduler = _build_scheduler(self.optimizer, config, config.epochs)
+        self.global_iteration = 0
+
+    def fit(
+        self,
+        train_set: ClassificationDataset,
+        val_set: ClassificationDataset | None = None,
+        epochs: int | None = None,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` (default: the config value) and return history."""
+        epochs = epochs if epochs is not None else self.config.epochs
+        history = TrainingHistory()
+        loader = DataLoader(
+            train_set,
+            batch_size=self.config.batch_size,
+            shuffle=True,
+            transform=self.train_transform,
+            seed=self.config.seed,
+        )
+        for epoch in range(epochs):
+            lr = self.scheduler.step()
+            loss_meter = AverageMeter("loss")
+            acc_meter = AverageMeter("accuracy")
+            self.model.train()
+            for images, labels in loader:
+                loss, logits = self.train_step(images, labels)
+                loss_meter.update(loss, n=len(labels))
+                acc_meter.update(accuracy(logits, labels), n=len(labels))
+            history.train_loss.append(loss_meter.average)
+            history.train_accuracy.append(acc_meter.average)
+            history.learning_rate.append(lr)
+            if val_set is not None:
+                history.val_accuracy.append(evaluate(self.model, val_set, self.config.batch_size))
+            for callback in self.epoch_callbacks:
+                callback(epoch, history)
+        return history
+
+    def train_step(self, images: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        """One optimiser update; returns the loss value and detached logits."""
+        inputs = nn.Tensor(images)
+        self.optimizer.zero_grad()
+        loss, logits = self.loss_computer(self.model, inputs, labels)
+        loss.backward()
+        self.optimizer.step()
+        self.global_iteration += 1
+        for callback in self.iteration_callbacks:
+            callback(self.global_iteration)
+        return loss.item(), logits.numpy()
+
+    def evaluate(self, dataset: ClassificationDataset) -> float:
+        """Top-1 accuracy (percent) on ``dataset``."""
+        return evaluate(self.model, dataset, self.config.batch_size)

@@ -1,0 +1,69 @@
+"""Transfer-learning recipes (pretrain on the large corpus, finetune downstream).
+
+The paper's Constraint 2 is about exactly this setting: an ImageNet-pretrained
+TNN is finetuned on a small target dataset, and the quality of the pretrained
+features bounds the downstream accuracy.  These helpers implement the standard
+finetuning recipe used by the Table II / Fig. 1(b) experiments.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from ..data.datasets import ClassificationDataset
+from ..utils.config import ExperimentConfig
+from .trainer import LossComputer, Trainer, TrainingHistory
+
+__all__ = ["reset_classifier", "finetune"]
+
+
+def reset_classifier(model: nn.Module, num_classes: int) -> None:
+    """Replace the classification head for a new label space.
+
+    Uses the model's ``reset_classifier`` method when available (MobileNetV2,
+    MCUNet) and falls back to swapping a ``classifier`` Linear attribute.
+    """
+    if hasattr(model, "reset_classifier"):
+        model.reset_classifier(num_classes)
+        return
+    classifier = getattr(model, "classifier", None)
+    if isinstance(classifier, nn.Linear):
+        model.classifier = nn.Linear(classifier.in_features, num_classes)
+        return
+    raise TypeError("model does not expose a replaceable classifier head")
+
+
+def finetune(
+    model: nn.Module,
+    train_set: ClassificationDataset,
+    val_set: ClassificationDataset,
+    config: ExperimentConfig,
+    new_num_classes: int | None = None,
+    freeze_backbone: bool = False,
+    loss_computer: LossComputer | None = None,
+    iteration_callbacks: list | None = None,
+) -> TrainingHistory:
+    """Finetune a pretrained model on a downstream dataset.
+
+    Parameters
+    ----------
+    new_num_classes:
+        When given, the classification head is re-initialised for this many
+        classes before training (the usual transfer-learning setup).
+    freeze_backbone:
+        Train only the classifier head (linear probing).
+    loss_computer / iteration_callbacks:
+        Forwarded to :class:`~repro.train.trainer.Trainer`, so KD losses and
+        PLT schedules compose with finetuning.
+    """
+    if new_num_classes is not None:
+        reset_classifier(model, new_num_classes)
+    if freeze_backbone:
+        for name, parameter in model.named_parameters():
+            parameter.requires_grad = name.startswith("classifier")
+    trainer = Trainer(
+        model,
+        config,
+        loss_computer=loss_computer,
+        iteration_callbacks=iteration_callbacks,
+    )
+    return trainer.fit(train_set, val_set)

@@ -1,0 +1,14 @@
+"""Small shared utilities: seeding, logging, configuration, checkpoints."""
+
+from .config import ExperimentConfig
+from .logging import get_logger
+from .seed import seed_everything
+from .serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "seed_everything",
+    "get_logger",
+    "ExperimentConfig",
+    "save_checkpoint",
+    "load_checkpoint",
+]

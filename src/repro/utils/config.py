@@ -1,0 +1,45 @@
+"""Experiment configuration containers.
+
+A single dataclass captures the knobs shared across the training harness so
+benchmarks and examples stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Hyper-parameters for one training run.
+
+    Attributes largely mirror the paper's recipe (Sec. IV-A), scaled down for
+    the CPU substrate: SGD with momentum and cosine annealing, a main training
+    phase on the large dataset and a PLT finetuning phase on the target
+    dataset.
+    """
+
+    epochs: int = 10
+    batch_size: int = 64
+    lr: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 4e-5
+    label_smoothing: float = 0.0
+    lr_schedule: str = "cosine"
+    min_lr: float = 0.0
+    warmup_epochs: int = 0
+    seed: int = 0
+    # PLT-specific knobs (paper: Ed = 40 of 150 ImageNet epochs; 20% downstream).
+    plt_decay_fraction: float = 0.2
+    log_every: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def replace(self, **kwargs) -> "ExperimentConfig":
+        """Return a copy with the given fields overridden."""
+        data = self.to_dict()
+        data.update(kwargs)
+        return ExperimentConfig(**data)

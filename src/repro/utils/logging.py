@@ -1,0 +1,22 @@
+"""Lightweight logging setup shared by trainers and benchmarks."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger"]
+
+_FORMAT = "%(asctime)s | %(name)s | %(levelname)s | %(message)s"
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger; handlers are attached only once."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stdout)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(level)
+    return logger

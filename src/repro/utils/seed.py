@@ -1,0 +1,23 @@
+"""Deterministic seeding for reproducible experiments."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..nn import init as nn_init
+
+__all__ = ["seed_everything"]
+
+
+def seed_everything(seed: int = 0) -> np.random.Generator:
+    """Seed Python's ``random``, NumPy's legacy RNG and the layer initialisers.
+
+    Returns a fresh :class:`numpy.random.Generator` seeded with ``seed`` for
+    callers that want an explicit generator.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2**32 - 1))
+    nn_init.set_init_rng(seed)
+    return np.random.default_rng(seed)

@@ -1,0 +1,41 @@
+"""Checkpoint save/load helpers using ``numpy.savez``."""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(model: Module, path: str, metadata: dict[str, Any] | None = None) -> None:
+    """Serialise a model's state dict (and optional scalar metadata) to ``path``."""
+    state = model.state_dict()
+    payload = {f"param::{k}": v for k, v in state.items()}
+    for key, value in (metadata or {}).items():
+        payload[f"meta::{key}"] = np.asarray(value)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(model: Module, path: str) -> dict[str, Any]:
+    """Load a checkpoint produced by :func:`save_checkpoint`.
+
+    Returns the metadata dictionary stored alongside the weights.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    archive = np.load(path, allow_pickle=False)
+    state = {}
+    metadata: dict[str, Any] = {}
+    for key in archive.files:
+        if key.startswith("param::"):
+            state[key[len("param::"):]] = archive[key]
+        elif key.startswith("meta::"):
+            metadata[key[len("meta::"):]] = archive[key]
+    model.load_state_dict(state, strict=False)
+    return metadata

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.utils import seed_everything
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    """Make every test deterministic."""
+    seed_everything(0)
+    yield
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def numerical_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function of ``array``."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    iterator = np.nditer(array, flags=["multi_index"])
+    for _ in iterator:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = func()
+        array[index] = original - eps
+        minus = func()
+        array[index] = original
+        grad[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_gradients_close(analytic: np.ndarray, numeric: np.ndarray, atol: float = 1e-5):
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=atol)
+
+
+def make_tensor(shape, rng: np.random.Generator | None = None, requires_grad: bool = True) -> Tensor:
+    rng = rng or np.random.default_rng(0)
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad, dtype=np.float64)

@@ -1,0 +1,87 @@
+"""Unit tests for the alternative PLT annealing curves."""
+
+import pytest
+
+from repro.core import (
+    CosinePLTSchedule,
+    ExpansionConfig,
+    PLT_SCHEDULES,
+    PLTSchedule,
+    StepPLTSchedule,
+    expand_network,
+    make_plt_schedule,
+)
+from repro.core.plt import collect_decayable_activations
+from repro.models import mobilenet_v2
+
+
+@pytest.fixture()
+def giant():
+    model = mobilenet_v2("tiny", num_classes=4)
+    expanded, _ = expand_network(model, ExpansionConfig(fraction=0.5))
+    return expanded
+
+
+def _alphas(schedule, steps):
+    values = []
+    for _ in range(steps):
+        values.append(schedule.step())
+    return values
+
+
+class TestScheduleShapes:
+    @pytest.mark.parametrize("name", sorted(PLT_SCHEDULES))
+    def test_all_schedules_start_at_zero_and_end_at_one(self, giant, name):
+        schedule = make_plt_schedule(name, giant, total_steps=10)
+        assert schedule.alpha == pytest.approx(0.0)
+        values = _alphas(schedule, 10)
+        assert values[-1] == pytest.approx(1.0)
+        assert schedule.finished
+
+    @pytest.mark.parametrize("name", sorted(PLT_SCHEDULES))
+    def test_all_schedules_are_monotone(self, giant, name):
+        schedule = make_plt_schedule(name, giant, total_steps=20)
+        values = _alphas(schedule, 20)
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("name", sorted(PLT_SCHEDULES))
+    def test_schedules_drive_the_activations(self, giant, name):
+        schedule = make_plt_schedule(name, giant, total_steps=5)
+        _alphas(schedule, 5)
+        activations = collect_decayable_activations(giant)
+        assert activations
+        assert all(act.is_linear for act in activations)
+
+    def test_cosine_is_slower_than_linear_at_the_start(self, giant):
+        linear = PLTSchedule(giant, total_steps=10)
+        cosine = CosinePLTSchedule(giant, total_steps=10)
+        linear.step()
+        cosine_first = cosine.step()
+        linear_first = linear.alpha
+        assert cosine_first < linear_first
+
+    def test_step_schedule_is_piecewise_constant(self, giant):
+        schedule = StepPLTSchedule(giant, total_steps=8, num_stages=2)
+        values = _alphas(schedule, 8)
+        # First half stays at 0, second half at 0.5, final step jumps to 1.
+        assert values[0] == pytest.approx(0.0)
+        assert values[2] == pytest.approx(0.0)
+        assert values[3] == pytest.approx(0.5)
+        assert values[6] == pytest.approx(0.5)
+        assert values[-1] == pytest.approx(1.0)
+        assert len(set(round(v, 6) for v in values)) <= 3
+
+    def test_step_schedule_validates_stage_count(self, giant):
+        with pytest.raises(ValueError):
+            StepPLTSchedule(giant, total_steps=4, num_stages=0)
+
+    def test_unknown_schedule_name_rejected(self, giant):
+        with pytest.raises(KeyError):
+            make_plt_schedule("quadratic", giant, total_steps=4)
+
+    def test_initial_alpha_respected(self, giant):
+        schedule = make_plt_schedule("cosine", giant, total_steps=10, initial_alpha=0.5)
+        assert schedule.alpha == pytest.approx(0.5)
+        values = _alphas(schedule, 10)
+        assert min(values) >= 0.5
+        assert values[-1] == pytest.approx(1.0)

@@ -1,0 +1,184 @@
+"""Unit tests for the baseline training methods: NetAug, KD variants, DropBlock."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import (
+    DropBlock2d,
+    KDLoss,
+    NetAugLoss,
+    NetAugModel,
+    RocketLaunchingLoss,
+    TeacherFreeKDLoss,
+    insert_dropblock,
+    make_teacher,
+    train_vanilla,
+    train_with_kd,
+    train_with_netaug,
+    train_with_rco_kd,
+    train_with_rocket_launching,
+    train_with_tf_kd,
+)
+from repro.data import SyntheticImageNet
+from repro.eval import count_complexity
+from repro.models import mobilenet_v2
+from repro.utils import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticImageNet(num_classes=4, samples_per_class=10, val_samples_per_class=4, resolution=16)
+
+
+FAST = ExperimentConfig(epochs=1, batch_size=16, lr=0.02)
+
+
+class TestVanilla:
+    def test_train_vanilla_returns_history(self, corpus):
+        history = train_vanilla(mobilenet_v2("tiny", num_classes=4), corpus.train, corpus.val, FAST)
+        assert len(history.val_accuracy) == 1
+        assert np.isfinite(history.train_loss[0])
+
+
+class TestDropBlock:
+    def test_eval_mode_is_identity(self, rng):
+        block = DropBlock2d(drop_prob=0.5, block_size=3)
+        block.eval()
+        x = nn.Tensor(rng.random((2, 4, 8, 8)).astype(np.float32))
+        np.testing.assert_allclose(block(x).numpy(), x.numpy())
+
+    def test_training_drops_contiguous_regions(self, rng):
+        block = DropBlock2d(drop_prob=0.4, block_size=3, seed=1)
+        block.train()
+        x = nn.Tensor(np.ones((4, 8, 12, 12), dtype=np.float32))
+        out = block(x).numpy()
+        assert (out == 0).any()
+        # Non-zero entries are rescaled above 1 to conserve the expected value.
+        assert out.max() > 1.0
+
+    def test_zero_probability_is_identity(self, rng):
+        block = DropBlock2d(drop_prob=0.0)
+        x = nn.Tensor(rng.random((1, 2, 6, 6)).astype(np.float32))
+        assert block(x) is x
+
+    def test_insert_dropblock_adds_layers_without_changing_inference(self, rng):
+        model = mobilenet_v2("tiny", num_classes=4)
+        regularised = insert_dropblock(model, drop_prob=0.2, every=2)
+        dropblocks = [m for _, m in regularised.named_modules() if isinstance(m, DropBlock2d)]
+        assert len(dropblocks) >= 2
+        x = nn.Tensor(rng.random((2, 3, 16, 16)).astype(np.float32))
+        model.eval(), regularised.eval()
+        np.testing.assert_allclose(regularised(x).numpy(), model(x).numpy(), rtol=1e-4, atol=1e-5)
+
+    def test_insert_dropblock_requires_features_backbone(self):
+        with pytest.raises(TypeError):
+            insert_dropblock(nn.Linear(4, 2))
+
+
+class TestNetAug:
+    def test_supernet_base_path_matches_base_model_at_init(self, rng):
+        model = mobilenet_v2("tiny", num_classes=4)
+        supernet = NetAugModel(model, augment_ratio=2.0)
+        x = nn.Tensor(rng.random((2, 3, 16, 16)).astype(np.float32))
+        model.eval(), supernet.eval()
+        supernet.set_augmented(False)
+        np.testing.assert_allclose(supernet(x).numpy(), model(x).numpy(), rtol=1e-4, atol=1e-4)
+
+    def test_augmented_path_differs_and_has_same_output_shape(self, rng):
+        supernet = NetAugModel(mobilenet_v2("tiny", num_classes=4), augment_ratio=2.0)
+        supernet.eval()
+        x = nn.Tensor(rng.random((2, 3, 16, 16)).astype(np.float32))
+        supernet.set_augmented(False)
+        base_out = supernet(x).numpy()
+        supernet.set_augmented(True)
+        augmented_out = supernet(x).numpy()
+        assert augmented_out.shape == base_out.shape
+        assert not np.allclose(augmented_out, base_out)
+
+    def test_netaug_loss_supervises_both_paths(self, corpus):
+        supernet = NetAugModel(mobilenet_v2("tiny", num_classes=4))
+        loss_fn = NetAugLoss(aug_weight=1.0)
+        images = nn.Tensor(corpus.train.images[:8])
+        loss, logits = loss_fn(supernet, images, corpus.train.labels[:8])
+        assert logits.shape == (8, 4)
+        solo_loss, _ = NetAugLoss(aug_weight=0.0)(supernet, images, corpus.train.labels[:8])
+        assert loss.item() > solo_loss.item()
+
+    def test_exported_model_has_original_complexity(self, corpus):
+        base = mobilenet_v2("tiny", num_classes=4)
+        exported, history = train_with_netaug(base, corpus.train, corpus.val, FAST, augment_ratio=2.0)
+        assert len(history.val_accuracy) == 1
+        original = count_complexity(base, (3, 16, 16))
+        result = count_complexity(exported, (3, 16, 16))
+        assert result.flops == original.flops
+        assert result.params == original.params
+
+    def test_block_without_expansion_rejected(self):
+        from repro.baselines.netaug import NetAugBlock
+        from repro.models import InvertedResidual
+
+        with pytest.raises(ValueError):
+            NetAugBlock(InvertedResidual(8, 8, expand_ratio=1))
+
+
+class TestKD:
+    def test_make_teacher_is_larger(self):
+        student = mobilenet_v2("tiny", num_classes=4)
+        teacher = make_teacher(student, num_classes=4)
+        assert count_complexity(teacher, (3, 16, 16)).params > count_complexity(student, (3, 16, 16)).params
+
+    def test_kd_loss_combines_hard_and_soft_terms(self, corpus):
+        student = mobilenet_v2("tiny", num_classes=4)
+        teacher = make_teacher(student, num_classes=4)
+        loss_fn = KDLoss(teacher, temperature=4.0, alpha=0.5)
+        images = nn.Tensor(corpus.train.images[:4])
+        loss, logits = loss_fn(student, images, corpus.train.labels[:4])
+        assert logits.shape == (4, 4)
+        assert loss.item() > 0
+        loss.backward()
+        assert any(p.grad is not None for p in student.parameters())
+        # The teacher is never updated through the KD loss.
+        assert all(p.grad is None for p in teacher.parameters())
+
+    def test_tf_kd_virtual_teacher_distribution(self):
+        loss_fn = TeacherFreeKDLoss(num_classes=5, correct_prob=0.8)
+        probs = loss_fn._virtual_teacher(np.array([2]))
+        assert probs[0, 2] == pytest.approx(0.8)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_rocket_launching_loss_trains_both_networks(self, corpus):
+        student = mobilenet_v2("tiny", num_classes=4)
+        booster = make_teacher(student, num_classes=4)
+        loss_fn = RocketLaunchingLoss(booster, hint_weight=0.5)
+        images = nn.Tensor(corpus.train.images[:4])
+        loss, _ = loss_fn(student, images, corpus.train.labels[:4])
+        loss.backward()
+        assert any(p.grad is not None for p in student.parameters())
+        assert any(p.grad is not None for p in booster.parameters())
+
+    def test_train_with_tf_kd_runs(self, corpus):
+        history = train_with_tf_kd(mobilenet_v2("tiny", num_classes=4), corpus.train, corpus.val, FAST)
+        assert len(history.val_accuracy) == 1
+
+    def test_train_with_kd_accepts_pretrained_teacher(self, corpus):
+        student = mobilenet_v2("tiny", num_classes=4)
+        teacher = make_teacher(student, num_classes=4)
+        history = train_with_kd(student, corpus.train, corpus.val, FAST, teacher=teacher)
+        assert len(history.val_accuracy) == 1
+
+    def test_train_with_rco_kd_distills_from_multiple_anchors(self, corpus):
+        student = mobilenet_v2("tiny", num_classes=4)
+        config = ExperimentConfig(epochs=2, batch_size=16, lr=0.02)
+        history = train_with_rco_kd(
+            student, corpus.train, corpus.val, config, num_anchors=2,
+            teacher_config=ExperimentConfig(epochs=2, batch_size=16, lr=0.02),
+        )
+        # One stage per checkpoint (anchor + final), each contributing epochs.
+        assert len(history.val_accuracy) >= 2
+
+    def test_train_with_rocket_launching_runs(self, corpus):
+        history = train_with_rocket_launching(
+            mobilenet_v2("tiny", num_classes=4), corpus.train, corpus.val, FAST
+        )
+        assert len(history.val_accuracy) == 1

@@ -1,0 +1,106 @@
+"""Unit tests for complexity counting, checkpoints, config and seeding utilities."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.eval import count_complexity, count_parameters, same_structure
+from repro.models import mobilenet_v2
+from repro.utils import ExperimentConfig, get_logger, load_checkpoint, save_checkpoint, seed_everything
+
+
+class TestComplexity:
+    def test_manual_conv_flops(self):
+        model = nn.Sequential(nn.Conv2d(3, 8, 3, padding=1, bias=False))
+        report = count_complexity(model, (3, 16, 16))
+        assert report.flops == 3 * 8 * 9 * 16 * 16
+        assert report.params == 3 * 8 * 9
+
+    def test_linear_flops_and_bias(self):
+        model = nn.Sequential(nn.Flatten(), nn.Linear(12, 5))
+        report = count_complexity(model, (3, 2, 2))
+        assert report.flops == 12 * 5 + 5
+        assert report.params == 12 * 5 + 5
+
+    def test_stride_halves_conv_flops(self):
+        dense = count_complexity(nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, bias=False)), (3, 16, 16))
+        strided = count_complexity(nn.Sequential(nn.Conv2d(3, 4, 3, stride=2, padding=1, bias=False)), (3, 16, 16))
+        assert strided.flops == dense.flops // 4
+
+    def test_per_layer_breakdown(self):
+        model = mobilenet_v2("tiny", num_classes=4)
+        report = count_complexity(model, (3, 24, 24))
+        assert len(report.per_layer) > 5
+        assert sum(flops for flops, _ in report.per_layer.values()) == report.flops
+        assert report.mflops == pytest.approx(report.flops / 1e6)
+
+    def test_count_parameters_trainable_filter(self):
+        model = nn.Linear(10, 2)
+        model.bias.requires_grad = False
+        assert count_parameters(model) == 22
+        assert count_parameters(model, trainable_only=True) == 20
+
+    def test_forward_untouched_after_counting(self):
+        model = mobilenet_v2("tiny", num_classes=4)
+        count_complexity(model, (3, 24, 24))
+        out = model(nn.Tensor(np.zeros((1, 3, 24, 24), dtype=np.float32)))
+        assert out.shape == (1, 4)
+
+    def test_same_structure_true_for_identical_architectures(self):
+        a = mobilenet_v2("tiny", num_classes=4)
+        b = mobilenet_v2("tiny", num_classes=4)
+        assert same_structure(a, b, (3, 24, 24))
+
+    def test_same_structure_false_for_different_widths(self):
+        a = mobilenet_v2("tiny", num_classes=4)
+        b = mobilenet_v2("50", num_classes=4)
+        assert not same_structure(a, b, (3, 24, 24))
+
+
+class TestCheckpoints:
+    def test_roundtrip_with_metadata(self, tmp_path):
+        model = mobilenet_v2("tiny", num_classes=4)
+        reloaded = mobilenet_v2("tiny", num_classes=4)
+        path = os.path.join(tmp_path, "ckpt.npz")
+        save_checkpoint(model, path, metadata={"epoch": 3, "accuracy": 55.5})
+        metadata = load_checkpoint(reloaded, path)
+        assert float(metadata["epoch"]) == 3
+        for (_, a), (_, b) in zip(model.named_parameters(), reloaded.named_parameters()):
+            np.testing.assert_allclose(a.numpy(), b.numpy())
+
+    def test_load_appends_npz_extension(self, tmp_path):
+        model = mobilenet_v2("tiny", num_classes=4)
+        path = os.path.join(tmp_path, "weights")
+        save_checkpoint(model, path + ".npz")
+        load_checkpoint(model, path)
+
+
+class TestConfigAndSeeding:
+    def test_config_replace_creates_copy(self):
+        config = ExperimentConfig(epochs=5, lr=0.1)
+        changed = config.replace(epochs=10)
+        assert changed.epochs == 10 and config.epochs == 5
+        assert changed.lr == 0.1
+
+    def test_config_to_dict(self):
+        data = ExperimentConfig().to_dict()
+        assert "batch_size" in data and "plt_decay_fraction" in data
+
+    def test_seed_everything_reproducible_initialisation(self):
+        seed_everything(123)
+        a = mobilenet_v2("tiny", num_classes=4)
+        seed_everything(123)
+        b = mobilenet_v2("tiny", num_classes=4)
+        np.testing.assert_allclose(a.classifier.weight.numpy(), b.classifier.weight.numpy())
+
+    def test_seed_everything_returns_generator(self):
+        rng = seed_everything(7)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_logger_single_handler(self):
+        logger_a = get_logger("repro-test")
+        logger_b = get_logger("repro-test")
+        assert logger_a is logger_b
+        assert len(logger_a.handlers) == 1

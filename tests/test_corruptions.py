@@ -1,0 +1,112 @@
+"""Unit tests for the common-corruption generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.corruptions import (
+    CORRUPTIONS,
+    available_corruptions,
+    brightness,
+    contrast,
+    corrupt,
+    gaussian_blur,
+    gaussian_noise,
+    impulse_noise,
+    pixelate,
+    shot_noise,
+)
+
+
+@pytest.fixture
+def images(rng):
+    return rng.uniform(0.0, 1.0, size=(4, 3, 16, 16)).astype(np.float32)
+
+
+class TestCorruptionContract:
+    """Properties every corruption must satisfy."""
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_preserves_shape_and_dtype(self, images, name):
+        out = corrupt(images, name, severity=3)
+        assert out.shape == images.shape
+        assert out.dtype == np.float32
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_does_not_modify_input(self, images, name):
+        before = images.copy()
+        corrupt(images, name, severity=5)
+        np.testing.assert_array_equal(images, before)
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_severity_five_changes_more_than_severity_one(self, images, name):
+        light = np.abs(corrupt(images, name, severity=1) - images).mean()
+        heavy = np.abs(corrupt(images, name, severity=5) - images).mean()
+        assert heavy >= light
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_invalid_severity_rejected(self, images, name):
+        with pytest.raises(ValueError):
+            corrupt(images, name, severity=0)
+        with pytest.raises(ValueError):
+            corrupt(images, name, severity=6)
+
+    def test_unknown_corruption_rejected(self, images):
+        with pytest.raises(KeyError):
+            corrupt(images, "motion_blur_9000")
+
+    def test_registry_and_listing_agree(self):
+        assert available_corruptions() == sorted(CORRUPTIONS)
+
+    def test_non_batch_input_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_noise(np.zeros((3, 16, 16), dtype=np.float32))
+
+
+class TestSpecificCorruptions:
+    def test_gaussian_noise_is_zero_mean(self, images):
+        delta = gaussian_noise(images, severity=3, seed=1) - images
+        assert abs(delta.mean()) < 0.02
+
+    def test_gaussian_noise_deterministic_given_seed(self, images):
+        a = gaussian_noise(images, severity=2, seed=7)
+        b = gaussian_noise(images, severity=2, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_shot_noise_scales_with_brightness(self, rng):
+        dark = np.full((2, 3, 8, 8), 0.05, dtype=np.float32)
+        bright = np.full((2, 3, 8, 8), 0.95, dtype=np.float32)
+        dark_std = shot_noise(dark, severity=4, seed=0).std()
+        bright_std = shot_noise(bright, severity=4, seed=0).std()
+        assert bright_std > dark_std
+
+    def test_impulse_noise_sets_extremes(self, images):
+        out = impulse_noise(images, severity=5, seed=0)
+        changed = out != images
+        assert changed.any()
+        extremes = np.isin(out[changed], [images.min(), images.max()])
+        assert extremes.all()
+
+    def test_blur_reduces_high_frequency_energy(self, rng):
+        noisy = rng.uniform(0, 1, size=(1, 3, 32, 32)).astype(np.float32)
+        blurred = gaussian_blur(noisy, severity=5)
+        original_variation = np.abs(np.diff(noisy, axis=-1)).mean()
+        blurred_variation = np.abs(np.diff(blurred, axis=-1)).mean()
+        assert blurred_variation < original_variation
+
+    def test_pixelate_creates_constant_blocks(self, rng):
+        image = rng.uniform(0, 1, size=(1, 1, 16, 16)).astype(np.float32)
+        out = pixelate(image, severity=4)  # factor 4
+        block = out[0, 0, :4, :4]
+        assert np.allclose(block, block[0, 0])
+
+    def test_brightness_shifts_mean(self, images):
+        out = brightness(images, severity=3)
+        assert out.mean() == pytest.approx(images.mean() + 0.3, abs=1e-5)
+
+    def test_contrast_compresses_range(self, images):
+        out = contrast(images, severity=5)
+        assert out.std() < images.std()
+        # Per-image mean is preserved.
+        np.testing.assert_allclose(
+            out.mean(axis=(1, 2, 3)), images.mean(axis=(1, 2, 3)), atol=1e-4
+        )

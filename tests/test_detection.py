@@ -1,0 +1,140 @@
+"""Unit tests for the detection stack: detector model, losses, AP50, trainer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import SyntheticVOC
+from repro.models import DetectionLoss, TinyDetector, decode_predictions, mobilenet_v2
+from repro.models.detector import build_targets
+from repro.train import DetectionTrainer, box_iou, evaluate_ap50, mean_ap50
+from repro.train.metrics import average_precision
+from repro.utils import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def voc():
+    return SyntheticVOC(num_classes=3, num_train=12, num_val=6, resolution=32, object_size=12)
+
+
+@pytest.fixture()
+def detector():
+    backbone = mobilenet_v2("tiny", num_classes=4)
+    return TinyDetector(backbone, num_classes=3, image_size=32)
+
+
+class TestBoxIoU:
+    def test_identical_boxes(self):
+        box = np.array([[0, 0, 10, 10]])
+        assert box_iou(box, box)[0, 0] == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        a = np.array([[0, 0, 10, 10]])
+        b = np.array([[20, 20, 30, 30]])
+        assert box_iou(a, b)[0, 0] == 0.0
+
+    def test_half_overlap(self):
+        a = np.array([[0, 0, 10, 10]])
+        b = np.array([[5, 0, 15, 10]])
+        assert box_iou(a, b)[0, 0] == pytest.approx(1 / 3, rel=1e-6)
+
+    def test_empty_inputs(self):
+        assert box_iou(np.zeros((0, 4)), np.array([[0, 0, 1, 1]])).shape == (0, 1)
+
+
+class TestAP:
+    def test_average_precision_perfect(self):
+        assert average_precision(np.array([0.5, 1.0]), np.array([1.0, 1.0])) == pytest.approx(1.0)
+
+    def test_mean_ap50_perfect_detection(self):
+        gt = [{"boxes": np.array([[0, 0, 10, 10]]), "labels": np.array([0])}]
+        det = [{"boxes": np.array([[1, 1, 10, 10]]), "scores": np.array([0.9]), "labels": np.array([0])}]
+        assert mean_ap50(det, gt, num_classes=1) == pytest.approx(100.0)
+
+    def test_mean_ap50_wrong_class_is_zero(self):
+        gt = [{"boxes": np.array([[0, 0, 10, 10]]), "labels": np.array([0])}]
+        det = [{"boxes": np.array([[0, 0, 10, 10]]), "scores": np.array([0.9]), "labels": np.array([1])}]
+        assert mean_ap50(det, gt, num_classes=2) == 0.0
+
+    def test_mean_ap50_high_scoring_false_positive_penalised(self):
+        gt = [{"boxes": np.array([[0, 0, 10, 10]]), "labels": np.array([0])}]
+        det = [{
+            # The higher-scoring detection misses the object entirely, so the
+            # precision at full recall (and hence AP) drops below 100.
+            "boxes": np.array([[50, 50, 60, 60], [0, 0, 10, 10]]),
+            "scores": np.array([0.9, 0.8]),
+            "labels": np.array([0, 0]),
+        }]
+        assert 0.0 < mean_ap50(det, gt, num_classes=1) < 100.0
+
+
+class TestTargetsAndLoss:
+    def test_build_targets_assigns_centre_cell(self):
+        boxes = np.array([[0.0, 0.0, 16.0, 16.0]])
+        labels = np.array([2])
+        obj, box_t, cls_t, mask = build_targets(boxes, labels, grid=4, image_size=32, num_classes=3)
+        assert obj.sum() == 1
+        row, col = np.argwhere(obj == 1)[0]
+        assert (row, col) == (1, 1)
+        assert cls_t[row, col] == 2
+        np.testing.assert_allclose(box_t[row, col], [0.0, 0.0, 0.5, 0.5])
+
+    def test_detection_loss_positive_and_differentiable(self, detector, voc):
+        grid = detector.grid_size(32)
+        sample = voc.train[0]
+        obj, box_t, cls_t, _ = build_targets(sample.boxes, sample.labels, grid, 32, 3)
+        predictions = detector(nn.Tensor(sample.image[None]))
+        loss = DetectionLoss()(predictions, obj[None], box_t[None], cls_t[None])
+        assert loss.item() > 0
+        loss.backward()
+        assert any(p.grad is not None for p in detector.parameters())
+
+    def test_detection_loss_without_objects_is_objectness_only(self, detector):
+        grid = detector.grid_size(32)
+        predictions = detector(nn.Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32)))
+        loss = DetectionLoss()(
+            predictions,
+            np.zeros((1, grid, grid), dtype=np.float32),
+            np.zeros((1, grid, grid, 4), dtype=np.float32),
+            np.zeros((1, grid, grid), dtype=np.int64),
+        )
+        assert loss.item() > 0
+
+
+class TestDetectorModel:
+    def test_output_shape(self, detector):
+        out = detector(nn.Tensor(np.zeros((2, 3, 32, 32), dtype=np.float32)))
+        assert out.shape[0] == 2
+        assert out.shape[1] == 5 + 3
+
+    def test_decode_predictions_structure(self, detector):
+        detector.eval()
+        with nn.no_grad():
+            preds = detector(nn.Tensor(np.random.rand(2, 3, 32, 32).astype(np.float32))).numpy()
+        decoded = decode_predictions(preds, image_size=32, score_threshold=0.0)
+        assert len(decoded) == 2
+        for det in decoded:
+            assert set(det) == {"boxes", "scores", "labels"}
+            assert det["boxes"].shape[1] == 4 if len(det["boxes"]) else True
+
+    def test_decode_respects_threshold(self, detector):
+        detector.eval()
+        with nn.no_grad():
+            preds = detector(nn.Tensor(np.random.rand(1, 3, 32, 32).astype(np.float32))).numpy()
+        none = decode_predictions(preds, image_size=32, score_threshold=1.1)
+        assert len(none[0]["boxes"]) == 0
+
+
+class TestDetectionTrainer:
+    def test_short_training_runs_and_evaluates(self, voc):
+        backbone = mobilenet_v2("tiny", num_classes=4)
+        detector = TinyDetector(backbone, num_classes=3, image_size=32)
+        trainer = DetectionTrainer(detector, ExperimentConfig(epochs=1, batch_size=8, lr=0.01))
+        history = trainer.fit(voc.train, voc.val)
+        assert len(history["train_loss"]) == 1
+        assert len(history["val_ap50"]) == 1
+        assert 0.0 <= history["val_ap50"][0] <= 100.0
+
+    def test_evaluate_ap50_range(self, voc, detector):
+        score = evaluate_ap50(detector, voc.val)
+        assert 0.0 <= score <= 100.0

@@ -1,0 +1,51 @@
+"""Smoke tests for the example scripts.
+
+The examples are full training runs and far too slow for the unit-test suite,
+but they must at least stay importable and expose a well-formed command-line
+interface; regressions here are what a new user hits first.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(path.stem for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert {
+            "quickstart",
+            "downstream_transfer",
+            "detection_transfer",
+            "ablation_expansion",
+            "plt_schedule_ablation",
+            "compress_after_netbooster",
+            "robustness_and_augmentation",
+            "mcu_deployment_report",
+        } <= set(EXAMPLE_FILES)
+
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_importable_and_has_main(self, name):
+        module = _load(name)
+        assert callable(getattr(module, "main", None)), f"{name}.py must define main()"
+        assert module.__doc__, f"{name}.py must have a module docstring"
+
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_help_exits_cleanly(self, name, monkeypatch, capsys):
+        module = _load(name)
+        monkeypatch.setattr(sys, "argv", [f"{name}.py", "--help"])
+        with pytest.raises(SystemExit) as excinfo:
+            module.main()
+        assert excinfo.value.code == 0
+        assert "usage" in capsys.readouterr().out.lower()

@@ -1,0 +1,187 @@
+"""Unit tests for NetBooster Step 1: Network Expansion."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    EXPANDED_BLOCK_TYPES,
+    ExpandedBasicBlock,
+    ExpandedBottleneck,
+    ExpandedInvertedResidual,
+    ExpansionConfig,
+    expand_network,
+    find_expandable_convs,
+    select_expansion_sites,
+)
+from repro.eval import count_complexity, count_parameters
+from repro.models import mobilenet_v2
+
+
+class TestExpansionConfig:
+    def test_defaults_follow_paper(self):
+        config = ExpansionConfig()
+        assert config.block_type == "inverted_residual"
+        assert config.expansion_ratio == 6
+        assert config.fraction == 0.5
+        assert config.placement == "uniform"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"block_type": "transformer"},
+            {"expansion_ratio": 0},
+            {"fraction": 0.0},
+            {"fraction": 1.5},
+            {"placement": "everywhere"},
+            {"activation": "gelu"},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExpansionConfig(**kwargs)
+
+
+class TestSiteSelection:
+    def test_fraction_half(self):
+        config = ExpansionConfig(fraction=0.5)
+        sites = select_expansion_sites(8, config)
+        assert len(sites) == 4
+
+    def test_explicit_count_overrides_fraction(self):
+        config = ExpansionConfig(fraction=0.5, num_expanded=3)
+        assert len(select_expansion_sites(10, config)) == 3
+
+    def test_placements(self):
+        n = 10
+        first = select_expansion_sites(n, ExpansionConfig(placement="first", num_expanded=4))
+        last = select_expansion_sites(n, ExpansionConfig(placement="last", num_expanded=4))
+        middle = select_expansion_sites(n, ExpansionConfig(placement="middle", num_expanded=4))
+        uniform = select_expansion_sites(n, ExpansionConfig(placement="uniform", num_expanded=4))
+        assert first == [0, 1, 2, 3]
+        assert last == [6, 7, 8, 9]
+        assert middle == [3, 4, 5, 6]
+        assert uniform[0] == 0 and uniform[-1] == n - 1  # spans the whole depth
+
+    def test_uniform_sites_are_spread(self):
+        sites = select_expansion_sites(9, ExpansionConfig(num_expanded=3))
+        assert sites == [0, 4, 8]
+
+    def test_count_clamped_to_candidates(self):
+        assert len(select_expansion_sites(2, ExpansionConfig(num_expanded=5))) == 2
+
+    def test_empty_candidates(self):
+        assert select_expansion_sites(0, ExpansionConfig()) == []
+
+
+class TestFindExpandableConvs:
+    def test_mobilenet_candidates_are_first_pointwise_convs(self):
+        model = mobilenet_v2("35", num_classes=4)
+        candidates = find_expandable_convs(model)
+        assert len(candidates) == 7  # one per inverted residual block
+        # Blocks with an expansion conv expose it; expand-ratio-1 blocks expose the projection.
+        assert any(path.endswith("expand.conv") for path in candidates)
+        assert any(path.endswith("project.conv") for path in candidates)
+        for path in candidates:
+            conv = model.get_submodule(path)
+            assert isinstance(conv, nn.Conv2d)
+            assert conv.kernel_size == 1
+
+    def test_plain_model_falls_back_to_pointwise_convs(self):
+        model = nn.Sequential(
+            nn.Conv2d(3, 8, 3, padding=1),
+            nn.Conv2d(8, 16, 1),
+            nn.Conv2d(16, 16, 1),
+        )
+        candidates = find_expandable_convs(model)
+        assert candidates == ["1", "2"]
+
+
+class TestExpandedBlocks:
+    @pytest.mark.parametrize("block_cls", list(EXPANDED_BLOCK_TYPES.values()))
+    def test_forward_shape_and_receptive_field(self, block_cls):
+        block = block_cls(8, 12, stride=1, expansion_ratio=4)
+        x = nn.Tensor(np.random.rand(2, 8, 6, 6).astype(np.float32))
+        out = block(x)
+        assert out.shape == (2, 12, 6, 6)
+        # All internal kernels are 1x1, so the receptive field matches a pointwise conv.
+        for conv, _ in block.linear_chain():
+            assert conv.kernel_size == 1
+
+    @pytest.mark.parametrize("block_cls", list(EXPANDED_BLOCK_TYPES.values()))
+    def test_residual_only_when_shapes_match(self, block_cls):
+        assert block_cls(8, 8, stride=1).use_residual
+        assert not block_cls(8, 12, stride=1).use_residual
+
+    def test_decayable_activations_collected(self):
+        block = ExpandedInvertedResidual(4, 4)
+        assert len(block.decayable_activations()) == 2
+        assert not block.is_linear
+        for act in block.decayable_activations():
+            act.set_alpha(1.0)
+        assert block.is_linear
+
+    def test_relu6_activation_option(self):
+        block = ExpandedInvertedResidual(4, 4, activation="relu6")
+        assert all(isinstance(act, nn.DecayableReLU6) for act in block.decayable_activations())
+
+    def test_bottleneck_has_three_stages(self):
+        assert len(ExpandedBottleneck(4, 6).linear_chain()) == 3
+        assert len(ExpandedBasicBlock(4, 6).linear_chain()) == 2
+        assert len(ExpandedInvertedResidual(4, 6).linear_chain()) == 3
+
+
+class TestExpandNetwork:
+    def test_expansion_increases_capacity_but_not_output_shape(self):
+        model = mobilenet_v2("tiny", num_classes=8)
+        giant, records = expand_network(model, ExpansionConfig(fraction=0.5))
+        assert len(records) == 4  # 50% of 7 candidates, rounded
+        assert count_parameters(giant) > count_parameters(model)
+        x = nn.Tensor(np.random.rand(2, 3, 24, 24).astype(np.float32))
+        model.eval(), giant.eval()
+        assert giant(x).shape == model(x).shape
+
+    def test_original_model_untouched(self):
+        model = mobilenet_v2("tiny", num_classes=8)
+        params_before = count_parameters(model)
+        expand_network(model, ExpansionConfig(fraction=1.0))
+        assert count_parameters(model) == params_before
+
+    def test_inplace_expansion(self):
+        model = mobilenet_v2("tiny", num_classes=8)
+        giant, _ = expand_network(model, ExpansionConfig(fraction=0.5), inplace=True)
+        assert giant is model
+
+    def test_records_describe_replaced_convs(self):
+        model = mobilenet_v2("tiny", num_classes=8)
+        reference = mobilenet_v2("tiny", num_classes=8)
+        giant, records = expand_network(model, ExpansionConfig(fraction=0.5))
+        for record in records:
+            original_conv = reference.get_submodule(record.path)
+            assert record.in_channels == original_conv.in_channels
+            assert record.out_channels == original_conv.out_channels
+            replacement = giant.get_submodule(record.path)
+            assert isinstance(replacement, EXPANDED_BLOCK_TYPES[record.block_type])
+
+    def test_expansion_ratio_changes_giant_size_only(self):
+        model = mobilenet_v2("tiny", num_classes=8)
+        small, _ = expand_network(model, ExpansionConfig(expansion_ratio=2))
+        large, _ = expand_network(model, ExpansionConfig(expansion_ratio=8))
+        assert count_parameters(large) > count_parameters(small)
+
+    def test_block_type_variants_all_expand(self):
+        model = mobilenet_v2("tiny", num_classes=8)
+        for block_type in EXPANDED_BLOCK_TYPES:
+            giant, records = expand_network(model, ExpansionConfig(block_type=block_type, fraction=0.5))
+            assert len(records) == 4
+            x = nn.Tensor(np.random.rand(1, 3, 24, 24).astype(np.float32))
+            giant.eval()
+            assert giant(x).shape == (1, 8)
+
+    def test_flops_increase_reported_by_complexity_counter(self):
+        model = mobilenet_v2("tiny", num_classes=8)
+        giant, _ = expand_network(model, ExpansionConfig(fraction=0.5))
+        assert (
+            count_complexity(giant, (3, 24, 24)).flops
+            > count_complexity(model, (3, 24, 24)).flops
+        )

@@ -1,0 +1,68 @@
+"""Unit tests for the programmatic experiment registry and its CLI."""
+
+import pytest
+
+from repro.experiments import ExperimentScale, available_experiments, run_experiment
+from repro.experiments.__main__ import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return ExperimentScale.tiny()
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        names = available_experiments()
+        assert {"table1", "table2", "table3", "table4", "table5", "table6", "fig1a", "cost"} <= set(names)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_cost_experiment_is_analytic_and_ordered(self, tiny_scale):
+        rows = run_experiment("cost", tiny_scale)
+        assert len(rows) == 4
+        assert all(row.unit == "MFLOPs" for row in rows)
+        measured = {row.setting: row.measured_value for row in rows}
+        assert measured["mobilenetv2-tiny"] < measured["mobilenetv2-100"]
+
+    def test_table1_returns_all_methods(self, tiny_scale):
+        rows = run_experiment("table1", tiny_scale)
+        settings = [row.setting for row in rows]
+        assert settings == ["Vanilla", "NetAug", "NetBooster"]
+        assert all(0.0 <= row.measured_value <= 100.0 for row in rows)
+        assert all(row.paper_value is not None for row in rows)
+
+    def test_table6_sweeps_all_ratios(self, tiny_scale):
+        rows = run_experiment("table6", tiny_scale)
+        assert [row.setting for row in rows] == ["ratio=2", "ratio=4", "ratio=6", "ratio=8"]
+
+    def test_row_string_contains_paper_and_measured(self, tiny_scale):
+        row = run_experiment("cost", tiny_scale)[0]
+        text = str(row)
+        assert "paper=" in text and "measured=" in text
+
+    def test_scale_helpers_build_consistent_configs(self, tiny_scale):
+        corpus = tiny_scale.corpus()
+        assert corpus.train.num_classes == tiny_scale.num_classes
+        assert tiny_scale.pretrain_config().epochs == tiny_scale.pretrain_epochs
+        assert tiny_scale.pretrain_config(3).epochs == tiny_scale.pretrain_epochs + 3
+        assert tiny_scale.finetune_config().lr == pytest.approx(tiny_scale.finetune_lr)
+
+
+class TestCli:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "cost" in out
+
+    def test_default_runs_cost_experiment(self, capsys):
+        assert main(["--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "cost" in out and "measured=" in out
+
+    def test_parser_accepts_overrides(self):
+        args = build_parser().parse_args(["table1", "--tiny", "--classes", "3", "--epochs", "1"])
+        assert args.experiments == ["table1"]
+        assert args.tiny and args.classes == 3 and args.epochs == 1

@@ -1,0 +1,118 @@
+"""Unit tests for MixUp / CutMix batch augmentation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ClassificationDataset, MixingLoss, cutmix, mixup
+from repro.train import Trainer
+from repro.utils import ExperimentConfig
+
+
+@pytest.fixture
+def batch(rng):
+    images = rng.uniform(0, 1, size=(8, 3, 12, 12)).astype(np.float32)
+    labels = np.arange(8) % 4
+    return images, labels
+
+
+class TestMixup:
+    def test_targets_are_distributions(self, batch, rng):
+        images, labels = batch
+        mixed, targets = mixup(images, labels, num_classes=4, alpha=0.4, rng=rng)
+        assert mixed.shape == images.shape
+        assert targets.shape == (8, 4)
+        np.testing.assert_allclose(targets.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_mixed_images_stay_in_convex_hull(self, batch, rng):
+        images, labels = batch
+        mixed, _ = mixup(images, labels, num_classes=4, alpha=1.0, rng=rng)
+        assert mixed.min() >= images.min() - 1e-6
+        assert mixed.max() <= images.max() + 1e-6
+
+    def test_alpha_zero_returns_original(self, batch, rng):
+        images, labels = batch
+        mixed, targets = mixup(images, labels, num_classes=4, alpha=0.0, rng=rng)
+        np.testing.assert_allclose(mixed, images, atol=1e-6)
+        assert set(np.unique(targets)) <= {0.0, 1.0}
+
+    def test_does_not_modify_input(self, batch, rng):
+        images, labels = batch
+        before = images.copy()
+        mixup(images, labels, num_classes=4, alpha=1.0, rng=rng)
+        np.testing.assert_array_equal(images, before)
+
+
+class TestCutmix:
+    def test_targets_match_pasted_area(self, batch, rng):
+        images, labels = batch
+        mixed, targets = cutmix(images, labels, num_classes=4, alpha=1.0, rng=rng)
+        assert mixed.shape == images.shape
+        np.testing.assert_allclose(targets.sum(axis=1), 1.0, atol=1e-5)
+        # The weight of the original label equals the un-pasted pixel fraction.
+        changed = ~np.isclose(mixed, images)
+        pasted_fraction = changed.any(axis=1).mean(axis=(1, 2))
+        original_weight = targets[np.arange(8), labels]
+        # Identical partner pixels may not register as "changed"; weights can
+        # therefore only over-estimate the surviving area.
+        assert np.all(original_weight >= 1.0 - pasted_fraction - 0.35)
+
+    def test_pastes_a_rectangle(self, rng):
+        images = np.zeros((2, 1, 16, 16), dtype=np.float32)
+        images[1] = 1.0
+        mixed, _ = cutmix(images, np.array([0, 1]), num_classes=2, alpha=1.0, rng=rng)
+        changed = mixed[0, 0] != 0.0
+        if changed.any():
+            rows = np.where(changed.any(axis=1))[0]
+            cols = np.where(changed.any(axis=0))[0]
+            block = changed[rows[0] : rows[-1] + 1, cols[0] : cols[-1] + 1]
+            assert block.all()
+
+    def test_does_not_modify_input(self, batch, rng):
+        images, labels = batch
+        before = images.copy()
+        cutmix(images, labels, num_classes=4, alpha=1.0, rng=rng)
+        np.testing.assert_array_equal(images, before)
+
+
+class TestMixingLoss:
+    def _model(self):
+        return nn.Sequential(
+            nn.Conv2d(3, 4, 3, stride=2, padding=1),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Flatten(),
+            nn.Linear(4, 4),
+        )
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            MixingLoss(num_classes=4, method="cutout")
+        with pytest.raises(ValueError):
+            MixingLoss(num_classes=4, probability=1.5)
+
+    @pytest.mark.parametrize("method", ["mixup", "cutmix"])
+    def test_returns_scalar_loss_and_logits(self, batch, method):
+        images, labels = batch
+        loss_computer = MixingLoss(num_classes=4, method=method, alpha=1.0)
+        loss, logits = loss_computer(self._model(), nn.Tensor(images), labels)
+        assert loss.size == 1
+        assert logits.shape == (8, 4)
+
+    def test_probability_zero_falls_back_to_cross_entropy(self, batch):
+        images, labels = batch
+        loss_computer = MixingLoss(num_classes=4, probability=0.0)
+        loss, _ = loss_computer(self._model(), nn.Tensor(images), labels)
+        assert np.isfinite(loss.item())
+
+    def test_trainer_integration(self, batch):
+        images, labels = batch
+        dataset = ClassificationDataset(images, labels, 4)
+        trainer = Trainer(
+            self._model(),
+            ExperimentConfig(epochs=1, batch_size=4, lr=0.05),
+            loss_computer=MixingLoss(num_classes=4, method="mixup", alpha=0.4),
+        )
+        history = trainer.fit(dataset, dataset)
+        assert len(history.train_loss) == 1
+        assert np.isfinite(history.train_loss[0])

@@ -1,0 +1,142 @@
+"""Unit tests for the model zoo: blocks, MobileNetV2 family, MCUNet, registry."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.eval import count_complexity
+from repro.models import (
+    BasicBlock,
+    Bottleneck,
+    ConvBNAct,
+    InvertedResidual,
+    MCUNet,
+    MobileNetV2,
+    available_models,
+    create_model,
+    make_divisible,
+    mobilenet_v2,
+)
+
+
+def _input(batch=2, size=24):
+    return nn.Tensor(np.random.rand(batch, 3, size, size).astype(np.float32))
+
+
+class TestMakeDivisible:
+    def test_rounds_to_divisor(self):
+        assert make_divisible(10, 4) == 12
+        assert make_divisible(8, 4) == 8
+
+    def test_never_drops_below_90_percent(self):
+        value = make_divisible(15, 8)
+        assert value >= 0.9 * 15
+
+    def test_minimum_value(self):
+        assert make_divisible(1, 4) == 4
+
+
+class TestBlocks:
+    def test_conv_bn_act_shapes(self):
+        block = ConvBNAct(3, 8, kernel_size=3, stride=2)
+        out = block(_input())
+        assert out.shape == (2, 8, 12, 12)
+
+    def test_conv_bn_act_unknown_activation(self):
+        with pytest.raises(ValueError):
+            ConvBNAct(3, 8, activation="gelu")
+
+    def test_inverted_residual_with_and_without_skip(self):
+        with_skip = InvertedResidual(8, 8, stride=1, expand_ratio=4)
+        without_skip = InvertedResidual(8, 16, stride=2, expand_ratio=4)
+        assert with_skip.use_residual
+        assert not without_skip.use_residual
+        x = nn.Tensor(np.random.rand(2, 8, 8, 8).astype(np.float32))
+        assert with_skip(x).shape == (2, 8, 8, 8)
+        assert without_skip(x).shape == (2, 16, 4, 4)
+
+    def test_inverted_residual_expand_ratio_one_has_no_expand_conv(self):
+        block = InvertedResidual(8, 8, expand_ratio=1)
+        assert isinstance(block.expand, nn.Identity)
+
+    def test_inverted_residual_invalid_stride(self):
+        with pytest.raises(ValueError):
+            InvertedResidual(8, 8, stride=3)
+
+    def test_basic_and_bottleneck_blocks(self):
+        x = nn.Tensor(np.random.rand(2, 8, 8, 8).astype(np.float32))
+        assert BasicBlock(8, 8)(x).shape == (2, 8, 8, 8)
+        assert Bottleneck(8, 8)(x).shape == (2, 8, 8, 8)
+        assert BasicBlock(8, 16, stride=2)(x).shape == (2, 16, 4, 4)
+        assert Bottleneck(8, 16, stride=2)(x).shape == (2, 16, 4, 4)
+
+
+class TestMobileNetV2:
+    def test_forward_shape(self):
+        model = mobilenet_v2("tiny", num_classes=10)
+        assert model(_input()).shape == (2, 10)
+
+    def test_all_variants_build_and_order_by_capacity(self):
+        sizes = {}
+        for variant in ("tiny", "35", "50", "100"):
+            model = mobilenet_v2(variant, num_classes=8)
+            sizes[variant] = count_complexity(model, (3, 24, 24)).params
+        assert sizes["tiny"] < sizes["35"] < sizes["50"] < sizes["100"]
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            mobilenet_v2("9000")
+
+    def test_reset_classifier(self):
+        model = mobilenet_v2("tiny", num_classes=10)
+        model.reset_classifier(3)
+        assert model(_input()).shape == (2, 3)
+
+    def test_forward_features_spatial_map(self):
+        model = mobilenet_v2("tiny", num_classes=10)
+        features = model.forward_features(_input())
+        assert features.ndim == 4
+        assert features.shape[1] == model.feature_channels
+
+    def test_inverted_residual_blocks_listed_in_order(self):
+        model = mobilenet_v2("35", num_classes=4)
+        blocks = model.inverted_residual_blocks()
+        assert len(blocks) == 7
+        names = [name for name, _ in blocks]
+        assert names == sorted(names, key=lambda n: int(n.split(".")[1]))
+
+    def test_dropout_variant(self):
+        model = MobileNetV2(num_classes=4, width_mult=0.5, dropout=0.5)
+        model.train()
+        assert model(_input()).shape == (2, 4)
+
+
+class TestMCUNet:
+    def test_forward_and_mixed_kernels(self):
+        model = MCUNet(num_classes=6)
+        assert model(_input()).shape == (2, 6)
+        kernel_sizes = {
+            module.depthwise.conv.kernel_size
+            for _, module in model.named_modules()
+            if isinstance(module, InvertedResidual)
+        }
+        assert {3, 5, 7} <= kernel_sizes
+
+    def test_reset_classifier(self):
+        model = MCUNet(num_classes=6)
+        model.reset_classifier(2)
+        assert model(_input()).shape == (2, 2)
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert "mobilenetv2-tiny" in available_models()
+        assert "mcunet" in available_models()
+
+    def test_create_model_case_insensitive(self):
+        model = create_model("MobileNetV2-Tiny", num_classes=5)
+        assert model(_input()).shape == (2, 5)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            create_model("resnet152")

@@ -1,0 +1,137 @@
+"""Unit tests for the Module system: registration, traversal, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class Small(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.conv = nn.Conv2d(3, 4, 3, padding=1)
+        self.bn = nn.BatchNorm2d(4)
+        self.head = nn.Sequential(nn.Flatten(), nn.Linear(4 * 8 * 8, 2))
+
+    def forward(self, x):
+        return self.head(self.bn(self.conv(x)))
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self):
+        model = Small()
+        names = [name for name, _ in model.named_parameters()]
+        assert "conv.weight" in names
+        assert "head.1.weight" in names
+        assert len(model.parameters()) == 6
+
+    def test_num_parameters(self):
+        model = nn.Linear(10, 5)
+        assert model.num_parameters() == 55
+
+    def test_buffers_discovered(self):
+        model = Small()
+        buffer_names = [name for name, _ in model.named_buffers()]
+        assert "bn.running_mean" in buffer_names
+
+    def test_reassigning_attribute_updates_registry(self):
+        model = Small()
+        model.conv = nn.Conv2d(3, 8, 1)
+        assert model._modules["conv"].out_channels == 8
+
+    def test_named_modules_paths(self):
+        model = Small()
+        paths = dict(model.named_modules())
+        assert "head.1" in paths
+        assert isinstance(paths["head.1"], nn.Linear)
+
+
+class TestSubmoduleAccess:
+    def test_get_submodule(self):
+        model = Small()
+        assert isinstance(model.get_submodule("head.1"), nn.Linear)
+        assert model.get_submodule("") is model
+
+    def test_get_submodule_missing_raises(self):
+        with pytest.raises(KeyError):
+            Small().get_submodule("nope.conv")
+
+    def test_set_submodule_replaces_and_reregisters(self):
+        model = Small()
+        model.set_submodule("head.1", nn.Linear(4 * 8 * 8, 3))
+        out = model(nn.Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (1, 3)
+
+    def test_set_submodule_root_raises(self):
+        with pytest.raises(ValueError):
+            Small().set_submodule("", nn.Identity())
+
+
+class TestTrainEvalAndGrad:
+    def test_train_eval_propagates(self):
+        model = Small()
+        model.eval()
+        assert not model.bn.training
+        model.train()
+        assert model.bn.training
+
+    def test_zero_grad_clears_all(self):
+        model = Small()
+        out = model(nn.Tensor(np.random.rand(2, 3, 8, 8).astype(np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_requires_grad_toggle(self):
+        model = Small()
+        model.requires_grad_(False)
+        assert all(not p.requires_grad for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model_a = Small()
+        model_b = Small()
+        model_b.load_state_dict(model_a.state_dict())
+        for (name_a, param_a), (_, param_b) in zip(model_a.named_parameters(), model_b.named_parameters()):
+            np.testing.assert_allclose(param_a.numpy(), param_b.numpy(), err_msg=name_a)
+
+    def test_shape_mismatch_raises(self):
+        model = Small()
+        state = model.state_dict()
+        state["conv.weight"] = np.zeros((1, 1, 1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_strict_missing_keys_raise(self):
+        model = Small()
+        state = model.state_dict()
+        state.pop("conv.weight")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+        model.load_state_dict(state, strict=False)  # non-strict is fine
+
+
+class TestContainers:
+    def test_sequential_indexing_and_append(self):
+        seq = nn.Sequential(nn.ReLU(), nn.ReLU6())
+        assert len(seq) == 2
+        assert isinstance(seq[1], nn.ReLU6)
+        seq.append(nn.Identity())
+        assert len(seq) == 3
+
+    def test_module_list(self):
+        modules = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(modules) == 2
+        assert len(list(modules)) == 2
+        assert len([p for m in modules for p in m.parameters()]) == 4
+        with pytest.raises(RuntimeError):
+            modules(nn.Tensor(np.zeros((1, 2))))
+
+    def test_identity_passthrough(self):
+        x = nn.Tensor(np.ones((2, 2)))
+        assert nn.Identity()(x) is x
+
+    def test_repr_contains_children(self):
+        assert "conv" in repr(Small())

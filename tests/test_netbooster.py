@@ -1,0 +1,109 @@
+"""Integration-style tests for the NetBooster facade (expand → train → PLT → contract)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import ExpansionConfig, NetBooster, NetBoosterConfig
+from repro.data import SyntheticImageNet, downstream_dataset
+from repro.eval import count_complexity
+from repro.models import mobilenet_v2
+from repro.train import evaluate
+from repro.utils import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return SyntheticImageNet(
+        num_classes=4, samples_per_class=12, val_samples_per_class=4, resolution=16
+    )
+
+
+def _fast_config(**overrides):
+    defaults = dict(
+        expansion=ExpansionConfig(fraction=0.5),
+        pretrain=ExperimentConfig(epochs=2, batch_size=16, lr=0.05),
+        finetune=ExperimentConfig(epochs=2, batch_size=16, lr=0.02),
+        plt_decay_fraction=0.5,
+    )
+    defaults.update(overrides)
+    return NetBoosterConfig(**defaults)
+
+
+class TestNetBoosterSteps:
+    def test_build_giant_leaves_original_untouched(self):
+        booster = NetBooster(_fast_config())
+        model = mobilenet_v2("tiny", num_classes=4)
+        before = count_complexity(model, (3, 16, 16)).params
+        giant, records = booster.build_giant(model)
+        assert count_complexity(model, (3, 16, 16)).params == before
+        assert count_complexity(giant, (3, 16, 16)).params > before
+        assert records
+
+    def test_plt_finetune_linearises_all_activations(self, tiny_corpus):
+        booster = NetBooster(_fast_config())
+        giant, records = booster.build_giant(mobilenet_v2("tiny", num_classes=4))
+        history, schedule = booster.plt_finetune(giant, tiny_corpus.train, tiny_corpus.val)
+        assert schedule.finished
+        assert all(act.is_linear for act in schedule.activations)
+        assert len(history.val_accuracy) == 2
+
+    def test_plt_finetune_can_switch_label_space(self, tiny_corpus):
+        booster = NetBooster(_fast_config())
+        giant, records = booster.build_giant(mobilenet_v2("tiny", num_classes=4))
+        booster.pretrain_giant(giant, tiny_corpus.train)
+        target_train, target_val = downstream_dataset("pets", resolution=16)
+        booster.plt_finetune(giant, target_train, target_val, new_num_classes=target_train.num_classes)
+        contracted = booster.contract(giant, records)
+        logits = contracted(nn.Tensor(target_val.images[:2]))
+        assert logits.shape == (2, target_train.num_classes)
+
+    def test_contract_restores_original_structure(self, tiny_corpus):
+        booster = NetBooster(_fast_config())
+        model = mobilenet_v2("tiny", num_classes=4)
+        giant, records = booster.build_giant(model)
+        booster.plt_finetune(giant, tiny_corpus.train, None)
+        contracted = booster.contract(giant, records)
+        original = count_complexity(model, (3, 16, 16))
+        restored = count_complexity(contracted, (3, 16, 16))
+        assert restored.flops == original.flops
+        assert restored.params == original.params
+
+
+class TestNetBoosterFullRun:
+    def test_run_returns_consistent_result(self, tiny_corpus):
+        booster = NetBooster(_fast_config())
+        result = booster.run(
+            mobilenet_v2("tiny", num_classes=4), tiny_corpus.train, tiny_corpus.val
+        )
+        # Contraction is exact, so the contracted model matches the giant's accuracy.
+        assert result.final_accuracy == pytest.approx(result.giant_accuracy, abs=1e-6)
+        assert len(result.pretrain_history.train_loss) == 2
+        assert len(result.finetune_history.train_loss) == 2
+        assert result.records
+        # Histories record finite losses.
+        assert np.isfinite(result.pretrain_history.train_loss).all()
+
+    def test_run_with_downstream_target(self, tiny_corpus):
+        booster = NetBooster(_fast_config())
+        target_train, target_val = downstream_dataset("pets", resolution=16)
+        result = booster.run(
+            mobilenet_v2("tiny", num_classes=4),
+            tiny_corpus.train,
+            tiny_corpus.val,
+            target_train=target_train,
+            target_val=target_val,
+            target_num_classes=target_train.num_classes,
+        )
+        accuracy = evaluate(result.model, target_val)
+        assert accuracy == pytest.approx(result.final_accuracy, abs=1e-6)
+
+    def test_contracted_model_is_trainable_further(self, tiny_corpus):
+        """The contracted TNN is a plain model and supports further finetuning."""
+        from repro.train import Trainer
+
+        booster = NetBooster(_fast_config())
+        result = booster.run(mobilenet_v2("tiny", num_classes=4), tiny_corpus.train, tiny_corpus.val)
+        trainer = Trainer(result.model, ExperimentConfig(epochs=1, batch_size=16, lr=0.01))
+        history = trainer.fit(tiny_corpus.train, tiny_corpus.val)
+        assert len(history.val_accuracy) == 1

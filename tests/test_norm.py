@@ -1,0 +1,114 @@
+"""Unit tests for the extra normalisation layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.norm import FrozenBatchNorm2d, GroupNorm, InstanceNorm2d, LayerNorm
+
+from conftest import make_tensor
+
+
+class TestGroupNorm:
+    def test_output_is_normalised_per_group(self):
+        norm = GroupNorm(num_groups=2, num_channels=4, affine=False)
+        x = make_tensor((3, 4, 5, 5))
+        out = norm(x).numpy()
+        grouped = out.reshape(3, 2, 2, 5, 5)
+        means = grouped.mean(axis=(2, 3, 4))
+        variances = grouped.var(axis=(2, 3, 4))
+        np.testing.assert_allclose(means, 0.0, atol=1e-4)
+        np.testing.assert_allclose(variances, 1.0, atol=1e-3)
+
+    def test_affine_parameters_shift_and_scale(self):
+        norm = GroupNorm(num_groups=1, num_channels=2)
+        norm.weight.data[...] = 3.0
+        norm.bias.data[...] = -1.0
+        x = make_tensor((2, 2, 4, 4))
+        plain = GroupNorm(num_groups=1, num_channels=2, affine=False)(x).numpy()
+        out = norm(x).numpy()
+        np.testing.assert_allclose(out, 3.0 * plain - 1.0, atol=1e-5)
+
+    def test_statistics_independent_of_batch_size(self):
+        norm = GroupNorm(num_groups=2, num_channels=4, affine=False)
+        x = make_tensor((4, 4, 6, 6))
+        full = norm(x).numpy()
+        first_only = norm(nn.Tensor(x.data[:1])).numpy()
+        np.testing.assert_allclose(full[:1], first_only, atol=1e-5)
+
+    def test_gradients_flow_to_input_and_affine(self):
+        norm = GroupNorm(num_groups=2, num_channels=4)
+        x = make_tensor((2, 4, 3, 3))
+        out = norm(x)
+        out.sum().backward()
+        assert x.grad is not None
+        assert norm.weight.grad is not None
+        assert norm.bias.grad is not None
+
+    def test_indivisible_groups_raise(self):
+        with pytest.raises(ValueError):
+            GroupNorm(num_groups=3, num_channels=4)
+
+    def test_wrong_channel_count_raises(self):
+        norm = GroupNorm(num_groups=2, num_channels=4)
+        with pytest.raises(ValueError):
+            norm(make_tensor((1, 6, 3, 3)))
+
+
+class TestLayerNorm:
+    def test_normalises_trailing_dimension(self):
+        norm = LayerNorm(8, affine=False)
+        x = make_tensor((5, 8))
+        out = norm(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.var(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_is_learnable(self):
+        norm = LayerNorm(4)
+        x = make_tensor((3, 4))
+        norm(x).sum().backward()
+        assert norm.weight.grad is not None
+        assert norm.bias.grad is not None
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(make_tensor((3, 5)))
+
+
+class TestInstanceNorm:
+    def test_normalises_each_sample_channel(self):
+        norm = InstanceNorm2d(3)
+        x = make_tensor((2, 3, 6, 6))
+        out = norm(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=(2, 3)), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.var(axis=(2, 3)), 1.0, atol=1e-2)
+
+    def test_wrong_channels_raise(self):
+        with pytest.raises(ValueError):
+            InstanceNorm2d(3)(make_tensor((1, 2, 4, 4)))
+
+
+class TestFrozenBatchNorm:
+    def test_matches_eval_mode_batch_norm(self, rng):
+        bn = nn.BatchNorm2d(5)
+        bn.running_mean[...] = rng.normal(size=5)
+        bn.running_var[...] = rng.uniform(0.5, 2.0, size=5)
+        bn.weight.data[...] = rng.normal(size=5)
+        bn.bias.data[...] = rng.normal(size=5)
+        bn.eval()
+        frozen = FrozenBatchNorm2d.from_batch_norm(bn)
+        x = make_tensor((2, 5, 4, 4), rng)
+        np.testing.assert_allclose(frozen(x).numpy(), bn(x).numpy(), atol=1e-4)
+
+    def test_has_no_trainable_parameters(self):
+        frozen = FrozenBatchNorm2d(4)
+        assert frozen.num_parameters() == 0
+
+    def test_scale_and_shift_round_trip(self):
+        frozen = FrozenBatchNorm2d(3)
+        frozen.running_mean[...] = [1.0, 2.0, 3.0]
+        frozen.running_var[...] = [4.0, 4.0, 4.0]
+        scale, shift = frozen.scale_and_shift()
+        x = make_tensor((1, 3, 2, 2))
+        expected = x.numpy() * scale.reshape(1, 3, 1, 1) + shift.reshape(1, 3, 1, 1)
+        np.testing.assert_allclose(frozen(x).numpy(), expected, atol=1e-5)

@@ -1,0 +1,141 @@
+"""Unit tests for SGD and the learning-rate schedulers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import SGD, ConstantLR, CosineAnnealingLR, LinearWarmup, StepLR
+
+
+def quadratic_loss(param: Parameter) -> nn.Tensor:
+    return (param * param).sum()
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        p = Parameter(np.array([1.0, -2.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        quadratic_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.numpy(), [0.8, -1.6], rtol=1e-6)
+
+    def test_momentum_accumulates_velocity(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(2):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        # Second step should move further than a momentum-free second step.
+        p_ref = Parameter(np.array([1.0], dtype=np.float32))
+        opt_ref = SGD([p_ref], lr=0.1, momentum=0.0)
+        for _ in range(2):
+            opt_ref.zero_grad()
+            quadratic_loss(p_ref).backward()
+            opt_ref.step()
+        assert p.numpy()[0] < p_ref.numpy()[0]
+
+    def test_weight_decay_shrinks_parameters_without_gradient_signal(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.numpy()[0] == pytest.approx(0.95)
+
+    def test_nesterov_differs_from_classical(self):
+        def run(nesterov):
+            p = Parameter(np.array([1.0], dtype=np.float32))
+            opt = SGD([p], lr=0.1, momentum=0.9, nesterov=nesterov)
+            for _ in range(3):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return p.numpy()[0]
+
+        assert run(True) != run(False)
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no gradient yet; should not crash or move
+        assert p.numpy()[0] == 1.0
+
+    def test_frozen_parameters_excluded(self):
+        p1 = Parameter(np.ones(1, dtype=np.float32))
+        p2 = Parameter(np.ones(1, dtype=np.float32), requires_grad=False)
+        opt = SGD([p1, p2], lr=0.1)
+        assert len(opt.params) == 1
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=-1.0)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0], dtype=np.float32))
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.numpy(), [0.0, 0.0], atol=1e-3)
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.ones(1, dtype=np.float32))], lr=lr)
+
+    def test_constant(self):
+        opt = self._optimizer(0.5)
+        sched = ConstantLR(opt)
+        assert [sched.step() for _ in range(3)] == [0.5, 0.5, 0.5]
+
+    def test_cosine_endpoints(self):
+        opt = self._optimizer(1.0)
+        sched = CosineAnnealingLR(opt, total_steps=10, min_lr=0.1)
+        first = sched.step()
+        values = [sched.step() for _ in range(10)]
+        assert first == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(0.1)
+        assert all(values[i] >= values[i + 1] for i in range(len(values) - 1))
+
+    def test_cosine_halfway(self):
+        opt = self._optimizer(2.0)
+        sched = CosineAnnealingLR(opt, total_steps=10)
+        lr_at_half = sched.get_lr(5)
+        assert lr_at_half == pytest.approx(1.0)
+
+    def test_step_lr(self):
+        opt = self._optimizer(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        values = [sched.step() for _ in range(5)]
+        assert values == pytest.approx([1.0, 1.0, 0.1, 0.1, 0.01])
+
+    def test_warmup_then_cosine(self):
+        opt = self._optimizer(1.0)
+        sched = LinearWarmup(opt, warmup_steps=5, after=CosineAnnealingLR(opt, total_steps=10))
+        warmup_values = [sched.step() for _ in range(5)]
+        assert warmup_values == pytest.approx([0.2, 0.4, 0.6, 0.8, 1.0])
+        post = sched.step()
+        assert post == pytest.approx(1.0)
+
+    def test_scheduler_writes_to_optimizer(self):
+        opt = self._optimizer(1.0)
+        sched = CosineAnnealingLR(opt, total_steps=4)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0)
+
+    def test_warmup_without_after_holds_base_lr(self):
+        opt = self._optimizer(1.0)
+        sched = LinearWarmup(opt, warmup_steps=2)
+        assert [round(sched.step(), 3) for _ in range(4)] == [0.5, 1.0, 1.0, 1.0]
+
+    def test_cosine_math_matches_formula(self):
+        opt = self._optimizer(1.0)
+        sched = CosineAnnealingLR(opt, total_steps=7)
+        for step in range(8):
+            expected = 0.5 * (1 + math.cos(math.pi * min(step / 7, 1.0)))
+            assert sched.get_lr(step) == pytest.approx(expected)

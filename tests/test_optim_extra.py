@@ -1,0 +1,205 @@
+"""Unit tests for adaptive optimisers, gradient clipping, EMA and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    ExponentialLR,
+    LambdaLR,
+    ModelEMA,
+    MultiStepLR,
+    PolynomialLR,
+    RMSprop,
+    clip_grad_norm,
+    clip_grad_value,
+    global_grad_norm,
+)
+
+
+def _quadratic_param(value=5.0):
+    return Parameter(np.array([value], dtype=np.float32))
+
+
+def _minimise(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (nn.Tensor(param.data) * 0).sum()  # placeholder, gradient set manually
+        param.grad = 2.0 * param.data  # d/dx of x^2
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestAdamFamily:
+    @pytest.mark.parametrize("cls", [Adam, AdamW, RMSprop])
+    def test_minimises_quadratic(self, cls):
+        param = _quadratic_param(5.0)
+        optimizer = cls([param], lr=0.1)
+        final = _minimise(optimizer, param)
+        assert abs(final) < 0.5
+
+    def test_adam_converges_faster_than_unit_sgd_on_ill_scaled_problem(self):
+        # Gradient scale differs by 100x between coordinates; Adam normalises it.
+        def run(optimizer_cls, lr):
+            param = Parameter(np.array([1.0, 1.0], dtype=np.float32))
+            optimizer = optimizer_cls([param], lr=lr)
+            for _ in range(50):
+                optimizer.zero_grad()
+                param.grad = np.array([2.0 * param.data[0], 0.02 * param.data[1]], dtype=np.float32)
+                optimizer.step()
+            return np.abs(param.data).sum()
+
+        assert run(Adam, 0.1) < run(lambda p, lr: SGD(p, lr=lr, momentum=0.0), 0.1)
+
+    def test_adamw_decay_is_decoupled(self):
+        # With zero gradient, AdamW still shrinks weights; Adam does not.
+        param_adamw = _quadratic_param(1.0)
+        param_adam = _quadratic_param(1.0)
+        adamw = AdamW([param_adamw], lr=0.1, weight_decay=0.1)
+        adam = Adam([param_adam], lr=0.1, weight_decay=0.0)
+        for _ in range(5):
+            param_adamw.grad = np.zeros(1, dtype=np.float32)
+            param_adam.grad = np.zeros(1, dtype=np.float32)
+            adamw.step()
+            adam.step()
+        assert param_adamw.data[0] < 1.0
+        assert param_adam.data[0] == pytest.approx(1.0)
+
+    def test_invalid_hyperparameters_rejected(self):
+        param = _quadratic_param()
+        with pytest.raises(ValueError):
+            Adam([param], betas=(1.0, 0.999))
+        with pytest.raises(ValueError):
+            Adam([param], eps=0.0)
+        with pytest.raises(ValueError):
+            RMSprop([param], alpha=1.5)
+
+    def test_skips_parameters_without_gradient(self):
+        param = _quadratic_param(3.0)
+        optimizer = Adam([param], lr=0.1)
+        optimizer.step()  # no gradient accumulated yet
+        assert param.data[0] == pytest.approx(3.0)
+
+    def test_rmsprop_momentum_changes_trajectory(self):
+        plain = _quadratic_param(5.0)
+        with_momentum = _quadratic_param(5.0)
+        opt_plain = RMSprop([plain], lr=0.05, momentum=0.0)
+        opt_momentum = RMSprop([with_momentum], lr=0.05, momentum=0.9)
+        for _ in range(10):
+            plain.grad = 2.0 * plain.data
+            with_momentum.grad = 2.0 * with_momentum.data
+            opt_plain.step()
+            opt_momentum.step()
+        assert not np.allclose(plain.data, with_momentum.data)
+
+
+class TestGradientClipping:
+    def test_global_norm_matches_manual_computation(self):
+        a = Parameter(np.zeros(3, dtype=np.float32))
+        b = Parameter(np.zeros(2, dtype=np.float32))
+        a.grad = np.array([3.0, 0.0, 0.0], dtype=np.float32)
+        b.grad = np.array([0.0, 4.0], dtype=np.float32)
+        assert global_grad_norm([a, b]) == pytest.approx(5.0)
+
+    def test_clip_grad_norm_rescales(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        param.grad = np.array([3.0, 4.0], dtype=np.float32)
+        before = clip_grad_norm([param], max_norm=1.0)
+        assert before == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_clip_grad_norm_no_op_when_below_threshold(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        param.grad = np.array([0.3, 0.4], dtype=np.float32)
+        clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, [0.3, 0.4])
+
+    def test_clip_grad_value_clamps_elementwise(self):
+        param = Parameter(np.zeros(3, dtype=np.float32))
+        param.grad = np.array([-5.0, 0.2, 7.0], dtype=np.float32)
+        clip_grad_value([param], clip_value=1.0)
+        np.testing.assert_allclose(param.grad, [-1.0, 0.2, 1.0])
+
+    def test_invalid_thresholds_rejected(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        with pytest.raises(ValueError):
+            clip_grad_norm([param], max_norm=0.0)
+        with pytest.raises(ValueError):
+            clip_grad_value([param], clip_value=-1.0)
+
+
+class TestModelEMA:
+    def _model(self):
+        return nn.Sequential(nn.Linear(4, 3), nn.ReLU(), nn.Linear(3, 2))
+
+    def test_shadow_tracks_towards_live_weights(self):
+        model = self._model()
+        ema = ModelEMA(model, decay=0.5)
+        for param in model.parameters():
+            param.data += 1.0
+        ema.update(model)
+        live = model.state_dict()
+        for name, value in ema.shadow.items():
+            assert not np.allclose(value, live[name])  # lagging behind
+        for _ in range(30):
+            ema.update(model)
+        for name, value in ema.shadow.items():
+            np.testing.assert_allclose(value, live[name], atol=1e-4)
+
+    def test_copy_to_round_trip(self):
+        model = self._model()
+        ema = ModelEMA(model, decay=0.9)
+        target = self._model()
+        ema.copy_to(target)
+        for (_, a), (_, b) in zip(model.named_parameters(), target.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError):
+            ModelEMA(self._model(), decay=1.0)
+
+    def test_update_detects_key_mismatch(self):
+        model = self._model()
+        ema = ModelEMA(model)
+        with pytest.raises(KeyError):
+            ema.update(nn.Sequential(nn.Linear(2, 2)))
+
+
+class TestNewSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=lr, momentum=0.0)
+
+    def test_multistep_decays_at_milestones(self):
+        scheduler = MultiStepLR(self._optimizer(), milestones=[2, 4], gamma=0.1)
+        lrs = [scheduler.step() for _ in range(6)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[2] == pytest.approx(0.1)
+        assert lrs[4] == pytest.approx(0.01)
+
+    def test_exponential_decay(self):
+        scheduler = ExponentialLR(self._optimizer(), gamma=0.5)
+        lrs = [scheduler.step() for _ in range(3)]
+        assert lrs == pytest.approx([1.0, 0.5, 0.25])
+
+    def test_polynomial_reaches_min_lr(self):
+        scheduler = PolynomialLR(self._optimizer(), total_steps=4, power=2.0, min_lr=0.1)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.1)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_lambda_scheduler_uses_callable(self):
+        scheduler = LambdaLR(self._optimizer(lr=2.0), lr_lambda=lambda step: 1.0 / (step + 1))
+        lrs = [scheduler.step() for _ in range(3)]
+        assert lrs == pytest.approx([2.0, 1.0, 2.0 / 3.0])
+
+    def test_scheduler_writes_lr_to_optimizer(self):
+        optimizer = self._optimizer()
+        scheduler = ExponentialLR(optimizer, gamma=0.1)
+        scheduler.step()
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)

@@ -1,0 +1,105 @@
+"""Unit tests for NetBooster Step 2: Progressive Linearization Tuning."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    ExpansionConfig,
+    PLTSchedule,
+    collect_decayable_activations,
+    expand_network,
+)
+from repro.models import mobilenet_v2
+
+
+def _giant(fraction=0.5):
+    model = mobilenet_v2("tiny", num_classes=8)
+    return expand_network(model, ExpansionConfig(fraction=fraction))
+
+
+class TestCollectActivations:
+    def test_collects_only_expanded_activations(self):
+        giant, records = _giant()
+        activations = collect_decayable_activations(giant)
+        # Inverted-residual expanded blocks contain two decayable activations each.
+        assert len(activations) == 2 * len(records)
+
+    def test_expanded_only_false_collects_everything(self):
+        model = nn.Sequential(nn.DecayableReLU(), nn.Conv2d(3, 3, 1), nn.DecayableReLU())
+        assert len(collect_decayable_activations(model, expanded_only=False)) == 2
+        assert len(collect_decayable_activations(model, expanded_only=True)) == 0
+
+    def test_no_duplicates(self):
+        giant, _ = _giant()
+        activations = collect_decayable_activations(giant)
+        assert len({id(a) for a in activations}) == len(activations)
+
+
+class TestPLTSchedule:
+    def test_alpha_starts_at_zero_and_reaches_one(self):
+        giant, _ = _giant()
+        schedule = PLTSchedule(giant, total_steps=10)
+        assert schedule.alpha == 0.0
+        for _ in range(10):
+            schedule.step()
+        assert schedule.alpha == pytest.approx(1.0)
+        assert schedule.finished
+        assert all(act.is_linear for act in schedule.activations)
+
+    def test_alpha_increases_uniformly_per_iteration(self):
+        giant, _ = _giant()
+        schedule = PLTSchedule(giant, total_steps=4)
+        alphas = [schedule.step() for _ in range(4)]
+        np.testing.assert_allclose(alphas, [0.25, 0.5, 0.75, 1.0])
+
+    def test_steps_beyond_total_are_clamped(self):
+        giant, _ = _giant()
+        schedule = PLTSchedule(giant, total_steps=2)
+        for _ in range(5):
+            schedule.step()
+        assert schedule.alpha == 1.0
+
+    def test_all_activations_share_alpha(self):
+        giant, _ = _giant()
+        schedule = PLTSchedule(giant, total_steps=5)
+        schedule.step()
+        alphas = {act.alpha for act in schedule.activations}
+        assert len(alphas) == 1
+
+    def test_initial_alpha(self):
+        giant, _ = _giant()
+        schedule = PLTSchedule(giant, total_steps=10, initial_alpha=0.5)
+        assert schedule.alpha == 0.5
+        schedule.step()
+        assert schedule.alpha == pytest.approx(0.55)
+
+    def test_finalize_forces_linearity(self):
+        giant, _ = _giant()
+        schedule = PLTSchedule(giant, total_steps=1000)
+        schedule.step()
+        assert not schedule.finished
+        schedule.finalize()
+        assert schedule.finished
+        assert all(act.is_linear for act in schedule.activations)
+
+    def test_invalid_arguments(self):
+        giant, _ = _giant()
+        with pytest.raises(ValueError):
+            PLTSchedule(giant, total_steps=0)
+        with pytest.raises(ValueError):
+            PLTSchedule(giant, total_steps=5, initial_alpha=1.0)
+
+    def test_decay_changes_model_function_gradually(self):
+        giant, _ = _giant()
+        giant.eval()
+        x = nn.Tensor(np.random.rand(2, 3, 24, 24).astype(np.float32))
+        schedule = PLTSchedule(giant, total_steps=5)
+        baseline = giant(x).numpy()
+        deltas = []
+        for _ in range(5):
+            schedule.step()
+            deltas.append(np.abs(giant(x).numpy() - baseline).max())
+        # The function drifts monotonically away from the alpha=0 output.
+        assert deltas[0] <= deltas[-1]
+        assert deltas[-1] > 0

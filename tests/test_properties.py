@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) for the core invariants of NetBooster.
+
+These cover the mathematical heart of the reproduction:
+
+* kernel merging (paper Eq. 3-4) is exact for arbitrary channel counts;
+* BatchNorm folding is exact for arbitrary statistics;
+* expanded-block contraction is exact for every block type, channel
+  configuration and expansion ratio once the activations are linear;
+* the decayable activation interpolates correctly between ReLU and identity;
+* autograd broadcasting rules match NumPy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.core import (
+    EXPANDED_BLOCK_TYPES,
+    add_identity_to_kernel,
+    contract_block,
+    densify_grouped_kernel,
+    fuse_conv_bn,
+    merge_sequential_kernels,
+    select_expansion_sites,
+    ExpansionConfig,
+)
+from repro.nn import functional as F
+
+# Keep hypothesis fast and deterministic for CI-style runs.
+FAST_SETTINGS = settings(max_examples=25, deadline=None, derandomize=True)
+
+channels = st.integers(min_value=1, max_value=6)
+small_channels = st.integers(min_value=2, max_value=5)
+
+
+@st.composite
+def conv_chain(draw):
+    c1 = draw(channels)
+    c2 = draw(channels)
+    c3 = draw(channels)
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    w1 = rng.normal(size=(c2, c1, 1, 1)).astype(np.float32)
+    b1 = rng.normal(size=c2).astype(np.float32)
+    w2 = rng.normal(size=(c3, c2, 1, 1)).astype(np.float32)
+    b2 = rng.normal(size=c3).astype(np.float32)
+    x = rng.normal(size=(2, c1, 5, 5)).astype(np.float32)
+    return w1, b1, w2, b2, x
+
+
+class TestKernelMergeProperties:
+    @FAST_SETTINGS
+    @given(conv_chain())
+    def test_pointwise_merge_is_exact(self, chain):
+        w1, b1, w2, b2, x = chain
+        merged_w, merged_b = merge_sequential_kernels(w1, b1, w2, b2)
+        xt = nn.Tensor(x)
+        expected = F.conv2d(F.conv2d(xt, nn.Tensor(w1), nn.Tensor(b1)), nn.Tensor(w2), nn.Tensor(b2))
+        actual = F.conv2d(xt, nn.Tensor(merged_w), nn.Tensor(merged_b))
+        np.testing.assert_allclose(actual.numpy(), expected.numpy(), rtol=1e-3, atol=1e-3)
+
+    @FAST_SETTINGS
+    @given(st.integers(2, 8), st.integers(0, 2**16))
+    def test_depthwise_densification_is_exact(self, num_channels, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(num_channels, 1, 1, 1)).astype(np.float32)
+        dense = densify_grouped_kernel(w, num_channels)
+        x = nn.Tensor(rng.normal(size=(1, num_channels, 4, 4)).astype(np.float32))
+        np.testing.assert_allclose(
+            F.conv2d(x, nn.Tensor(w), groups=num_channels).numpy(),
+            F.conv2d(x, nn.Tensor(dense)).numpy(),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    @FAST_SETTINGS
+    @given(st.integers(1, 8), st.integers(0, 2**16))
+    def test_identity_addition_property(self, num_channels, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(num_channels, num_channels, 1, 1)).astype(np.float32)
+        x = nn.Tensor(rng.normal(size=(1, num_channels, 3, 3)).astype(np.float32))
+        lhs = F.conv2d(x, nn.Tensor(add_identity_to_kernel(w))).numpy()
+        rhs = (F.conv2d(x, nn.Tensor(w)) + x).numpy()
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-4, atol=1e-5)
+
+
+class TestBatchNormFoldProperties:
+    @FAST_SETTINGS
+    @given(small_channels, small_channels, st.integers(0, 2**16))
+    def test_fold_exact_for_random_statistics(self, c_in, c_out, seed):
+        rng = np.random.default_rng(seed)
+        conv = nn.Conv2d(c_in, c_out, 1, bias=True)
+        conv.weight.data[...] = rng.normal(size=conv.weight.shape)
+        conv.bias.data[...] = rng.normal(size=c_out)
+        bn = nn.BatchNorm2d(c_out)
+        bn.running_mean[...] = rng.normal(size=c_out)
+        bn.running_var[...] = rng.uniform(0.2, 2.0, size=c_out)
+        bn.weight.data[...] = rng.normal(1.0, 0.3, size=c_out)
+        bn.bias.data[...] = rng.normal(size=c_out)
+        bn.eval()
+
+        x = nn.Tensor(rng.normal(size=(2, c_in, 4, 4)).astype(np.float32))
+        expected = bn(conv(x)).numpy()
+        weight, bias = fuse_conv_bn(conv.weight.data, conv.bias.data, bn)
+        actual = F.conv2d(x, nn.Tensor(weight), nn.Tensor(bias)).numpy()
+        np.testing.assert_allclose(actual, expected, rtol=1e-3, atol=1e-4)
+
+
+class TestContractionProperties:
+    @FAST_SETTINGS
+    @given(
+        st.sampled_from(sorted(EXPANDED_BLOCK_TYPES)),
+        st.integers(2, 6),
+        st.integers(2, 6),
+        st.integers(1, 6),
+        st.integers(0, 2**16),
+    )
+    def test_contraction_exact_for_all_configurations(self, block_type, c_in, c_out, ratio, seed):
+        rng = np.random.default_rng(seed)
+        block = EXPANDED_BLOCK_TYPES[block_type](c_in, c_out, expansion_ratio=ratio)
+        for _, module in block.named_modules():
+            if isinstance(module, nn.BatchNorm2d):
+                module.running_mean[...] = rng.normal(0, 0.3, module.num_features)
+                module.running_var[...] = rng.uniform(0.5, 1.5, module.num_features)
+        block.eval()
+        for act in block.decayable_activations():
+            act.set_alpha(1.0)
+        conv = contract_block(block)
+        conv.eval()
+        x = nn.Tensor(rng.normal(size=(2, c_in, 5, 5)).astype(np.float32))
+        np.testing.assert_allclose(conv(x).numpy(), block(x).numpy(), rtol=2e-3, atol=2e-3)
+
+    @FAST_SETTINGS
+    @given(st.integers(2, 6), st.integers(1, 6), st.integers(0, 2**16))
+    def test_contracted_conv_shape_is_independent_of_ratio(self, c_in, ratio, seed):
+        """Paper remark: the contracted cost does not depend on the expansion ratio."""
+        block = EXPANDED_BLOCK_TYPES["inverted_residual"](c_in, c_in + 2, expansion_ratio=ratio)
+        for act in block.decayable_activations():
+            act.set_alpha(1.0)
+        conv = contract_block(block)
+        assert conv.weight.shape == (c_in + 2, c_in, 1, 1)
+
+
+class TestDecayableActivationProperties:
+    @FAST_SETTINGS
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=16),
+    )
+    def test_interpolation_bounds(self, alpha, values):
+        act = nn.DecayableReLU(alpha=alpha)
+        x = np.asarray(values, dtype=np.float32)
+        out = act(nn.Tensor(x)).numpy()
+        relu = np.maximum(x, 0)
+        lower = np.minimum(relu, x)
+        upper = np.maximum(relu, x)
+        assert np.all(out >= lower - 1e-5)
+        assert np.all(out <= upper + 1e-5)
+
+    @FAST_SETTINGS
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=16))
+    def test_positive_inputs_unchanged_for_any_alpha(self, values):
+        x = np.abs(np.asarray(values, dtype=np.float32))
+        for alpha in (0.0, 0.3, 0.7, 1.0):
+            out = nn.DecayableReLU(alpha=alpha)(nn.Tensor(x)).numpy()
+            np.testing.assert_allclose(out, x, rtol=1e-6)
+
+
+class TestSelectionProperties:
+    @FAST_SETTINGS
+    @given(st.integers(1, 40), st.floats(0.05, 1.0), st.sampled_from(["uniform", "first", "middle", "last"]))
+    def test_selected_sites_are_valid_and_sorted(self, num_candidates, fraction, placement):
+        config = ExpansionConfig(fraction=fraction, placement=placement)
+        sites = select_expansion_sites(num_candidates, config)
+        assert sites == sorted(sites)
+        assert len(sites) == len(set(sites))
+        assert all(0 <= s < num_candidates for s in sites)
+        assert 1 <= len(sites) <= num_candidates
+
+
+class TestAutogradProperties:
+    @FAST_SETTINGS
+    @given(
+        st.integers(1, 4), st.integers(1, 4), st.integers(0, 2**16)
+    )
+    def test_broadcast_addition_matches_numpy(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(rows, cols))
+        b = rng.normal(size=(cols,))
+        out = nn.Tensor(a) + nn.Tensor(b)
+        # Tensors store float32 by default, so compare at single precision tolerance.
+        np.testing.assert_allclose(out.numpy(), (a + b).astype(np.float32), rtol=1e-5, atol=1e-6)
+
+    @FAST_SETTINGS
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 2**16))
+    def test_sum_gradient_is_ones(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        t = nn.Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((rows, cols)))

@@ -1,0 +1,119 @@
+"""Unit tests for magnitude and channel pruning."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compress import MagnitudePruner, prune_channels_by_slimming, sparsity
+from repro.models import mobilenet_v2
+from repro.models.blocks import ConvBNAct
+
+
+def _small_model():
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1),
+        nn.ReLU(),
+        nn.Conv2d(8, 8, 3, padding=1),
+        nn.Flatten(),
+        nn.Linear(8 * 8 * 8, 4),
+    )
+
+
+class TestMagnitudePruner:
+    def test_reaches_target_sparsity_globally(self):
+        model = _small_model()
+        pruner = MagnitudePruner(model, scope="global")
+        report = pruner.prune(0.5)
+        assert report.achieved_sparsity == pytest.approx(0.5, abs=0.02)
+        assert sparsity(model) == pytest.approx(report.achieved_sparsity)
+
+    def test_layerwise_scope_prunes_each_layer_equally(self):
+        model = _small_model()
+        report = MagnitudePruner(model, scope="layer").prune(0.3)
+        for layer_sparsity in report.per_layer.values():
+            assert layer_sparsity == pytest.approx(0.3, abs=0.05)
+
+    def test_zero_sparsity_is_a_no_op(self):
+        model = _small_model()
+        before = [p.data.copy() for p in model.parameters()]
+        MagnitudePruner(model).prune(0.0)
+        for old, new in zip(before, [p.data for p in model.parameters()]):
+            np.testing.assert_allclose(old, new)
+
+    def test_masks_persist_through_weight_updates(self):
+        model = _small_model()
+        pruner = MagnitudePruner(model)
+        pruner.prune(0.6)
+        # Simulate an optimiser step that revives pruned weights...
+        for param in model.parameters():
+            param.data += 0.1
+        # ...then re-apply the masks.
+        pruner.apply_masks()
+        assert sparsity(model) >= 0.55
+
+    def test_mask_gradients_blocks_pruned_updates(self):
+        model = _small_model()
+        pruner = MagnitudePruner(model)
+        pruner.prune(0.5)
+        x = nn.Tensor(np.random.default_rng(0).normal(size=(2, 3, 8, 8)).astype(np.float32))
+        model(x).sum().backward()
+        pruner.mask_gradients()
+        conv = model[0]
+        mask = pruner.masks["0.weight"]
+        assert np.all(conv.weight.grad[mask == 0.0] == 0.0)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            MagnitudePruner(_small_model(), scope="random")
+        with pytest.raises(ValueError):
+            MagnitudePruner(_small_model()).prune(1.0)
+        with pytest.raises(ValueError):
+            MagnitudePruner(nn.Sequential(nn.ReLU())).prune(0.5)
+
+    def test_report_summary_mentions_every_layer(self):
+        model = _small_model()
+        report = MagnitudePruner(model).prune(0.25)
+        text = report.summary()
+        assert "target sparsity" in text
+        assert all(name in text for name in report.per_layer)
+
+
+class TestChannelPruning:
+    def test_weakest_channels_are_zeroed(self):
+        block = ConvBNAct(3, 8, kernel_size=3)
+        # Make channel importance unambiguous.
+        block.bn.weight.data[...] = np.arange(1, 9, dtype=np.float32)
+        report = prune_channels_by_slimming(block, prune_ratio=0.5)
+        assert report.per_layer
+        # The four smallest-scale channels must be fully zero.
+        assert np.all(block.conv.weight.data[:4] == 0.0)
+        assert np.all(block.bn.weight.data[:4] == 0.0)
+        assert np.any(block.conv.weight.data[4:] != 0.0)
+
+    def test_never_removes_all_channels(self):
+        block = ConvBNAct(3, 4, kernel_size=1)
+        block.bn.weight.data[...] = 1.0  # all equally (un)important
+        prune_channels_by_slimming(block, prune_ratio=0.9)
+        remaining = np.count_nonzero(block.bn.weight.data)
+        assert remaining >= 1
+
+    def test_works_on_full_mobilenet(self):
+        model = mobilenet_v2("tiny", num_classes=4)
+        report = prune_channels_by_slimming(model, prune_ratio=0.25)
+        assert report.pruned_weights > 0
+        assert 0.0 < report.achieved_sparsity < 1.0
+
+    def test_structure_is_preserved(self):
+        model = mobilenet_v2("tiny", num_classes=4)
+        shapes_before = [p.data.shape for p in model.parameters()]
+        prune_channels_by_slimming(model, prune_ratio=0.3)
+        shapes_after = [p.data.shape for p in model.parameters()]
+        assert shapes_before == shapes_after
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            prune_channels_by_slimming(ConvBNAct(3, 4, kernel_size=1), prune_ratio=1.0)
+
+    def test_model_without_conv_bn_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            prune_channels_by_slimming(nn.Sequential(nn.Linear(4, 2)), prune_ratio=0.5)

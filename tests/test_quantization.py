@@ -1,0 +1,131 @@
+"""Unit tests for the simulated int-N quantization toolkit."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compress import (
+    QuantizationSpec,
+    QuantizedConv2d,
+    QuantizedLinear,
+    calibrate,
+    dequantize_array,
+    quantize_array,
+    quantize_model,
+)
+from repro.compress.quantization import fake_quantize, quantization_error
+from repro.models import mobilenet_v2
+from repro.train import evaluate
+
+
+class TestQuantizeArray:
+    def test_round_trip_error_bounded_by_step(self, rng):
+        array = rng.normal(size=(16, 8)).astype(np.float32)
+        spec = QuantizationSpec(bits=8, symmetric=True, per_channel=False)
+        q, scale, zero_point = quantize_array(array, spec)
+        restored = dequantize_array(q, scale, zero_point)
+        assert np.max(np.abs(array - restored)) <= scale[0] * 0.5 + 1e-7
+
+    def test_symmetric_grid_has_zero_zero_point(self, rng):
+        array = rng.normal(size=32).astype(np.float32)
+        _, _, zero_point = quantize_array(array, QuantizationSpec(symmetric=True, per_channel=False))
+        np.testing.assert_allclose(zero_point, 0.0)
+
+    def test_affine_grid_covers_asymmetric_range(self):
+        array = np.linspace(0.0, 10.0, 100).astype(np.float32)  # post-ReLU style
+        spec = QuantizationSpec(bits=8, symmetric=False, per_channel=False)
+        q, scale, zero_point = quantize_array(array, spec)
+        assert q.min() >= spec.qmin and q.max() <= spec.qmax
+        restored = dequantize_array(q, scale, zero_point)
+        np.testing.assert_allclose(restored, array, atol=float(scale[0]))
+
+    def test_per_channel_beats_per_tensor_on_mixed_scales(self, rng):
+        # One output channel is 100x larger than the other: a single scale wastes
+        # most of the grid on it.
+        weights = np.stack([rng.normal(size=64), 100.0 * rng.normal(size=64)]).astype(np.float32)
+        per_tensor = quantization_error(weights, QuantizationSpec(bits=4, per_channel=False), None)
+        per_channel = quantization_error(weights, QuantizationSpec(bits=4, per_channel=True), 0)
+        assert per_channel < per_tensor
+
+    def test_more_bits_reduce_error(self, rng):
+        array = rng.normal(size=256).astype(np.float32)
+        errors = [
+            quantization_error(array, QuantizationSpec(bits=bits, per_channel=False), None)
+            for bits in (2, 4, 8)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_invalid_bit_width_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(bits=1)
+
+    def test_fake_quantize_idempotent(self, rng):
+        array = rng.normal(size=64).astype(np.float32)
+        spec = QuantizationSpec(bits=8, per_channel=False)
+        once = fake_quantize(array, spec)
+        twice = fake_quantize(once, spec)
+        np.testing.assert_allclose(once, twice, atol=1e-6)
+
+
+class TestQuantizedModel:
+    def _data(self, rng, n=8, classes=4, size=16):
+        images = rng.normal(0.0, 1.0, size=(n, 3, size, size)).astype(np.float32)
+        return images
+
+    def test_quantize_model_wraps_all_conv_and_linear(self):
+        model = mobilenet_v2("tiny", num_classes=4)
+        report = quantize_model(model)
+        wrapped = [m for _, m in model.named_modules() if isinstance(m, (QuantizedConv2d, QuantizedLinear))]
+        assert report.quantized_layers == len(wrapped)
+        assert report.quantized_layers > 10
+        assert report.mean_weight_rmse > 0.0
+
+    def test_skip_prefix_leaves_layers_untouched(self):
+        model = mobilenet_v2("tiny", num_classes=4)
+        quantize_model(model, skip=("classifier",))
+        assert isinstance(model.classifier, nn.Linear)
+
+    def test_int8_accuracy_close_to_float(self, rng):
+        from repro.data import ClassificationDataset
+
+        images = rng.normal(0.3, 0.2, size=(32, 3, 16, 16)).astype(np.float32)
+        labels = np.arange(32) % 4
+        for i, label in enumerate(labels):
+            images[i, 0] += 0.4 * label
+        dataset = ClassificationDataset(images, labels, 4)
+        model = mobilenet_v2("tiny", num_classes=4)
+        float_accuracy = evaluate(model, dataset)
+        quantize_model(model, QuantizationSpec(bits=8))
+        calibrate(model, [images[:8]])
+        int8_accuracy = evaluate(model, dataset)
+        assert abs(float_accuracy - int8_accuracy) <= 15.0
+
+    def test_calibration_requires_quantized_model(self):
+        with pytest.raises(ValueError):
+            calibrate(mobilenet_v2("tiny", num_classes=4), [])
+
+    def test_calibrate_counts_batches_and_freezes(self, rng):
+        model = mobilenet_v2("tiny", num_classes=4)
+        quantize_model(model)
+        batches = [self._data(rng, n=2) for _ in range(3)]
+        count = calibrate(model, batches)
+        assert count == 3
+        wrappers = [m for _, m in model.named_modules() if isinstance(m, QuantizedConv2d)]
+        assert all(not w.observing for w in wrappers)
+        assert all(np.isfinite(w.act_low[0]) and np.isfinite(w.act_high[0]) for w in wrappers)
+
+    def test_forward_shape_unchanged_after_quantization(self, rng):
+        model = mobilenet_v2("tiny", num_classes=7)
+        x = nn.Tensor(self._data(rng, n=2))
+        before = model(x).shape
+        quantize_model(model)
+        calibrate(model, [self._data(rng, n=2)])
+        after = model(nn.Tensor(self._data(rng, n=2))).shape
+        assert before == after == (2, 7)
+
+    def test_wrapper_quantizes_weights_at_construction(self, rng):
+        conv = nn.Conv2d(3, 4, 3)
+        original = conv.weight.data.copy()
+        wrapper = QuantizedConv2d(conv, QuantizationSpec(bits=4))
+        assert not np.allclose(wrapper.wrapped.weight.data, original)
+        assert len(np.unique(wrapper.wrapped.weight.data[0])) <= 2 ** 4

@@ -1,0 +1,217 @@
+"""Unit tests for the autograd Tensor: ops, broadcasting, backward graph."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, no_grad
+
+from conftest import assert_gradients_close, make_tensor, numerical_gradient
+
+
+class TestBasics:
+    def test_construction_defaults_to_float32(self):
+        t = Tensor([[1, 2], [3, 4]])
+        assert t.dtype == np.float32
+        assert t.shape == (2, 2)
+        assert not t.requires_grad
+
+    def test_construction_from_tensor_copies_payload(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.allclose(a.numpy(), b.numpy())
+
+    def test_item_and_len(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_detach_shares_data_but_breaks_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = a.detach()
+        assert not b.requires_grad
+        assert b.numpy() is a.numpy()
+
+    def test_backward_requires_scalar_without_grad_argument(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward()
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda a, b: a + b,
+            lambda a, b: a - b,
+            lambda a, b: a * b,
+            lambda a, b: a / b,
+        ],
+    )
+    def test_binary_op_gradients(self, op, rng):
+        a = make_tensor((3, 4), rng)
+        b = Tensor(rng.normal(size=(3, 4)) + 3.0, requires_grad=True, dtype=np.float64)
+        out = op(a, b)
+        loss = (out * out).sum()
+        loss.backward()
+
+        def f():
+            return float((op(Tensor(a.data, dtype=np.float64), Tensor(b.data, dtype=np.float64)).data ** 2).sum())
+
+        assert_gradients_close(a.grad, numerical_gradient(f, a.data))
+        assert_gradients_close(b.grad, numerical_gradient(f, b.data))
+
+    def test_broadcast_add_gradient_shapes(self, rng):
+        a = make_tensor((2, 3, 4), rng)
+        b = make_tensor((4,), rng)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, np.full(4, 6.0))
+
+    def test_scalar_operands(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = (2.0 * a + 1.0) / 2.0 - 0.5
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_rsub_and_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        (3.0 - a).backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+        b = Tensor([2.0], requires_grad=True)
+        (4.0 / b).backward()
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_pow_gradient(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(5,))) + 0.5, requires_grad=True, dtype=np.float64)
+        (a ** 3).sum().backward()
+        np.testing.assert_allclose(a.grad, 3 * a.data ** 2, rtol=1e-6)
+
+    def test_matmul_gradient(self, rng):
+        a = make_tensor((3, 4), rng)
+        b = make_tensor((4, 2), rng)
+        (a @ b).sum().backward()
+
+        def f():
+            return float((Tensor(a.data, dtype=np.float64) @ Tensor(b.data, dtype=np.float64)).data.sum())
+
+        assert_gradients_close(a.grad, numerical_gradient(f, a.data))
+        assert_gradients_close(b.grad, numerical_gradient(f, b.data))
+
+    def test_gradient_accumulation_over_multiple_uses(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 3.0 + a * 2.0
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0])
+
+
+class TestElementwiseFunctions:
+    @pytest.mark.parametrize(
+        "name",
+        ["exp", "log", "sqrt", "abs", "sigmoid", "tanh", "relu"],
+    )
+    def test_unary_gradients(self, name, rng):
+        base = np.abs(rng.normal(size=(4, 3))) + 0.6
+        a = Tensor(base, requires_grad=True, dtype=np.float64)
+        out = getattr(a, name)()
+        (out * out).sum().backward()
+
+        def f():
+            return float((getattr(Tensor(a.data, dtype=np.float64), name)().data ** 2).sum())
+
+        assert_gradients_close(a.grad, numerical_gradient(f, a.data))
+
+    def test_leaky_relu_slope(self):
+        a = Tensor([-2.0, 3.0], requires_grad=True)
+        out = a.leaky_relu(0.25)
+        np.testing.assert_allclose(out.numpy(), [-0.5, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.25, 1.0])
+
+    def test_clip_gradient_masks_out_of_range(self):
+        a = Tensor([-1.0, 0.5, 7.0], requires_grad=True)
+        a.clip(0.0, 6.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_splits_gradient(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([2.0, 3.0], requires_grad=True)
+        a.maximum(b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, rng):
+        a = make_tensor((2, 3, 4), rng)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3, 4)))
+
+    def test_mean_gradient(self, rng):
+        a = make_tensor((4, 5), rng)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full((4, 5), 1 / 20))
+
+    def test_mean_over_axes(self, rng):
+        a = make_tensor((2, 3, 4, 4), rng)
+        out = a.mean(axis=(2, 3), keepdims=True)
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(out.numpy(), a.data.mean(axis=(2, 3), keepdims=True))
+
+    def test_max_gradient_goes_to_argmax(self):
+        a = Tensor([[1.0, 3.0], [5.0, 2.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_reshape_roundtrip_gradient(self, rng):
+        a = make_tensor((2, 6), rng)
+        a.reshape(3, 4).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 6)))
+
+    def test_flatten(self, rng):
+        a = make_tensor((2, 3, 4), rng)
+        assert a.flatten().shape == (2, 12)
+
+    def test_transpose_gradient(self, rng):
+        a = make_tensor((2, 3, 4), rng)
+        a.transpose(2, 0, 1).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_getitem_gradient_scatter(self):
+        a = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3), requires_grad=True)
+        a[0].sum().backward()
+        np.testing.assert_allclose(a.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_pad2d_inverse_of_crop(self, rng):
+        a = make_tensor((1, 2, 3, 3), rng)
+        padded = a.pad2d(2)
+        assert padded.shape == (1, 2, 7, 7)
+        padded.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((1, 2, 3, 3)))
+
+    def test_concatenate_and_stack(self, rng):
+        a = make_tensor((2, 3), rng)
+        b = make_tensor((2, 3), rng)
+        cat = Tensor.concatenate([a, b], axis=0)
+        assert cat.shape == (4, 3)
+        cat.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        stacked = Tensor.stack([a.detach(), b.detach()], axis=0)
+        assert stacked.shape == (2, 2, 3)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out._prev == ()
+
+    def test_no_grad_restores_state(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            pass
+        out = a * 2
+        assert out.requires_grad

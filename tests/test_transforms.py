@@ -1,0 +1,75 @@
+"""Unit tests for data-augmentation transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import (
+    ColorJitter,
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandAugmentLite,
+    RandomCrop,
+    RandomErasing,
+    RandomHorizontalFlip,
+)
+
+
+@pytest.fixture
+def image(rng):
+    return rng.random((3, 16, 16)).astype(np.float32)
+
+
+class TestIndividualTransforms:
+    def test_flip_probability_extremes(self, image, rng):
+        flipped = RandomHorizontalFlip(p=1.0)(image, rng)
+        np.testing.assert_allclose(flipped, image[:, :, ::-1])
+        unchanged = RandomHorizontalFlip(p=0.0)(image, rng)
+        np.testing.assert_allclose(unchanged, image)
+
+    def test_crop_preserves_shape(self, image, rng):
+        out = RandomCrop(padding=3)(image, rng)
+        assert out.shape == image.shape
+
+    def test_crop_zero_padding_is_identity(self, image, rng):
+        np.testing.assert_allclose(RandomCrop(padding=0)(image, rng), image)
+
+    def test_erasing_zeroes_a_square(self, image, rng):
+        out = RandomErasing(p=1.0, size_fraction=0.4)(image, rng)
+        assert out.shape == image.shape
+        assert not np.allclose(out, image)
+
+    def test_erasing_skipped_when_p_zero(self, image, rng):
+        np.testing.assert_allclose(RandomErasing(p=0.0)(image, rng), image)
+
+    def test_color_jitter_stays_in_range(self, image, rng):
+        out = ColorJitter(0.5, 0.5)(image, rng)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_gaussian_noise_changes_pixels_but_bounded(self, image, rng):
+        out = GaussianNoise(0.1)(image, rng)
+        assert not np.allclose(out, image)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_normalize(self, image, rng):
+        out = Normalize(mean=0.5, std=0.5)(image, rng)
+        np.testing.assert_allclose(out, (image - 0.5) / 0.5, rtol=1e-6)
+
+
+class TestComposedPolicies:
+    def test_compose_applies_in_order(self, image, rng):
+        composed = Compose([Normalize(mean=0.0, std=1.0), Normalize(mean=1.0, std=1.0)])
+        out = composed(image, rng)
+        np.testing.assert_allclose(out, image - 1.0, rtol=1e-6)
+
+    def test_randaugment_produces_valid_image(self, image, rng):
+        policy = RandAugmentLite(num_ops=2, magnitude=0.8)
+        out = policy(image, rng)
+        assert out.shape == image.shape
+        assert np.isfinite(out).all()
+
+    def test_randaugment_is_stochastic(self, image):
+        policy = RandAugmentLite(num_ops=2, magnitude=0.8)
+        a = policy(image, np.random.default_rng(1))
+        b = policy(image, np.random.default_rng(2))
+        assert not np.allclose(a, b)
