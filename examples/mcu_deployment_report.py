@@ -4,11 +4,14 @@ Produces the feasibility tables an embedded engineer needs:
 
 * per-layer FLOPs/parameter profile of each tiny network;
 * flash / peak-SRAM / latency estimates on three STM32-class device profiles;
+* measured host latency of each model through the fused inference runtime
+  (:func:`repro.runtime.compile`), next to the analytic roofline estimate;
 * proof that a NetBooster-contracted network has byte-for-byte the same
   deployment footprint as its vanilla counterpart (the paper's "no inference
   overhead" claim), while the training-time deep giant would *not* fit.
 
-This example is purely analytic — no training — so it runs in seconds.
+This example is analytic plus a few timed forward passes — no training — so
+it runs in seconds.
 
 Run with::
 
@@ -48,13 +51,14 @@ def main() -> None:
         model = create_model(name, num_classes=args.classes)
         print(f"\n--- {name} ---")
         print(format_profile_table(model, shape, top_k=args.top_layers))
-        for device in DEVICE_PROFILES.values():
-            report = deployment_report(model, shape, device)
+        for index, device in enumerate(DEVICE_PROFILES.values()):
+            report = deployment_report(model, shape, device, measure_host_latency=index == 0)
             status = "fits" if report.fits else "DOES NOT FIT"
+            host = f" | host {report.host_latency_ms:6.2f} ms" if report.host_latency_ms else ""
             print(
                 f"  {device.name:<10s} flash {report.flash_bytes / 1024:7.1f} kB | "
                 f"SRAM {report.peak_sram_bytes / 1024:7.1f} kB | "
-                f"~{report.latency_ms:6.1f} ms  [{status}]"
+                f"~{report.latency_ms:6.1f} ms  [{status}]{host}"
             )
 
     # ------------------------------------------- NetBooster footprint comparison

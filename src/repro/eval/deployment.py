@@ -138,13 +138,20 @@ def estimate_latency_ms(
 
 @dataclass
 class DeploymentReport:
-    """Feasibility summary for one model on one device."""
+    """Feasibility summary for one model on one device.
+
+    ``host_latency_ms`` is optionally filled with the measured latency of the
+    fused :mod:`repro.runtime` program on the development host — a sanity
+    anchor next to the analytic device roofline estimate.
+    """
 
     device: DeviceProfile
     flash_bytes: int
     peak_sram_bytes: int
     latency_ms: float
     mflops: float
+    host_latency_ms: float | None = None
+    host_latency_backend: str | None = None
 
     @property
     def fits_flash(self) -> bool:
@@ -161,15 +168,17 @@ class DeploymentReport:
     def summary(self) -> str:
         flash_status = "ok" if self.fits_flash else "OVER"
         sram_status = "ok" if self.fits_sram else "OVER"
-        return "\n".join(
-            [
-                f"device            : {self.device.name}",
-                f"flash (weights)   : {self.flash_bytes / 1024:8.1f} kB / {self.device.flash_kb} kB [{flash_status}]",
-                f"peak SRAM (act.)  : {self.peak_sram_bytes / 1024:8.1f} kB / {self.device.sram_kb} kB [{sram_status}]",
-                f"estimated latency : {self.latency_ms:8.1f} ms",
-                f"compute           : {self.mflops:8.1f} MFLOPs",
-            ]
-        )
+        lines = [
+            f"device            : {self.device.name}",
+            f"flash (weights)   : {self.flash_bytes / 1024:8.1f} kB / {self.device.flash_kb} kB [{flash_status}]",
+            f"peak SRAM (act.)  : {self.peak_sram_bytes / 1024:8.1f} kB / {self.device.sram_kb} kB [{sram_status}]",
+            f"estimated latency : {self.latency_ms:8.1f} ms",
+            f"compute           : {self.mflops:8.1f} MFLOPs",
+        ]
+        if self.host_latency_ms is not None:
+            backend = self.host_latency_backend or "unknown backend"
+            lines.append(f"host latency      : {self.host_latency_ms:8.2f} ms ({backend})")
+        return "\n".join(lines)
 
 
 def deployment_report(
@@ -178,18 +187,31 @@ def deployment_report(
     device: DeviceProfile = STM32F746,
     weight_bytes: int = 1,
     activation_bytes: int = 1,
+    measure_host_latency: bool = False,
 ) -> DeploymentReport:
     """Build a :class:`DeploymentReport` for ``model`` on ``device``.
 
     Defaults assume int8 deployment (one byte per weight and per activation).
+    ``measure_host_latency=True`` additionally times the model through the
+    fused :mod:`repro.runtime` inference engine on this machine.
     """
     complexity = count_complexity(model, input_shape)
+    host_latency_ms = None
+    host_latency_backend = None
+    if measure_host_latency:
+        from .profiler import measure_latency
+
+        stats = measure_latency(model, input_shape, repeats=5, compiled=True)
+        host_latency_ms = stats["median_ms"]
+        host_latency_backend = "compiled runtime" if stats.get("compiled") else "eager forward"
     return DeploymentReport(
         device=device,
         flash_bytes=weight_memory(model, weight_bytes),
         peak_sram_bytes=peak_activation_memory(model, input_shape, activation_bytes),
         latency_ms=complexity.flops / device.effective_macs_per_second * 1e3,
         mflops=complexity.mflops,
+        host_latency_ms=host_latency_ms,
+        host_latency_backend=host_latency_backend,
     )
 
 

@@ -82,6 +82,7 @@ def measure_latency(
     repeats: int = 5,
     warmup: int = 1,
     batch_size: int = 1,
+    compiled: bool = True,
 ) -> dict[str, float]:
     """Wall-clock forward-pass latency of the NumPy implementation.
 
@@ -89,23 +90,46 @@ def measure_latency(
     simulator, not an MCU — use :mod:`repro.eval.deployment` for device
     estimates — but it is the honest way to compare the *relative* cost of a
     vanilla TNN, its expanded deep giant and the contracted result.
+
+    ``compiled=True`` (the default) times the fused :mod:`repro.runtime`
+    program — the deployment-relevant number; pass ``compiled=False`` to time
+    the eager autograd-tape forward instead.  Compile time is excluded.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
-    probe = nn.Tensor(np.zeros((batch_size,) + tuple(input_shape), dtype=np.float32))
+    probe_data = np.zeros((batch_size,) + tuple(input_shape), dtype=np.float32)
     was_training = model.training
     model.eval()
+
+    forward = None
+    used_compiled = False
+    if compiled:
+        try:
+            from ..runtime import compile_net
+
+            net = compile_net(model)
+            forward = lambda: net.numpy_forward(probe_data)  # noqa: E731
+            used_compiled = True
+        except Exception:
+            forward = None
+    if forward is None:
+        probe = nn.Tensor(probe_data)
+        forward = lambda: model(probe)  # noqa: E731
+
     timings = []
     with nn.no_grad():
         for _ in range(warmup):
-            model(probe)
+            forward()
         for _ in range(repeats):
             start = time.perf_counter()
-            model(probe)
+            forward()
             timings.append((time.perf_counter() - start) * 1e3)
     model.train(was_training)
     return {
         "mean_ms": float(np.mean(timings)),
         "median_ms": float(np.median(timings)),
         "best_ms": float(np.min(timings)),
+        # 1.0 when the fused runtime was timed, 0.0 for the eager forward
+        # (either requested or after a compilation failure fallback).
+        "compiled": 1.0 if used_compiled else 0.0,
     }

@@ -11,12 +11,15 @@ All spatial operations use the ``NCHW`` layout.
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "im2col",
+    "im2col_reference",
     "col2im",
+    "clear_workspaces",
     "conv2d",
     "avg_pool2d",
     "max_pool2d",
@@ -37,6 +40,33 @@ __all__ = [
 
 
 # --------------------------------------------------------------------------- #
+# workspace cache
+# --------------------------------------------------------------------------- #
+# Per-shape scratch buffers so the hot ops (pooling window materialisation,
+# padded inputs in no-grad mode) stop reallocating large arrays every step.
+# Workspaces are only handed out for buffers that are fully consumed within a
+# single op call — anything retained for the backward pass allocates fresh.
+_WORKSPACE_LIMIT = 64
+_WORKSPACES: dict[tuple, np.ndarray] = {}
+
+
+def _workspace(shape: tuple[int, ...], dtype) -> np.ndarray:
+    key = (tuple(shape), np.dtype(dtype).str)
+    buf = _WORKSPACES.get(key)
+    if buf is None:
+        if len(_WORKSPACES) >= _WORKSPACE_LIMIT:
+            _WORKSPACES.clear()
+        buf = np.empty(shape, dtype=dtype)
+        _WORKSPACES[key] = buf
+    return buf
+
+
+def clear_workspaces() -> None:
+    """Drop all cached scratch buffers (frees memory after large workloads)."""
+    _WORKSPACES.clear()
+
+
+# --------------------------------------------------------------------------- #
 # im2col / col2im
 # --------------------------------------------------------------------------- #
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -44,8 +74,42 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
+def _pad2d(x: np.ndarray, padding: int, reuse: bool = False) -> np.ndarray:
+    """Zero-pad the spatial dims; ``reuse`` draws from the workspace cache.
+
+    ``reuse=True`` is only valid when the padded array is consumed before the
+    next op call (e.g. inference forward passes) — a workspace buffer handed
+    to an autograd closure would be clobbered by the next step.
+    """
+    if padding <= 0:
+        return x
+    n, c, h, w = x.shape
+    shape = (n, c, h + 2 * padding, w + 2 * padding)
+    if reuse:
+        out = _workspace(shape, x.dtype)
+        out.fill(0.0)
+        out[:, :, padding:-padding, padding:-padding] = x
+        return out
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def _conv_windows(
+    x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int, reuse_pad: bool = False
+) -> np.ndarray:
+    """Zero-copy sliding windows of shape ``(N, C, out_h, out_w, kH, kW)``.
+
+    The result is a strided view into (a padded copy of) ``x`` — no patch data
+    is materialised.
+    """
+    xp = _pad2d(x, padding, reuse=reuse_pad)
+    windows = sliding_window_view(xp, kernel, axis=(2, 3))
+    if stride > 1:
+        windows = windows[:, :, ::stride, ::stride]
+    return windows
+
+
 def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int) -> np.ndarray:
-    """Rearrange image patches into columns.
+    """Rearrange image patches into columns (zero-copy).
 
     Parameters
     ----------
@@ -56,7 +120,19 @@ def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int) ->
 
     Returns
     -------
-    Array of shape ``(N, C, kH, kW, out_h, out_w)``.
+    Array of shape ``(N, C, kH, kW, out_h, out_w)``.  This is a read-only
+    strided *view* of the (padded) input — consumers that need a contiguous
+    buffer must copy it explicitly.
+    """
+    return _conv_windows(x, kernel, stride, padding).transpose(0, 1, 4, 5, 2, 3)
+
+
+def im2col_reference(x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Copy-based im2col kept as the numerical reference for :func:`im2col`.
+
+    This is the seed implementation (explicit patch copies into a freshly
+    allocated 6-D buffer); tests and the operator benchmarks compare the
+    stride-trick fast path against it.
     """
     n, c, h, w = x.shape
     kh, kw = kernel
@@ -75,6 +151,31 @@ def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int) ->
     return cols
 
 
+def _scatter_windows(
+    grad_windows: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_conv_windows`: scatter-add window grads into an image.
+
+    ``grad_windows`` has the ``(N, C, out_h, out_w, kH, kW)`` window layout.
+    """
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h, out_w = grad_windows.shape[2:4]
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=grad_windows.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += grad_windows[:, :, :, :, i, j]
+    if padding > 0:
+        return np.ascontiguousarray(padded[:, :, padding:-padding, padding:-padding])
+    return padded
+
+
 def col2im(
     cols: np.ndarray,
     input_shape: tuple[int, int, int, int],
@@ -83,20 +184,7 @@ def col2im(
     padding: int,
 ) -> np.ndarray:
     """Inverse of :func:`im2col`: scatter-add columns back into an image."""
-    n, c, h, w = input_shape
-    kh, kw = kernel
-    out_h = conv_output_size(h, kh, stride, padding)
-    out_w = conv_output_size(w, kw, stride, padding)
-
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
-    for i in range(kh):
-        i_max = i + stride * out_h
-        for j in range(kw):
-            j_max = j + stride * out_w
-            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
-    if padding > 0:
-        return padded[:, :, padding:-padding, padding:-padding]
-    return padded
+    return _scatter_windows(cols.transpose(0, 1, 4, 5, 2, 3), input_shape, kernel, stride, padding)
 
 
 # --------------------------------------------------------------------------- #
@@ -135,35 +223,114 @@ def conv2d(
     if c_out % groups != 0:
         raise ValueError("output channels must be divisible by groups")
 
-    out_h = conv_output_size(h, kh, stride, padding)
-    out_w = conv_output_size(w, kw, stride, padding)
+    # The autograd closure retains the zero-copy window view, so the padded
+    # copy may only come from the workspace cache when no grad is needed.
+    grad_needed = is_grad_enabled() and (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    depthwise = c_in_g == 1 and groups == c_in
+    pointwise = kh == 1 and kw == 1 and groups == 1
+    multiplier = c_out // groups
 
-    cols = im2col(xd, (kh, kw), stride, padding)  # (N, C, kh, kw, oh, ow)
-    cols_mat = cols.reshape(n, groups, c_in_g * kh * kw, out_h * out_w)
-    w_mat = wd.reshape(groups, c_out // groups, c_in_g * kh * kw)
-
-    # (N, G, c_out/G, oh*ow)
-    out = np.einsum("goc,ngcp->ngop", w_mat, cols_mat, optimize=True)
-    out = out.reshape(n, c_out, out_h, out_w)
+    if pointwise:
+        # 1x1 fast path: a pure channel contraction, lowered to batched matmul
+        # (several times faster than the generic windowed einsum).
+        xp = _pad2d(xd, padding, reuse=not grad_needed)
+        xs = xp[:, :, ::stride, ::stride] if stride > 1 else xp
+        out_h, out_w = xs.shape[2:4]
+        x_flat = np.ascontiguousarray(xs).reshape(n, c_in, out_h * out_w)
+        w_mat = wd.reshape(c_out, c_in)
+        out = np.matmul(w_mat, x_flat).reshape(n, c_out, out_h, out_w)
+    else:
+        # (N, C, oh, ow, kH, kW) strided view — no patch data materialised.
+        windows = _conv_windows(xd, (kh, kw), stride, padding, reuse_pad=not grad_needed)
+        out_h, out_w = windows.shape[2:4]
+        if depthwise:
+            # Depthwise fast path: contract only over the window axes,
+            # skipping the grouped reshape dance entirely.
+            if multiplier == 1:
+                out = np.einsum("nchwij,cij->nchw", windows, wd[:, 0], optimize=True)
+            else:
+                w_dw = wd.reshape(c_in, multiplier, kh, kw)
+                out = np.einsum("nchwij,cmij->ncmhw", windows, w_dw, optimize=True)
+                out = out.reshape(n, c_out, out_h, out_w)
+        elif groups == 1:
+            out = np.einsum("nchwij,ocij->nohw", windows, wd, optimize=True)
+        else:
+            windows_g = windows.reshape(n, groups, c_in_g, out_h, out_w, kh, kw)
+            w_g = wd.reshape(groups, multiplier, c_in_g, kh, kw)
+            out = np.einsum("ngqhwij,goqij->ngohw", windows_g, w_g, optimize=True)
+            out = out.reshape(n, c_out, out_h, out_w)
     if bias is not None:
-        out = out + bias.data.reshape(1, c_out, 1, 1)
+        out += bias.data.reshape(1, c_out, 1, 1)
+
+    if not grad_needed:
+        return Tensor._make(out, (), None)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad):
         grad = np.asarray(grad, dtype=xd.dtype)
-        grad_mat = grad.reshape(n, groups, c_out // groups, out_h * out_w)
-
-        if weight.requires_grad:
-            grad_w = np.einsum("ngop,ngcp->goc", grad_mat, cols_mat, optimize=True)
-            weight._accumulate(grad_w.reshape(wd.shape))
         if bias is not None and bias.requires_grad:
-            bias._accumulate(grad.sum(axis=(0, 2, 3)))
-        if x.requires_grad:
-            grad_cols = np.einsum("goc,ngop->ngcp", w_mat, grad_mat, optimize=True)
-            grad_cols = grad_cols.reshape(n, c_in, kh, kw, out_h, out_w)
-            grad_x = col2im(grad_cols, xd.shape, (kh, kw), stride, padding)
-            x._accumulate(grad_x)
+            bias._accumulate(grad.sum(axis=(0, 2, 3)), owned=True)
+        if pointwise:
+            grad_flat = grad.reshape(n, c_out, out_h * out_w)
+            if weight.requires_grad:
+                grad_w = np.matmul(grad_flat, x_flat.transpose(0, 2, 1)).sum(axis=0)
+                weight._accumulate(grad_w.reshape(wd.shape), owned=True)
+            if x.requires_grad:
+                w_mat = wd.reshape(c_out, c_in)
+                grad_xs = np.matmul(w_mat.T, grad_flat).reshape(n, c_in, out_h, out_w)
+                if stride > 1 or padding > 0:
+                    grad_padded = np.zeros(
+                        (n, c_in, h + 2 * padding, w + 2 * padding), dtype=xd.dtype
+                    )
+                    grad_padded[:, :, : stride * out_h : stride, : stride * out_w : stride] = grad_xs
+                    if padding > 0:
+                        grad_xs = np.ascontiguousarray(
+                            grad_padded[:, :, padding:-padding, padding:-padding]
+                        )
+                    else:
+                        grad_xs = grad_padded
+                x._accumulate(grad_xs, owned=True)
+        elif depthwise:
+            grad_g = grad.reshape(n, c_in, multiplier, out_h, out_w)
+            if weight.requires_grad:
+                grad_w = np.einsum("ncmhw,nchwij->cmij", grad_g, windows, optimize=True)
+                weight._accumulate(grad_w.reshape(wd.shape), owned=True)
+            if x.requires_grad:
+                w_dw = wd.reshape(c_in, multiplier, kh, kw)
+                grad_windows = np.einsum("ncmhw,cmij->nchwij", grad_g, w_dw, optimize=True)
+                x._accumulate(
+                    _scatter_windows(grad_windows, xd.shape, (kh, kw), stride, padding),
+                    owned=True,
+                )
+        elif groups == 1:
+            if weight.requires_grad:
+                grad_w = np.einsum("nohw,nchwij->ocij", grad, windows, optimize=True)
+                weight._accumulate(grad_w, owned=True)
+            if x.requires_grad:
+                grad_windows = np.einsum("nohw,ocij->nchwij", grad, wd, optimize=True)
+                x._accumulate(
+                    _scatter_windows(grad_windows, xd.shape, (kh, kw), stride, padding),
+                    owned=True,
+                )
+        else:
+            grad_g = grad.reshape(n, groups, multiplier, out_h, out_w)
+            windows_g = windows.reshape(n, groups, c_in_g, out_h, out_w, kh, kw)
+            w_g = wd.reshape(groups, multiplier, c_in_g, kh, kw)
+            if weight.requires_grad:
+                grad_w = np.einsum("ngohw,ngqhwij->goqij", grad_g, windows_g, optimize=True)
+                weight._accumulate(grad_w.reshape(wd.shape), owned=True)
+            if x.requires_grad:
+                grad_windows = np.einsum("ngohw,goqij->ngqhwij", grad_g, w_g, optimize=True)
+                grad_windows = grad_windows.reshape(n, c_in, out_h, out_w, kh, kw)
+                x._accumulate(
+                    _scatter_windows(grad_windows, xd.shape, (kh, kw), stride, padding),
+                    owned=True,
+                )
 
     return Tensor._make(out, parents, backward)
 
@@ -171,41 +338,88 @@ def conv2d(
 # --------------------------------------------------------------------------- #
 # pooling
 # --------------------------------------------------------------------------- #
+def _pool_slices(xp: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int):
+    """Yield the ``kernel**2`` shifted strided slices covering every window.
+
+    Iterating window positions (not windows) turns pooling into a handful of
+    large elementwise passes over near-contiguous slices — much faster than
+    gathering a transposed window tensor.
+    """
+    for i in range(kernel):
+        i_max = i + stride * out_h
+        for j in range(kernel):
+            j_max = j + stride * out_w
+            yield i, j, xp[:, :, i:i_max:stride, j:j_max:stride]
+
+
 def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None, padding: int = 0) -> Tensor:
-    """Average pooling over ``kernel x kernel`` windows."""
+    """Average pooling over ``kernel x kernel`` windows (zeros in the padding)."""
     stride = stride or kernel
     xd = x.data
     n, c, h, w = xd.shape
-    cols = im2col(xd, (kernel, kernel), stride, padding)
-    out = cols.mean(axis=(2, 3))
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    # Nothing from the forward is retained for backward, so the padded copy
+    # may always come from the workspace cache.
+    xp = _pad2d(xd, padding, reuse=True)
+    out = None
+    for _, _, piece in _pool_slices(xp, kernel, stride, out_h, out_w):
+        if out is None:
+            out = piece.astype(xd.dtype, copy=True)
+        else:
+            out += piece
+    out *= 1.0 / (kernel * kernel)
 
     def backward(grad):
-        grad = np.asarray(grad, dtype=xd.dtype) / (kernel * kernel)
-        grad_cols = np.broadcast_to(
-            grad[:, :, None, None, :, :], (n, c, kernel, kernel) + grad.shape[2:]
+        grad = np.asarray(grad, dtype=xd.dtype) * (1.0 / (kernel * kernel))
+        grad_windows = np.broadcast_to(grad[:, :, :, :, None, None], grad.shape + (kernel, kernel))
+        x._accumulate(
+            _scatter_windows(grad_windows, xd.shape, (kernel, kernel), stride, padding),
+            owned=True,
         )
-        x._accumulate(col2im(np.ascontiguousarray(grad_cols), xd.shape, (kernel, kernel), stride, padding))
 
     return Tensor._make(out, (x,), backward)
 
 
 def max_pool2d(x: Tensor, kernel: int, stride: int | None = None, padding: int = 0) -> Tensor:
-    """Max pooling over ``kernel x kernel`` windows."""
+    """Max pooling over ``kernel x kernel`` windows (zeros in the padding)."""
     stride = stride or kernel
     xd = x.data
     n, c, h, w = xd.shape
-    cols = im2col(xd, (kernel, kernel), stride, padding)
-    flat = cols.reshape(n, c, kernel * kernel, cols.shape[4], cols.shape[5])
-    arg = flat.argmax(axis=2)
-    out = flat.max(axis=2)
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    grad_needed = is_grad_enabled() and x.requires_grad
+    # Backward re-derives the argmax from the retained padded input, so the
+    # workspace may only be reused when no gradient will flow.
+    xp = _pad2d(xd, padding, reuse=not grad_needed)
+    out = None
+    for _, _, piece in _pool_slices(xp, kernel, stride, out_h, out_w):
+        if out is None:
+            out = piece.copy()
+        else:
+            np.maximum(out, piece, out=out)
+
+    if not grad_needed:
+        return Tensor._make(out, (), None)
 
     def backward(grad):
         grad = np.asarray(grad, dtype=xd.dtype)
-        grad_flat = np.zeros_like(flat)
-        idx_n, idx_c, idx_h, idx_w = np.indices(arg.shape)
-        grad_flat[idx_n, idx_c, arg, idx_h, idx_w] = grad
-        grad_cols = grad_flat.reshape(cols.shape)
-        x._accumulate(col2im(grad_cols, xd.shape, (kernel, kernel), stride, padding))
+        # First-match scatter reproduces argmax tie-breaking (row-major window
+        # order) without materialising the window tensor in the forward pass.
+        grad_padded = np.zeros(xp.shape, dtype=xd.dtype)
+        taken = np.zeros((n, c, out_h, out_w), dtype=bool)
+        for i, j, piece in _pool_slices(xp, kernel, stride, out_h, out_w):
+            mask = piece == out
+            mask &= ~taken
+            i_max = i + stride * out_h
+            j_max = j + stride * out_w
+            grad_padded[:, :, i:i_max:stride, j:j_max:stride] += grad * mask
+            taken |= mask
+        if padding > 0:
+            grad_x = np.ascontiguousarray(grad_padded[:, :, padding:-padding, padding:-padding])
+        else:
+            grad_x = grad_padded
+        x._accumulate(grad_x, owned=True)
 
     return Tensor._make(out, (x,), backward)
 

@@ -141,15 +141,31 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Accumulate ``grad`` into this tensor's gradient buffer."""
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Accumulate ``grad`` into this tensor's gradient buffer.
+
+        ``owned=True`` asserts the caller freshly allocated ``grad`` and will
+        not reuse it, letting the first accumulation adopt the buffer instead
+        of copying it.  Ownership is only honoured for writable arrays that do
+        not alias another array (``base is None``), so passing a view or a
+        shared buffer with ``owned=True`` stays safe.
+        """
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        g = np.asarray(grad)
+        if g.dtype != self.data.dtype:
+            g = g.astype(self.data.dtype)
+            owned = True
+        if g.shape != self.data.shape:
+            g = _unbroadcast(g, self.data.shape)
+            owned = True
         if self.grad is None:
-            self.grad = grad.copy()
+            if owned and g.base is None and g.flags.writeable:
+                self.grad = g
+            else:
+                self.grad = g.copy()
         else:
-            self.grad += grad
+            self.grad += g
 
     # ------------------------------------------------------------------ #
     # backward pass
@@ -380,12 +396,29 @@ class Tensor:
         return Tensor._make(np.asarray(data), (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean reduction as a single fused tape node.
+
+        Implemented directly (rather than ``sum`` followed by a scalar
+        multiply) so one graph node and one backward broadcast cover the whole
+        reduction.
+        """
         if axis is None:
             count = self.data.size
         else:
             axes = (axis,) if isinstance(axis, int) else tuple(axis)
             count = int(np.prod([self.data.shape[a] for a in axes]))
-        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+        data = self.data.mean(axis=axis, keepdims=keepdims)
+        inv_count = 1.0 / max(count, 1)
+
+        def backward(grad):
+            g = np.asarray(grad) * inv_count
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(np.asarray(data), (self,), backward)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         data = self.data.max(axis=axis, keepdims=keepdims)

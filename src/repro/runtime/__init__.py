@@ -1,0 +1,23 @@
+"""Fused inference runtime.
+
+Turn a trained eager :class:`~repro.nn.module.Module` into a
+:class:`CompiledNet` executing fused NumPy kernels::
+
+    from repro.runtime import compile
+
+    net = compile(model)          # folds BN, fuses conv+bias+act
+    logits = net(images)          # Tensor in, detached Tensor out
+    raw = net.numpy_forward(arr)  # ndarray in, ndarray out
+
+``compile`` snapshots the weights — recompile after further training.  The
+:func:`~repro.train.trainer.evaluate` helper and the latency tooling in
+:mod:`repro.eval` use this path by default.
+"""
+
+from .compiler import CompiledNet, activation_spec, compile_net, fold_conv_bn
+from . import kernels
+
+# torch.compile-style alias; shadows the builtin only inside this namespace.
+compile = compile_net
+
+__all__ = ["compile", "compile_net", "CompiledNet", "fold_conv_bn", "activation_spec", "kernels"]

@@ -1,0 +1,341 @@
+"""Compile trained modules into fused inference programs.
+
+:func:`compile_net` walks an eager :class:`~repro.nn.module.Module` tree and
+lowers it to a flat chain of op nodes over raw NumPy arrays:
+
+* eval-mode **BatchNorm is folded** into the preceding convolution / linear
+  weights (``w' = w * gamma / sqrt(var + eps)``), disappearing entirely;
+* **conv + bias + activation** become a single fused kernel call;
+* known composite blocks (``ConvBNAct``, ``InvertedResidual``, ``BasicBlock``,
+  ``Bottleneck``) and classifier heads (``MobileNetV2``, ``MCUNet``) lower
+  structurally;
+* anything unrecognised falls back to the eager module under ``no_grad`` — a
+  compiled net is therefore always *correct*, merely less fused.
+
+Compilation snapshots the weights: after further training, call
+:func:`compile_net` again to pick up the new parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .. import nn
+from ..models.blocks import BasicBlock, Bottleneck, ConvBNAct, InvertedResidual
+from ..models.mcunet import MCUNet
+from ..models.mobilenetv2 import MobileNetV2
+from ..nn.norm import FrozenBatchNorm2d
+from . import kernels
+
+__all__ = ["CompiledNet", "compile_net", "fold_conv_bn", "activation_spec"]
+
+
+class _Unsupported(Exception):
+    """Raised by lowering helpers when a module has no fused equivalent."""
+
+
+# --------------------------------------------------------------------------- #
+# folding helpers
+# --------------------------------------------------------------------------- #
+def _bn_scale_shift(bn) -> tuple[np.ndarray, np.ndarray]:
+    """Eval-mode scale/shift of a (frozen) batch-norm layer."""
+    if isinstance(bn, FrozenBatchNorm2d):
+        return bn.scale_and_shift()
+    scale = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
+    shift = bn.bias.data - bn.running_mean * scale
+    return scale.astype(np.float32), shift.astype(np.float32)
+
+
+def fold_conv_bn(
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    scale: np.ndarray,
+    shift: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold a per-output-channel affine into convolution weights.
+
+    Returns new ``(weight, bias)`` such that
+    ``conv(x, w', b') == affine(conv(x, w, b), scale, shift)``.
+    """
+    folded_w = weight * scale.reshape((-1,) + (1,) * (weight.ndim - 1))
+    folded_b = shift if bias is None else bias * scale + shift
+    return folded_w.astype(weight.dtype), np.asarray(folded_b, dtype=weight.dtype)
+
+
+def activation_spec(module: nn.Module) -> tuple | None:
+    """Lower an activation module to a kernel spec tuple (None = identity)."""
+    if isinstance(module, nn.Identity):
+        return None
+    if isinstance(module, nn.DecayableReLU6):  # before DecayableReLU (subclass)
+        if module.alpha >= 1.0:
+            return None
+        if module.alpha <= 0.0:
+            return ("relu6",)
+        return ("relu6_interp", module.alpha)
+    if isinstance(module, nn.DecayableReLU):
+        if module.alpha >= 1.0:
+            return None
+        if module.alpha <= 0.0:
+            return ("relu",)
+        return ("leaky", module.alpha)
+    if isinstance(module, nn.ReLU):
+        return ("relu",)
+    if isinstance(module, nn.ReLU6):
+        return ("relu6",)
+    if isinstance(module, nn.LeakyReLU):
+        return ("leaky", module.slope)
+    if isinstance(module, nn.Sigmoid):
+        return ("sigmoid",)
+    if isinstance(module, nn.Tanh):
+        return ("tanh",)
+    if isinstance(module, nn.Swish):
+        return ("swish",)
+    if isinstance(module, nn.HardSigmoid):
+        return ("hardsigmoid",)
+    if isinstance(module, nn.HardSwish):
+        return ("hardswish",)
+    raise _Unsupported(type(module).__name__)
+
+
+# --------------------------------------------------------------------------- #
+# op nodes
+# --------------------------------------------------------------------------- #
+class ConvOp:
+    """Fused convolution; owns folded weight/bias copies."""
+
+    def __init__(self, conv: nn.Conv2d):
+        self.weight = conv.weight.data.copy()
+        self.bias = None if conv.bias is None else conv.bias.data.copy()
+        self.stride = conv.stride
+        self.padding = conv.padding
+        self.groups = conv.groups
+        self.activation: tuple | None = None
+
+    def fold_affine(self, scale: np.ndarray, shift: np.ndarray) -> None:
+        self.weight, self.bias = fold_conv_bn(self.weight, self.bias, scale, shift)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return kernels.fused_conv2d(
+            x, self.weight, self.bias, self.stride, self.padding, self.groups, self.activation
+        )
+
+
+class LinearOp:
+    def __init__(self, linear: nn.Linear):
+        self.weight = linear.weight.data.copy()
+        self.bias = None if linear.bias is None else linear.bias.data.copy()
+        self.activation: tuple | None = None
+
+    def fold_affine(self, scale: np.ndarray, shift: np.ndarray) -> None:
+        self.weight = self.weight * scale[:, None]
+        self.bias = shift if self.bias is None else self.bias * scale + shift
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return kernels.fused_linear(x, self.weight, self.bias, self.activation)
+
+
+class AffineOp:
+    """Standalone eval-mode batch norm (not preceded by a foldable conv)."""
+
+    def __init__(self, scale: np.ndarray, shift: np.ndarray):
+        self.scale = scale.copy()
+        self.shift = shift.copy()
+        self.activation: tuple | None = None
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return kernels.affine_channels(x, self.scale, self.shift, self.activation)
+
+
+class ActivationOp:
+    """Standalone activation; never mutates its input (may be a residual)."""
+
+    def __init__(self, act: tuple):
+        self.act = act
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return kernels.apply_activation(x, self.act, inplace=False)
+
+
+class MaxPoolOp:
+    def __init__(self, pool: nn.MaxPool2d):
+        self.kernel, self.stride, self.padding = pool.kernel_size, pool.stride, pool.padding
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return kernels.max_pool2d_raw(x, self.kernel, self.stride, self.padding)
+
+
+class AvgPoolOp:
+    def __init__(self, pool: nn.AvgPool2d):
+        self.kernel, self.stride, self.padding = pool.kernel_size, pool.stride, pool.padding
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return kernels.avg_pool2d_raw(x, self.kernel, self.stride, self.padding)
+
+
+class GlobalAvgPoolOp:
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return kernels.global_avg_pool2d_raw(x)
+
+
+class FlattenOp:
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+class ChainOp:
+    """Run a list of ops in order."""
+
+    def __init__(self, ops: list):
+        self.ops = ops
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        for op in self.ops:
+            x = op(x)
+        return x
+
+
+class ResidualOp:
+    """``body(x) + x``; body must end in a kernel producing a fresh buffer."""
+
+    def __init__(self, body):
+        self.body = body
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = self.body(x)
+        if out is x:  # degenerate empty body: never mutate the input
+            return x + x
+        out += x
+        return out
+
+
+class EagerOp:
+    """Correctness fallback: run the eager module in eval mode under no_grad."""
+
+    def __init__(self, module: nn.Module):
+        self.module = module
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        was_training = self.module.training
+        self.module.eval()
+        try:
+            with nn.no_grad():
+                out = self.module(nn.Tensor(x))
+        finally:
+            self.module.train(was_training)
+        return out.data if isinstance(out, nn.Tensor) else np.asarray(out)
+
+
+# --------------------------------------------------------------------------- #
+# lowering
+# --------------------------------------------------------------------------- #
+def _fuse(ops: list) -> list:
+    """Peephole pass: fold affines into conv/linear, attach activations."""
+    fused: list = []
+    for op in ops:
+        prev = fused[-1] if fused else None
+        if isinstance(op, AffineOp) and isinstance(prev, (ConvOp, LinearOp)) and prev.activation is None:
+            prev.fold_affine(op.scale, op.shift)
+        elif isinstance(op, ActivationOp) and isinstance(prev, (ConvOp, LinearOp, AffineOp)) and prev.activation is None:
+            prev.activation = op.act
+        else:
+            fused.append(op)
+    return fused
+
+
+def _lower_sequence(modules: list[nn.Module]) -> ChainOp:
+    ops: list = []
+    for module in modules:
+        op = _lower(module)
+        if op is None:
+            continue
+        if isinstance(op, ChainOp):
+            ops.extend(op.ops)
+        else:
+            ops.append(op)
+    return ChainOp(_fuse(ops))
+
+
+def _lower(module: nn.Module):
+    """Lower one module to an op node (``None`` elides identity ops)."""
+    if isinstance(module, (nn.Identity, nn.Dropout)):
+        return None  # dropout is the identity at inference time
+    if isinstance(module, nn.Conv2d):
+        return ConvOp(module)
+    if isinstance(module, nn.Linear):
+        return LinearOp(module)
+    if isinstance(module, (nn.BatchNorm2d, FrozenBatchNorm2d)):
+        return AffineOp(*_bn_scale_shift(module))
+    if isinstance(module, nn.MaxPool2d):
+        return MaxPoolOp(module)
+    if isinstance(module, nn.AvgPool2d):
+        return AvgPoolOp(module)
+    if isinstance(module, nn.GlobalAvgPool2d):
+        return GlobalAvgPoolOp()
+    if isinstance(module, nn.Flatten):
+        return FlattenOp()
+    if isinstance(module, nn.Sequential):
+        return _lower_sequence(list(module._modules.values()))
+    if isinstance(module, ConvBNAct):
+        return _lower_sequence([module.conv, module.bn, module.act])
+    if isinstance(module, InvertedResidual):
+        body = _lower_sequence([module.expand, module.depthwise, module.project])
+        return ResidualOp(body) if module.use_residual else body
+    if isinstance(module, BasicBlock):
+        body = _lower_sequence([module.conv1, module.conv2])
+        return ResidualOp(body) if module.use_residual else body
+    if isinstance(module, Bottleneck):
+        body = _lower_sequence([module.reduce, module.spatial, module.expand])
+        return ResidualOp(body) if module.use_residual else body
+    if isinstance(module, MobileNetV2):
+        return _lower_sequence(
+            [module.features, module.pool, module.flatten, module.dropout, module.classifier]
+        )
+    if isinstance(module, MCUNet):
+        return _lower_sequence([module.features, module.pool, module.flatten, module.classifier])
+    try:
+        spec = activation_spec(module)
+    except _Unsupported:
+        return EagerOp(module)
+    return ActivationOp(spec) if spec is not None else None
+
+
+# --------------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------------- #
+class CompiledNet:
+    """A model lowered to fused NumPy kernels for inference.
+
+    Callable like the eager module: accepts a :class:`~repro.nn.tensor.Tensor`
+    or ``ndarray`` and returns a detached ``Tensor``.  Use
+    :meth:`numpy_forward` to stay entirely in ``ndarray`` land.
+    """
+
+    def __init__(self, program: Callable[[np.ndarray], np.ndarray], source: nn.Module):
+        self._program = program
+        self.source = source
+
+    def numpy_forward(self, x: np.ndarray) -> np.ndarray:
+        return self._program(np.ascontiguousarray(x, dtype=np.float32))
+
+    def __call__(self, x) -> nn.Tensor:
+        data = x.data if isinstance(x, nn.Tensor) else np.asarray(x, dtype=np.float32)
+        return nn.Tensor(self.numpy_forward(data))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledNet(source={type(self.source).__name__})"
+
+
+def compile_net(model: nn.Module) -> CompiledNet:
+    """Compile ``model`` into a :class:`CompiledNet` for fused inference.
+
+    BatchNorm layers are folded using their *current* running statistics and
+    weights — recompile after any further training.  Unrecognised submodules
+    run eagerly, so compilation never changes semantics beyond eval-mode
+    float reassociation (differences are at round-off level).
+    """
+    op = _lower(model)
+    if op is None:
+        op = ChainOp([])
+    return CompiledNet(op, model)

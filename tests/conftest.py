@@ -1,12 +1,24 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+The reusable helper functions (``make_tensor``, ``numerical_gradient``,
+``assert_gradients_close``) live in :mod:`helpers` — importing them from a
+conftest module is ambiguous once more than one conftest exists on
+``sys.path`` (the benchmark suite has its own).
+"""
 
 from __future__ import annotations
+
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.nn.tensor import Tensor
 from repro.utils import seed_everything
+
+# Guarantee `from helpers import ...` resolves to tests/helpers.py no matter
+# which rootdir pytest picked.
+sys.path.insert(0, str(Path(__file__).parent))
 
 
 @pytest.fixture(autouse=True)
@@ -19,28 +31,3 @@ def _seed_everything():
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(0)
-
-
-def numerical_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
-    """Central finite-difference gradient of a scalar function of ``array``."""
-    grad = np.zeros_like(array, dtype=np.float64)
-    iterator = np.nditer(array, flags=["multi_index"])
-    for _ in iterator:
-        index = iterator.multi_index
-        original = array[index]
-        array[index] = original + eps
-        plus = func()
-        array[index] = original - eps
-        minus = func()
-        array[index] = original
-        grad[index] = (plus - minus) / (2 * eps)
-    return grad
-
-
-def assert_gradients_close(analytic: np.ndarray, numeric: np.ndarray, atol: float = 1e-5):
-    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=atol)
-
-
-def make_tensor(shape, rng: np.random.Generator | None = None, requires_grad: bool = True) -> Tensor:
-    rng = rng or np.random.default_rng(0)
-    return Tensor(rng.normal(size=shape), requires_grad=requires_grad, dtype=np.float64)

@@ -1,0 +1,40 @@
+"""Shared test helpers (gradient checking, tensor factories).
+
+Kept in a uniquely-named module (not ``conftest.py``) so ``from helpers
+import ...`` resolves unambiguously regardless of pytest's rootdir ordering —
+``benchmarks/conftest.py`` would otherwise shadow ``tests/conftest.py`` on
+``sys.path``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["numerical_gradient", "assert_gradients_close", "make_tensor"]
+
+
+def numerical_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function of ``array``."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    iterator = np.nditer(array, flags=["multi_index"])
+    for _ in iterator:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = func()
+        array[index] = original - eps
+        minus = func()
+        array[index] = original
+        grad[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_gradients_close(analytic: np.ndarray, numeric: np.ndarray, atol: float = 1e-5):
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=atol)
+
+
+def make_tensor(shape, rng: np.random.Generator | None = None, requires_grad: bool = True) -> Tensor:
+    rng = rng or np.random.default_rng(0)
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad, dtype=np.float64)

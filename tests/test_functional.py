@@ -6,7 +6,7 @@ import pytest
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 
-from conftest import assert_gradients_close, make_tensor, numerical_gradient
+from helpers import assert_gradients_close, make_tensor, numerical_gradient
 
 
 class TestIm2Col:
@@ -68,6 +68,24 @@ class TestConv2d:
             assert_gradients_close(w.grad, numerical_gradient(f, w.data))
             assert_gradients_close(b.grad, numerical_gradient(f, b.data))
 
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 0), (1, 1), (2, 1)])
+    def test_pointwise_fast_path_gradients(self, rng, stride, padding):
+        """The 1x1 matmul fast path must match numerical gradients."""
+        x = make_tensor((2, 3, 6, 6), rng)
+        w = make_tensor((4, 3, 1, 1), rng)
+        b = make_tensor((4,), rng)
+        out = F.conv2d(x, w, b, stride=stride, padding=padding)
+        (out * out).sum().backward()
+
+        def f():
+            return float(
+                (F.conv2d(Tensor(x.data, dtype=np.float64), Tensor(w.data, dtype=np.float64), Tensor(b.data, dtype=np.float64), stride, padding).data ** 2).sum()
+            )
+
+        assert_gradients_close(x.grad, numerical_gradient(f, x.data))
+        assert_gradients_close(w.grad, numerical_gradient(f, w.data))
+        assert_gradients_close(b.grad, numerical_gradient(f, b.data))
+
     def test_channel_mismatch_raises(self):
         x = Tensor(np.zeros((1, 3, 4, 4)))
         w = Tensor(np.zeros((2, 4, 1, 1)))
@@ -103,6 +121,18 @@ class TestPooling:
 
             def f():
                 return float((pool(Tensor(x.data, dtype=np.float64), 2).data ** 2).sum())
+
+            assert_gradients_close(x.grad, numerical_gradient(f, x.data))
+
+    @pytest.mark.parametrize("stride,padding", [(2, 0), (2, 1), (3, 1)])
+    def test_strided_padded_pool_gradients(self, rng, stride, padding):
+        """Overlapping/strided/padded windows through the slice-based backward."""
+        for pool in (F.avg_pool2d, F.max_pool2d):
+            x = make_tensor((2, 2, 7, 7), rng)
+            (pool(x, 3, stride, padding) ** 2).sum().backward()
+
+            def f():
+                return float((pool(Tensor(x.data, dtype=np.float64), 3, stride, padding).data ** 2).sum())
 
             assert_gradients_close(x.grad, numerical_gradient(f, x.data))
 

@@ -6,7 +6,7 @@ import pytest
 from repro import nn
 from repro.nn import functional as F
 
-from conftest import make_tensor
+from helpers import make_tensor
 
 
 def _logits(rng, n=6, classes=4):

@@ -6,7 +6,7 @@ import pytest
 from repro import nn
 from repro.nn.norm import FrozenBatchNorm2d, GroupNorm, InstanceNorm2d, LayerNorm
 
-from conftest import make_tensor
+from helpers import make_tensor
 
 
 class TestGroupNorm:

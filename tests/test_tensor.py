@@ -5,7 +5,7 @@ import pytest
 
 from repro.nn.tensor import Tensor, no_grad
 
-from conftest import assert_gradients_close, make_tensor, numerical_gradient
+from helpers import assert_gradients_close, make_tensor, numerical_gradient
 
 
 class TestBasics:
