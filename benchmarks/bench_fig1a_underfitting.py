@@ -63,3 +63,9 @@ def test_fig1a_underfitting(benchmark):
     # (both bounds widened to the CPU-scale single-seed noise floor).
     assert results["DropBlock"] <= results["Vanilla"] + 3.0
     assert results["NetBooster"] >= results["Vanilla"] - 2.5
+
+
+if __name__ == "__main__":  # standalone run through the orchestrator cache
+    from common import bench_main
+
+    raise SystemExit(bench_main(run_fig1a))

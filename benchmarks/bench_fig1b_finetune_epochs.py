@@ -76,3 +76,9 @@ def test_fig1b_finetune_epochs(benchmark):
     # being transformatively better) without claiming the paper's 0.2-point gap.
     assert results["vanilla 4x"] - results["vanilla 1x"] <= 15.0
     assert results["NetBooster"] >= results["vanilla 1x"] - 8.0
+
+
+if __name__ == "__main__":  # standalone run through the orchestrator cache
+    from common import bench_main
+
+    raise SystemExit(bench_main(run_fig1b))

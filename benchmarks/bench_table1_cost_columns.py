@@ -77,3 +77,9 @@ def test_table1_cost_columns(benchmark):
     assert measured_order == paper_order
     # Contraction never changes the inference cost (paper Eq. 4 remark).
     assert all(results[n]["contracted_matches"] for n in NETWORKS)
+
+
+if __name__ == "__main__":  # standalone run through the orchestrator cache
+    from common import bench_main
+
+    raise SystemExit(bench_main(run_cost_columns))

@@ -114,3 +114,9 @@ def test_table1_imagenet(benchmark):
     assert tiny["NetBooster"] >= tiny["Vanilla"] - 2.5
     best_baseline = max(v for k, v in tiny.items() if k != "NetBooster")
     assert tiny["NetBooster"] >= best_baseline - 6.0
+
+
+if __name__ == "__main__":  # standalone run through the orchestrator cache
+    from common import bench_main
+
+    raise SystemExit(bench_main(run_table1))

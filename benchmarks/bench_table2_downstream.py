@@ -122,3 +122,9 @@ def test_table2_downstream(benchmark):
     mean_vanilla = sum(results[d]["Vanilla"] for d in DATASETS) / len(DATASETS)
     mean_booster = sum(results[d]["NetBooster"] for d in DATASETS) / len(DATASETS)
     assert mean_booster >= mean_vanilla - 4.0
+
+
+if __name__ == "__main__":  # standalone run through the orchestrator cache
+    from common import bench_main
+
+    raise SystemExit(bench_main(run_table2))

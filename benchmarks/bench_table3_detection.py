@@ -89,3 +89,9 @@ def test_table3_detection(benchmark):
     # NetBooster should not fall behind vanilla by more than noise.
     assert all(0.0 <= v <= 100.0 for v in results.values())
     assert results["NetBooster"] >= results["Vanilla"] - 10.0
+
+
+if __name__ == "__main__":  # standalone run through the orchestrator cache
+    from common import bench_main
+
+    raise SystemExit(bench_main(run_table3))

@@ -62,3 +62,9 @@ def test_table4_block_type(benchmark):
     # noise floor is a few points per variant, so we only require the three
     # variants to stay within that widened band of one another.
     assert max(finals.values()) - min(finals.values()) <= 12.0
+
+
+if __name__ == "__main__":  # standalone run through the orchestrator cache
+    from common import bench_main
+
+    raise SystemExit(bench_main(run_table4))

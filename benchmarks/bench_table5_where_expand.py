@@ -70,3 +70,9 @@ def test_table5_where_expand(benchmark):
     # within the single-seed noise band of the best placement rather than
     # strictly the maximum.
     assert placements["uniform"] >= max(placements.values()) - 8.0
+
+
+if __name__ == "__main__":  # standalone run through the orchestrator cache
+    from common import bench_main
+
+    raise SystemExit(bench_main(run_table5))

@@ -64,3 +64,9 @@ def test_table6_expansion_ratio(benchmark):
     # The band below reflects the CPU-scale single-seed noise floor.
     assert max(ratios) - min(ratios) <= 12.0
     assert max(ratios) >= results["Vanilla"] - 2.5
+
+
+if __name__ == "__main__":  # standalone run through the orchestrator cache
+    from common import bench_main
+
+    raise SystemExit(bench_main(run_table6))

@@ -3,10 +3,13 @@
 Every benchmark regenerates one table or figure of the NetBooster paper on the
 synthetic substrate.  Because several tables reuse the same pretrained models
 (the vanilla TNN, the NetBooster deep giant, the KD teacher), this module
-caches those runs at process level so the whole suite stays within a CPU
-budget.
+routes those artifacts through the **experiment orchestrator's shared steps**
+(:mod:`repro.experiments.registry`) and its content-addressed on-disk cache
+(:mod:`repro.experiments.cache`): the first benchmark to need an artifact
+trains and stores it, every later benchmark — in this process or any other —
+loads it from disk.
 
-Two environment variables control the workload:
+Three environment variables control the workload:
 
 * ``REPRO_BENCH_SCALE`` — ``"small"`` (default) or ``"full"``; the full scale
   uses more classes/samples/epochs and is closer to the under-fitting regime
@@ -14,17 +17,21 @@ Two environment variables control the workload:
 * ``REPRO_BENCH_FULL_NETWORKS`` — set to ``1`` to benchmark every network of
   Table I (MobileNetV2-50/100 are expensive); by default Table I covers
   MobileNetV2-Tiny and MCUNet.
+* ``REPRO_CACHE_DIR`` — cache root shared with ``python -m repro.experiments
+  run-all`` (default ``.repro_cache``); ``REPRO_BENCH_CACHE=0`` disables the
+  on-disk cache and keeps artifacts in-process only.
 """
 
 from __future__ import annotations
 
-import copy
 import os
-from dataclasses import dataclass
 
 from repro.baselines import make_teacher
 from repro.core import ExpansionConfig, NetBooster, NetBoosterConfig
 from repro.data import SyntheticImageNet, SyntheticVOC, downstream_dataset
+from repro.experiments import ExperimentScale, ResultCache, StepContext
+from repro.experiments.cache import Artifact
+from repro.experiments.registry import history_from_meta, history_to_meta, rebuild_giant, rebuild_model
 from repro.models import create_model
 from repro.train import Trainer, evaluate
 from repro.utils import ExperimentConfig, seed_everything
@@ -32,6 +39,7 @@ from repro.utils import ExperimentConfig, seed_everything
 __all__ = [
     "BenchProfile",
     "PROFILE",
+    "CONTEXT",
     "get_corpus",
     "get_downstream",
     "get_voc",
@@ -40,87 +48,48 @@ __all__ = [
     "get_vanilla_pretrained",
     "get_pretrained_giant",
     "get_teacher",
+    "netbooster_accuracy",
     "print_table",
     "format_row",
 ]
 
+# The benchmark profile *is* an orchestrator scale: identical knobs, shared
+# cache keys.  ``BenchProfile`` is kept as an alias for older call sites.
+BenchProfile = ExperimentScale
 
-@dataclass(frozen=True)
-class BenchProfile:
-    """Scaled-down workload standing in for the paper's training recipes."""
+PROFILE: ExperimentScale = ExperimentScale.named(os.environ.get("REPRO_BENCH_SCALE", "small"))
 
-    num_classes: int
-    samples_per_class: int
-    val_samples_per_class: int
-    resolution: int
-    intra_class_std: float
-    pretrain_epochs: int
-    finetune_epochs: int
-    batch_size: int
-    lr: float
-    finetune_lr: float
-    seed: int = 0
-
-
-_SMALL = BenchProfile(
-    num_classes=16,
-    samples_per_class=120,
-    val_samples_per_class=40,
-    resolution=20,
-    intra_class_std=1.0,
-    pretrain_epochs=12,
-    finetune_epochs=6,
-    batch_size=64,
-    lr=0.1,
-    finetune_lr=0.03,
+#: Dependency resolver shared by the whole benchmark process; backed by the
+#: same on-disk cache the orchestrator uses unless REPRO_BENCH_CACHE=0.
+CONTEXT = StepContext(
+    PROFILE,
+    cache=None if os.environ.get("REPRO_BENCH_CACHE", "1") == "0" else ResultCache(),
 )
 
-_FULL = BenchProfile(
-    num_classes=20,
-    samples_per_class=200,
-    val_samples_per_class=50,
-    resolution=24,
-    intra_class_std=1.0,
-    pretrain_epochs=24,
-    finetune_epochs=10,
-    batch_size=64,
-    lr=0.1,
-    finetune_lr=0.03,
-)
-
-PROFILE: BenchProfile = _FULL if os.environ.get("REPRO_BENCH_SCALE", "small") == "full" else _SMALL
-
-_CACHE: dict[str, object] = {}
+_DATASETS: dict[str, object] = {}
 
 
 def get_corpus() -> SyntheticImageNet:
     """The shared large-scale pretraining corpus (stand-in for ImageNet)."""
-    if "corpus" not in _CACHE:
-        seed_everything(PROFILE.seed)
-        _CACHE["corpus"] = SyntheticImageNet(
-            num_classes=PROFILE.num_classes,
-            samples_per_class=PROFILE.samples_per_class,
-            val_samples_per_class=PROFILE.val_samples_per_class,
-            resolution=PROFILE.resolution,
-            intra_class_std=PROFILE.intra_class_std,
-        )
-    return _CACHE["corpus"]
+    if "corpus" not in _DATASETS:
+        _DATASETS["corpus"] = PROFILE.corpus()
+    return _DATASETS["corpus"]
 
 
 def get_downstream(name: str):
     """A named downstream dataset at the profile resolution."""
     key = f"downstream::{name}"
-    if key not in _CACHE:
-        _CACHE[key] = downstream_dataset(name, resolution=PROFILE.resolution)
-    return _CACHE[key]
+    if key not in _DATASETS:
+        _DATASETS[key] = downstream_dataset(name, resolution=PROFILE.resolution)
+    return _DATASETS[key]
 
 
 def get_voc() -> SyntheticVOC:
     """The synthetic detection benchmark."""
-    if "voc" not in _CACHE:
+    if "voc" not in _DATASETS:
         seed_everything(PROFILE.seed)
-        _CACHE["voc"] = SyntheticVOC(num_classes=5, num_train=72, num_val=32, resolution=32, object_size=12)
-    return _CACHE["voc"]
+        _DATASETS["voc"] = SyntheticVOC(num_classes=5, num_train=72, num_val=32, resolution=32, object_size=12)
+    return _DATASETS["voc"]
 
 
 def make_model(name: str):
@@ -130,21 +99,17 @@ def make_model(name: str):
 
 
 def pretrain_config(epochs: int | None = None) -> ExperimentConfig:
-    return ExperimentConfig(
-        epochs=epochs if epochs is not None else PROFILE.pretrain_epochs,
-        batch_size=PROFILE.batch_size,
-        lr=PROFILE.lr,
-        seed=PROFILE.seed,
-    )
+    config = PROFILE.pretrain_config()
+    return config if epochs is None else config.replace(epochs=epochs)
 
 
 def finetune_config(epochs: int | None = None, lr: float | None = None) -> ExperimentConfig:
-    return ExperimentConfig(
-        epochs=epochs if epochs is not None else PROFILE.finetune_epochs,
-        batch_size=32,
-        lr=lr if lr is not None else PROFILE.finetune_lr,
-        seed=PROFILE.seed,
-    )
+    config = PROFILE.finetune_config().replace(batch_size=32)
+    if epochs is not None:
+        config = config.replace(epochs=epochs)
+    if lr is not None:
+        config = config.replace(lr=lr)
+    return config
 
 
 def make_booster(expansion: ExpansionConfig | None = None) -> NetBooster:
@@ -160,57 +125,76 @@ def make_booster(expansion: ExpansionConfig | None = None) -> NetBooster:
 
 
 def get_vanilla_pretrained(model_name: str):
-    """Vanilla-trained model on the corpus (cached), with its history."""
-    key = f"vanilla::{model_name}"
-    if key not in _CACHE:
-        corpus = get_corpus()
-        model = make_model(model_name)
-        # The vanilla baseline gets the same total epoch budget as NetBooster
-        # (pretraining + PLT finetuning), mirroring the paper's setup.
-        config = pretrain_config(PROFILE.pretrain_epochs + PROFILE.finetune_epochs)
-        trainer = Trainer(model, config)
-        history = trainer.fit(corpus.train, corpus.val)
-        _CACHE[key] = (model, history)
-    model, history = _CACHE[key]
-    return copy.deepcopy(model), history
+    """Vanilla-trained model on the corpus (cached), with its history.
+
+    Resolves the orchestrator's ``vanilla/<model>`` shared step: the vanilla
+    baseline gets the same total epoch budget as NetBooster (pretraining +
+    PLT finetuning), mirroring the paper's setup.
+    """
+    artifact = CONTEXT.dep(f"vanilla/{model_name}")
+    model = rebuild_model(model_name, PROFILE, artifact)
+    return model, history_from_meta(artifact.meta["history"])
 
 
 def get_pretrained_giant(model_name: str, expansion: ExpansionConfig | None = None):
     """NetBooster deep giant pretrained on the corpus (cached, before PLT)."""
-    suffix = "default" if expansion is None else repr(expansion)
-    key = f"giant::{model_name}::{suffix}"
-    if key not in _CACHE:
-        corpus = get_corpus()
-        booster = make_booster(expansion)
-        giant, records = booster.build_giant(make_model(model_name))
-        history = booster.pretrain_giant(giant, corpus.train, corpus.val)
-        _CACHE[key] = (giant, records, history)
-    giant, records, history = _CACHE[key]
-    return copy.deepcopy(giant), records, history
+    if expansion is None:
+        artifact = CONTEXT.dep(f"giant/{model_name}")
+    else:
+        def compute() -> Artifact:
+            corpus = get_corpus()
+            seed_everything(PROFILE.seed + 2)
+            booster = make_booster(expansion)
+            giant, _records = booster.build_giant(make_model(model_name))
+            history = booster.pretrain_giant(giant, corpus.train, corpus.val)
+
+            return Artifact(meta={"history": history_to_meta(history)}, states={"giant": dict(giant.state_dict())})
+
+        artifact = CONTEXT.cached_call(
+            f"bench/giant/{model_name}", compute, extra={"expansion": repr(expansion)}
+        )
+    giant, records, _booster = rebuild_giant(model_name, PROFILE, artifact, expansion)
+    return giant, records, history_from_meta(artifact.meta["history"])
 
 
 def get_teacher():
     """A larger pretrained network used by the KD baselines (cached)."""
-    if "teacher" not in _CACHE:
+
+    def compute() -> Artifact:
         corpus = get_corpus()
         seed_everything(PROFILE.seed + 7)
         teacher = make_teacher(make_model("mobilenetv2-tiny"), PROFILE.num_classes, width_factor=2.5)
         Trainer(teacher, pretrain_config()).fit(corpus.train, None)
-        _CACHE["teacher"] = teacher
-    return _CACHE["teacher"]
+        return Artifact(states={"teacher": dict(teacher.state_dict())})
+
+    artifact = CONTEXT.cached_call("bench/teacher", compute)
+    seed_everything(PROFILE.seed + 7)
+    teacher = make_teacher(make_model("mobilenetv2-tiny"), PROFILE.num_classes, width_factor=2.5)
+    teacher.load_state_dict(artifact.states["teacher"], strict=True)
+    return teacher
 
 
 def netbooster_accuracy(model_name: str) -> float:
     """Full NetBooster pipeline accuracy on the corpus (cached per network)."""
-    key = f"netbooster_acc::{model_name}"
-    if key not in _CACHE:
-        corpus = get_corpus()
-        booster = make_booster()
-        giant, records, _ = get_pretrained_giant(model_name)
-        booster.plt_finetune(giant, corpus.train, corpus.val)
-        contracted = booster.contract(giant, records)
-        _CACHE[key] = evaluate(contracted, corpus.val)
-    return _CACHE[key]
+    return float(CONTEXT.dep(f"netbooster/{model_name}").meta["final_accuracy"])
+
+
+def bench_main(run_fn):
+    """Standalone entry point for one benchmark file.
+
+    Runs the benchmark body directly (``python benchmarks/bench_xxx.py``)
+    against the orchestrator's shared on-disk cache, so artifacts trained
+    here are reused by ``python -m repro.experiments run-all`` and vice
+    versa.  Returns a process exit code.
+    """
+    import time
+
+    where = CONTEXT.cache.root if CONTEXT.cache is not None else "disabled (REPRO_BENCH_CACHE=0)"
+    print(f"profile: {PROFILE}\nresult cache: {where}")
+    started = time.perf_counter()
+    run_fn()
+    print(f"\ncompleted in {time.perf_counter() - started:.1f}s")
+    return 0
 
 
 # --------------------------------------------------------------------------- #

@@ -11,23 +11,28 @@ small synthetic corpus:
 5. contract the giant back to the original architecture and compare accuracy
    and inference cost against the vanilla baseline.
 
+The training runs go through the experiment orchestrator's shared steps
+(``vanilla/…``, ``giant/…``, ``netbooster/…``) and its on-disk result cache,
+so a second invocation — or a later ``python -m repro.experiments run-all``
+with the same scale — reuses the trained models instead of retraining them.
+
 Run with::
 
-    python examples/quickstart.py [--epochs 8] [--classes 8]
+    python examples/quickstart.py [--epochs 8] [--classes 8] [--no-cache]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.baselines import train_vanilla
-from repro.core import ExpansionConfig, NetBooster, NetBoosterConfig
-from repro.data import SyntheticImageNet
 from repro.eval import count_complexity
-from repro.models import mobilenet_v2
-from repro.utils import ExperimentConfig, get_logger, seed_everything
+from repro.experiments import ExperimentScale, ResultCache, StepContext
+from repro.experiments.registry import rebuild_giant, rebuild_model
+from repro.utils import get_logger
 
 LOGGER = get_logger("quickstart")
+
+NETWORK = "mobilenetv2-tiny"
 
 
 def main() -> None:
@@ -37,52 +42,53 @@ def main() -> None:
     parser.add_argument("--classes", type=int, default=8, help="number of classes in the synthetic corpus")
     parser.add_argument("--samples-per-class", type=int, default=60)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="retrain from scratch, skip the cache")
     args = parser.parse_args()
 
-    seed_everything(args.seed)
-    LOGGER.info("building the synthetic large-scale corpus ...")
-    corpus = SyntheticImageNet(
+    scale = ExperimentScale(
         num_classes=args.classes,
         samples_per_class=args.samples_per_class,
         val_samples_per_class=15,
         resolution=20,
+        pretrain_epochs=args.epochs,
+        finetune_epochs=args.finetune_epochs,
+        batch_size=32,
+        lr=0.1,
+        finetune_lr=0.03,
+        seed=args.seed,
     )
+    ctx = StepContext(scale, cache=None if args.no_cache else ResultCache(args.cache_dir))
+    if ctx.cache is not None:
+        LOGGER.info("result cache: %s (cached runs are instant; --no-cache to retrain)", ctx.cache.root)
 
     # ---------------------------------------------------------------- vanilla
-    LOGGER.info("training the vanilla tiny network ...")
-    seed_everything(args.seed)
-    vanilla = mobilenet_v2("tiny", num_classes=args.classes)
-    vanilla_history = train_vanilla(
-        vanilla,
-        corpus.train,
-        corpus.val,
-        ExperimentConfig(epochs=args.epochs + args.finetune_epochs, batch_size=32, lr=0.1),
-    )
+    LOGGER.info("resolving the vanilla tiny network (shared step vanilla/%s) ...", NETWORK)
+    vanilla_artifact = ctx.dep(f"vanilla/{NETWORK}")
+    vanilla = rebuild_model(NETWORK, scale, vanilla_artifact)
+    vanilla_accuracy = vanilla_artifact.meta["history"]["val_accuracy"][-1]
 
     # -------------------------------------------------------------- NetBooster
-    LOGGER.info("running NetBooster (expand -> pretrain -> PLT -> contract) ...")
-    seed_everything(args.seed)
-    booster = NetBooster(
-        NetBoosterConfig(
-            expansion=ExpansionConfig(fraction=0.5, expansion_ratio=6),
-            pretrain=ExperimentConfig(epochs=args.epochs, batch_size=32, lr=0.1),
-            finetune=ExperimentConfig(epochs=args.finetune_epochs, batch_size=32, lr=0.03),
-            plt_decay_fraction=0.3,
-        )
-    )
-    result = booster.run(mobilenet_v2("tiny", num_classes=args.classes), corpus.train, corpus.val)
+    LOGGER.info("resolving NetBooster (expand -> pretrain -> PLT -> contract) ...")
+    giant_artifact = ctx.dep(f"giant/{NETWORK}")
+    booster_artifact = ctx.dep(f"netbooster/{NETWORK}")
+    giant, records, _booster = rebuild_giant(NETWORK, scale, giant_artifact)
+    contracted = rebuild_model(NETWORK, scale, booster_artifact)
 
     # ------------------------------------------------------------------ report
-    shape = (3, corpus.train.resolution, corpus.train.resolution)
+    shape = (3, scale.resolution, scale.resolution)
     vanilla_cost = count_complexity(vanilla, shape)
-    giant_cost = count_complexity(result.giant, shape)
-    final_cost = count_complexity(result.model, shape)
+    giant_cost = count_complexity(giant, shape)
+    final_cost = count_complexity(contracted, shape)
 
     print("\n================= NetBooster quickstart =================")
-    print(f"vanilla tiny accuracy      : {vanilla_history.final_val_accuracy:6.2f}%")
-    print(f"deep giant accuracy        : {result.giant_accuracy:6.2f}%")
-    print(f"NetBooster (contracted)    : {result.final_accuracy:6.2f}%")
-    print(f"expanded layers            : {len(result.records)}")
+    print(f"vanilla tiny accuracy      : {vanilla_accuracy:6.2f}%")
+    print(f"deep giant accuracy        : {booster_artifact.meta['giant_accuracy']:6.2f}%")
+    print(f"NetBooster (contracted)    : {booster_artifact.meta['final_accuracy']:6.2f}%")
+    print(f"expanded layers            : {len(records)}")
     print(f"vanilla cost               : {vanilla_cost.flops:,} FLOPs / {vanilla_cost.params:,} params")
     print(f"giant cost (training only) : {giant_cost.flops:,} FLOPs / {giant_cost.params:,} params")
     print(f"contracted cost            : {final_cost.flops:,} FLOPs / {final_cost.params:,} params")

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Documentation checks: doctests + intra-repo Markdown link validation.
+
+Run from the repository root (CI runs this as the ``docs`` job)::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Two checks, both must pass:
+
+1. **Doctests** — the examples embedded in the ``repro.experiments`` modules
+   (and the runtime facade) are executed with :mod:`doctest`; a stale example
+   fails the build.
+2. **Links** — every relative link in ``README.md`` and ``docs/*.md`` must
+   point at an existing file or directory in the repository.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOCTEST_MODULES = [
+    "repro.experiments",
+    "repro.experiments.cache",
+    "repro.experiments.registry",
+    "repro.experiments.orchestrator",
+    "repro.experiments.__main__",
+    "repro.runtime",
+]
+
+MARKDOWN_FILES = ["README.md", "CHANGES.md", *(str(p.relative_to(REPO_ROOT)) for p in sorted((REPO_ROOT / "docs").glob("*.md")))]
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def run_doctests() -> int:
+    failures = 0
+    for name in DOCTEST_MODULES:
+        module = importlib.import_module(name)
+        result = doctest.testmod(module, verbose=False, optionflags=doctest.NORMALIZE_WHITESPACE)
+        status = "ok" if result.failed == 0 else "FAIL"
+        print(f"doctest {name:<35s} {result.attempted:>3d} examples  [{status}]")
+        failures += result.failed
+    return failures
+
+
+def check_links() -> int:
+    broken = 0
+    for rel in MARKDOWN_FILES:
+        path = REPO_ROOT / rel
+        if not path.is_file():
+            print(f"link check: missing markdown file {rel}")
+            broken += 1
+            continue
+        text = path.read_text(encoding="utf-8")
+        file_broken = 0
+        for target in _LINK_RE.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target) or target.startswith("#"):
+                continue  # external URL or in-page anchor
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                print(f"link check: {rel}: broken link -> {target}")
+                file_broken += 1
+        print(f"links   {rel:<35s} [{'ok' if file_broken == 0 else 'FAIL'}]")
+        broken += file_broken
+    return broken
+
+
+def main() -> int:
+    doctest_failures = run_doctests()
+    broken_links = check_links()
+    if doctest_failures or broken_links:
+        print(f"\nFAILED: {doctest_failures} doctest failure(s), {broken_links} broken link(s)")
+        return 1
+    print("\nall documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

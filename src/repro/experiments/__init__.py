@@ -2,31 +2,58 @@
 
 The ``benchmarks/`` directory regenerates every table and figure of the paper
 under ``pytest-benchmark``; this subpackage exposes the same comparisons as a
-library API (and a small CLI, ``python -m repro.experiments``) so that a
-downstream user can re-run an individual experiment at an arbitrary scale
-without going through pytest:
+library API, a CLI (``python -m repro.experiments``) and — through
+:mod:`repro.experiments.orchestrator` — a parallel job runner with an on-disk
+result cache (:mod:`repro.experiments.cache`), so the whole suite reproduces
+with one command::
 
->>> from repro.experiments import run_experiment, ExperimentScale
->>> rows = run_experiment("table1", ExperimentScale.tiny())
->>> for row in rows:
-...     print(row)
+    python -m repro.experiments run-all --workers 4 --scale tiny --out results/
 
 Every experiment returns a list of :class:`ResultRow` (method / setting name,
-paper value, measured value), which is also what the CLI prints.
+paper value, measured value), which is what the CLI prints and the
+orchestrator writes into its JSON/Markdown reports.
+
+Examples
+--------
+Run a single experiment in-process (the analytic ``cost`` experiment needs no
+training):
+
+>>> from repro.experiments import run_experiment, ExperimentScale
+>>> rows = run_experiment("cost", ExperimentScale.tiny())
+>>> [row.setting for row in rows]
+['mobilenetv2-tiny', 'mcunet', 'mobilenetv2-50', 'mobilenetv2-100']
+
+Experiments declare the shared artifacts they depend on, which is what lets
+the orchestrator train each one exactly once:
+
+>>> from repro.experiments import EXPERIMENTS
+>>> EXPERIMENTS["table4"].deps
+('netbooster/mobilenetv2-tiny',)
 """
 
+from .cache import Artifact, ResultCache
 from .registry import (
     EXPERIMENTS,
+    Experiment,
     ExperimentScale,
     ResultRow,
+    SharedStep,
+    StepContext,
     available_experiments,
     run_experiment,
+    shared_step,
 )
 
 __all__ = [
+    "Artifact",
     "EXPERIMENTS",
+    "Experiment",
     "ExperimentScale",
+    "ResultCache",
     "ResultRow",
+    "SharedStep",
+    "StepContext",
     "available_experiments",
     "run_experiment",
+    "shared_step",
 ]

@@ -56,8 +56,21 @@ def fold_conv_bn(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Fold a per-output-channel affine into convolution weights.
 
-    Returns new ``(weight, bias)`` such that
-    ``conv(x, w', b') == affine(conv(x, w, b), scale, shift)``.
+    Parameters
+    ----------
+    weight:
+        Convolution (or linear) weight, output channels first.
+    bias:
+        Existing bias, or ``None``.
+    scale, shift:
+        Per-output-channel affine, e.g. an eval-mode BatchNorm's
+        ``gamma / sqrt(var + eps)`` and ``beta - mean * scale``.
+
+    Returns
+    -------
+    (ndarray, ndarray)
+        New ``(weight, bias)`` such that
+        ``conv(x, w', b') == affine(conv(x, w, b), scale, shift)``.
     """
     folded_w = weight * scale.reshape((-1,) + (1,) * (weight.ndim - 1))
     folded_b = shift if bias is None else bias * scale + shift
@@ -65,7 +78,27 @@ def fold_conv_bn(
 
 
 def activation_spec(module: nn.Module) -> tuple | None:
-    """Lower an activation module to a kernel spec tuple (None = identity)."""
+    """Lower an activation module to a kernel spec tuple.
+
+    Parameters
+    ----------
+    module:
+        An eager activation module (``ReLU``, ``ReLU6``, ``LeakyReLU``,
+        ``Identity``, or a decayable PLT activation).
+
+    Returns
+    -------
+    tuple or None
+        A ``(kind, *params)`` spec consumed by
+        :func:`repro.runtime.kernels.apply_activation`, or ``None`` when the
+        activation is (or has decayed to) the identity.
+
+    Raises
+    ------
+    _Unsupported
+        If the module is not a recognised activation (the caller then falls
+        back to eager execution).
+    """
     if isinstance(module, nn.Identity):
         return None
     if isinstance(module, nn.DecayableReLU6):  # before DecayableReLU (subclass)
@@ -310,6 +343,12 @@ class CompiledNet:
     Callable like the eager module: accepts a :class:`~repro.nn.tensor.Tensor`
     or ``ndarray`` and returns a detached ``Tensor``.  Use
     :meth:`numpy_forward` to stay entirely in ``ndarray`` land.
+
+    Attributes
+    ----------
+    source:
+        The eager module this program was compiled from (weights are
+        snapshotted — mutating ``source`` does not affect the program).
     """
 
     def __init__(self, program: Callable[[np.ndarray], np.ndarray], source: nn.Module):
@@ -317,9 +356,22 @@ class CompiledNet:
         self.source = source
 
     def numpy_forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the fused program on a raw batch.
+
+        Parameters
+        ----------
+        x:
+            Input batch; converted to contiguous ``float32`` if needed.
+
+        Returns
+        -------
+        ndarray
+            The network output (logits), no autograd involvement.
+        """
         return self._program(np.ascontiguousarray(x, dtype=np.float32))
 
     def __call__(self, x) -> nn.Tensor:
+        """Tensor-in / detached-Tensor-out convenience wrapper."""
         data = x.data if isinstance(x, nn.Tensor) else np.asarray(x, dtype=np.float32)
         return nn.Tensor(self.numpy_forward(data))
 
@@ -334,6 +386,16 @@ def compile_net(model: nn.Module) -> CompiledNet:
     weights — recompile after any further training.  Unrecognised submodules
     run eagerly, so compilation never changes semantics beyond eval-mode
     float reassociation (differences are at round-off level).
+
+    Parameters
+    ----------
+    model:
+        A trained eager :class:`~repro.nn.module.Module` tree.
+
+    Returns
+    -------
+    CompiledNet
+        A flat chain of fused kernels over raw arrays.
     """
     op = _lower(model)
     if op is None:

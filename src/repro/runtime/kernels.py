@@ -80,7 +80,28 @@ def fused_conv2d(
     groups: int,
     act: tuple | None = None,
 ) -> np.ndarray:
-    """Convolution + bias + activation as one kernel (single output buffer)."""
+    """Convolution + bias + activation as one kernel (single output buffer).
+
+    Parameters
+    ----------
+    x:
+        Input batch ``(N, C_in, H, W)``, ``float32``.
+    weight:
+        Filters ``(C_out, C_in // groups, kH, kW)``.
+    bias:
+        Per-output-channel bias, or ``None``.
+    stride, padding, groups:
+        Standard convolution hyper-parameters; ``groups == C_in`` selects the
+        depthwise fast path, 1x1 kernels the pointwise-matmul fast path.
+    act:
+        Activation spec tuple (see :func:`apply_activation`), or ``None``.
+
+    Returns
+    -------
+    ndarray
+        ``(N, C_out, H_out, W_out)`` with bias and activation applied
+        in place on the single freshly allocated output buffer.
+    """
     n, c_in = x.shape[:2]
     c_out, c_in_g, kh, kw = weight.shape
     multiplier = c_out // groups
@@ -122,7 +143,24 @@ def fused_conv2d(
 def fused_linear(
     x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None, act: tuple | None = None
 ) -> np.ndarray:
-    """``x @ W.T`` + bias + activation as one kernel."""
+    """``x @ W.T`` + bias + activation as one kernel.
+
+    Parameters
+    ----------
+    x:
+        Input batch ``(N, in_features)``.
+    weight:
+        ``(out_features, in_features)``.
+    bias:
+        ``(out_features,)`` or ``None``.
+    act:
+        Activation spec tuple, or ``None``.
+
+    Returns
+    -------
+    ndarray
+        ``(N, out_features)``.
+    """
     out = x @ weight.T
     if bias is not None:
         out += bias

@@ -57,8 +57,32 @@ class TestCli:
         out = capsys.readouterr().out
         assert "table1" in out and "cost" in out
 
-    def test_default_runs_cost_experiment(self, capsys):
+    def test_list_subcommand(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "cost" in out
+
+    def test_no_arguments_prints_usage(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "run-all" in out and "Available experiments" in out and "table1" in out
+
+    def test_no_experiment_names_prints_usage(self, capsys):
         assert main(["--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Available experiments" in out
+
+    def test_unknown_experiment_prints_available_instead_of_raising(self, capsys):
+        assert main(["table99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err and "table1" in err
+
+    def test_unknown_flag_exits_with_usage(self, capsys):
+        assert main(["--bogus-flag"]) == 2
+        assert "usage" in capsys.readouterr().err.lower()
+
+    def test_runs_named_experiment(self, capsys):
+        assert main(["cost", "--tiny"]) == 0
         out = capsys.readouterr().out
         assert "cost" in out and "measured=" in out
 
