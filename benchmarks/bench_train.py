@@ -1,0 +1,325 @@
+"""Training-throughput benchmarks for the compiled training engine.
+
+Measures end-to-end ``train_step`` throughput (data pipeline included) for
+MobileNetV2-Tiny in three lanes:
+
+* ``seed``      — the seed repo's training path, re-created: copy-based
+  im2col convolution, log-softmax-chain cross-entropy, per-parameter SGD
+  loop, per-image transforms, no prefetch;
+* ``eager``     — the current autograd tape (optimised kernels, fused
+  cross-entropy, flat-buffer SGD, batched transforms, prefetching loader);
+* ``compiled``  — the fused training runtime
+  (:func:`repro.runtime.compile_training_step`).
+
+plus two data-pipeline microbenchmarks (batched vs per-image transforms, and
+the compiled lane with prefetch off).  Results are written to
+``BENCH_train.json``; ``scripts/check_bench.py`` gates regressions in CI.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_train.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_train.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import nn
+from repro.data import ClassificationDataset, Compose, DataLoader, Normalize, RandomCrop, RandomHorizontalFlip
+from repro.models import mobilenet_v2
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.optim import SGD
+from repro.train import Trainer
+from repro.utils import ExperimentConfig, seed_everything
+
+from bench_ops import seed_conv2d
+
+
+# --------------------------------------------------------------------------- #
+# seed-path re-creations
+# --------------------------------------------------------------------------- #
+def seed_cross_entropy(logits: Tensor, targets: np.ndarray, label_smoothing: float = 0.0) -> Tensor:
+    """The seed repo's cross entropy: log-softmax chain, ~10 tape nodes."""
+    num_classes = logits.shape[-1]
+    target_probs = F.one_hot(np.asarray(targets), num_classes)
+    if label_smoothing > 0.0:
+        target_probs = (1.0 - label_smoothing) * target_probs + label_smoothing / num_classes
+    log_probs = F.log_softmax(logits, axis=-1)
+    return -(Tensor(target_probs) * log_probs).sum(axis=-1).mean()
+
+
+def seed_batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """The seed repo's batch norm, recreated verbatim.
+
+    Materialises ``x_hat`` plus the textbook three-term backward — the path
+    the fused moment-reduction kernels in ``repro.nn.functional`` replaced.
+    """
+    xd = x.data
+    c = xd.shape[1]
+
+    if training:
+        mean = xd.mean(axis=(0, 2, 3))
+        var = xd.var(axis=(0, 2, 3))
+        count = xd.shape[0] * xd.shape[2] * xd.shape[3]
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (xd - mean.reshape(1, c, 1, 1)) * inv_std.reshape(1, c, 1, 1)
+    out = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=xd.dtype)
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            g = gamma.data.reshape(1, c, 1, 1)
+            if training:
+                m = xd.shape[0] * xd.shape[2] * xd.shape[3]
+                grad_xhat = grad * g
+                sum_grad = grad_xhat.sum(axis=(0, 2, 3), keepdims=True)
+                sum_grad_xhat = (grad_xhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+                grad_x = (
+                    inv_std.reshape(1, c, 1, 1)
+                    * (grad_xhat - sum_grad / m - x_hat * sum_grad_xhat / m)
+                )
+            else:
+                grad_x = grad * g * inv_std.reshape(1, c, 1, 1)
+            x._accumulate(grad_x)
+
+    return Tensor._make(out, (x, gamma, beta), backward)
+
+
+class PerImage:
+    """Hide a transform's ``batch`` method so the loader applies it per image."""
+
+    def __init__(self, transform):
+        self._transform = transform
+
+    def __call__(self, image, rng):
+        return self._transform(image, rng)
+
+
+# --------------------------------------------------------------------------- #
+# lanes
+# --------------------------------------------------------------------------- #
+def _dataset(samples: int, resolution: int, classes: int = 16) -> ClassificationDataset:
+    rng = np.random.default_rng(0)
+    images = rng.random((samples, 3, resolution, resolution)).astype(np.float32)
+    labels = np.arange(samples) % classes
+    return ClassificationDataset(images, labels, classes)
+
+
+def _transform(per_image: bool = False):
+    pipeline = Compose([RandomHorizontalFlip(), RandomCrop(2), Normalize()])
+    return PerImage(pipeline) if per_image else pipeline
+
+
+def _one_pass(step_fn, loader, min_steps: int) -> float:
+    """Steps/sec of one timed pass of at least ``min_steps`` steps."""
+    done = 0
+    start = time.perf_counter()
+    while done < min_steps:
+        for images, labels in loader:
+            step_fn(images, labels)
+            done += 1
+            if done >= min_steps:
+                break
+    return done / (time.perf_counter() - start)
+
+
+class _SeedLane:
+    """The seed repo's training path (conv/BN/CE/SGD/loader recreated)."""
+
+    def __init__(self, dataset, batch: int):
+        seed_everything(0)
+        self.model = mobilenet_v2("tiny", num_classes=dataset.num_classes)
+        self.optimizer = SGD(self.model.parameters(), lr=0.05, momentum=0.9, weight_decay=4e-5)
+        self.loader = DataLoader(
+            dataset, batch_size=batch, transform=_transform(per_image=True),
+            prefetch=False, seed=0,
+        )
+
+    def _step(self, images, labels):
+        self.optimizer.zero_grad()
+        loss = seed_cross_entropy(self.model(nn.Tensor(images)), labels)
+        loss.backward()
+        self.optimizer.step()
+
+    def measure(self, min_steps: int) -> float:
+        original_conv, original_bn = F.conv2d, F.batch_norm2d
+        F.conv2d, F.batch_norm2d = seed_conv2d, seed_batch_norm2d
+        try:
+            return _one_pass(self._step, self.loader, min_steps)
+        finally:
+            F.conv2d, F.batch_norm2d = original_conv, original_bn
+
+    def warmup(self):
+        self.measure(1)
+
+
+class _TrainerLane:
+    """Current Trainer path, eager or compiled, prefetch on or off."""
+
+    def __init__(self, dataset, batch: int, compile_flag: bool, prefetch: bool = True):
+        seed_everything(0)
+        model = mobilenet_v2("tiny", num_classes=dataset.num_classes)
+        self.trainer = Trainer(
+            model, ExperimentConfig(batch_size=batch, lr=0.05), compile=compile_flag
+        )
+        self.loader = DataLoader(
+            dataset, batch_size=batch, transform=_transform(), prefetch=prefetch, seed=0
+        )
+
+    def measure(self, min_steps: int) -> float:
+        return _one_pass(self.trainer.train_step, self.loader, min_steps)
+
+    def warmup(self):
+        self.measure(1)  # includes compilation for the compiled lane
+
+
+def bench_transforms(dataset, batch: int, repeats: int) -> dict:
+    images = dataset.images[:batch]
+    pipeline = _transform()
+    rng = np.random.default_rng(0)
+
+    def timed(fn, r):
+        fn()
+        times = []
+        for _ in range(r):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return float(np.median(times))
+
+    batched = timed(lambda: pipeline.batch(images, rng), repeats)
+    per_image = timed(lambda: np.stack([pipeline(img, rng) for img in images]), repeats)
+    return {
+        "batched_ms": batched * 1e3,
+        "per_image_ms": per_image * 1e3,
+        "speedup": per_image / batched,
+    }
+
+
+def run_benchmarks(smoke: bool) -> dict:
+    if smoke:
+        batch, resolution, samples, min_steps, repeats = 16, 16, 64, 6, 2
+    else:
+        # Full-resolution training workload (batch 64 at 32x32); the
+        # orchestrator's table runs use the same batch size at 16-24 px.
+        batch, resolution, samples, min_steps, repeats = 64, 32, 256, 24, 3
+    dataset = _dataset(samples, resolution)
+
+    # Lanes are measured interleaved, one pass per lane per round, so slow
+    # drift of a shared machine biases every lane equally.
+    lanes = {
+        "seed": _SeedLane(dataset, batch),
+        "eager": _TrainerLane(dataset, batch, compile_flag=False),
+        "compiled": _TrainerLane(dataset, batch, compile_flag=True),
+        "compiled_noprefetch": _TrainerLane(dataset, batch, compile_flag=True, prefetch=False),
+    }
+    rates: dict[str, list[float]] = {name: [] for name in lanes}
+    for lane in lanes.values():
+        lane.warmup()
+    names = list(lanes)
+    for round_index in range(repeats):
+        # Rotate the order every round so no lane always inherits the same
+        # machine state (allocator pressure, cache residue) from its
+        # predecessor.
+        for name in names[round_index % len(names) :] + names[: round_index % len(names)]:
+            rates[name].append(lanes[name].measure(min_steps))
+    medians = {name: float(np.median(values)) for name, values in rates.items()}
+    seed_sps = medians["seed"]
+    eager_sps = medians["eager"]
+    compiled_sps = medians["compiled"]
+    compiled_noprefetch_sps = medians["compiled_noprefetch"]
+
+    return {
+        "config": {
+            "model": "mobilenetv2-tiny",
+            "batch_size": batch,
+            "resolution": resolution,
+            "samples": samples,
+            "min_steps": min_steps,
+            "repeats": repeats,
+        },
+        "train_step": {
+            "seed_steps_per_sec": seed_sps,
+            "eager_steps_per_sec": eager_sps,
+            "compiled_steps_per_sec": compiled_sps,
+            "speedup_compiled_vs_seed": compiled_sps / seed_sps,
+            "speedup_compiled_vs_eager": compiled_sps / eager_sps,
+            "speedup_eager_vs_seed": eager_sps / seed_sps,
+        },
+        "loader": {
+            "compiled_prefetch_on_steps_per_sec": compiled_sps,
+            "compiled_prefetch_off_steps_per_sec": compiled_noprefetch_sps,
+            "speedup_prefetch": compiled_sps / compiled_noprefetch_sps,
+        },
+        "transforms": bench_transforms(dataset, batch, repeats=5),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes / few repeats (CI)")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_train.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    results = run_benchmarks(smoke=args.smoke)
+    report = {
+        "suite": "bench_train",
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "benchmarks": results,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    train = results["train_step"]
+    print(f"{'lane':<10s} {'steps/sec':>10s}")
+    for lane in ("seed", "eager", "compiled"):
+        print(f"{lane:<10s} {train[f'{lane}_steps_per_sec']:>10.2f}")
+    print(f"\ncompiled vs seed:  {train['speedup_compiled_vs_seed']:.2f}x")
+    print(f"compiled vs eager: {train['speedup_compiled_vs_eager']:.2f}x")
+    loader = results["loader"]
+    print(f"prefetch on/off:   {loader['speedup_prefetch']:.2f}x")
+    tf = results["transforms"]
+    print(f"batched transforms: {tf['speedup']:.2f}x vs per-image")
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

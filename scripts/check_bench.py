@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Regression gate over ``BENCH_train.json``.
+
+Fails (exit 1) when the compiled training path regresses below the eager
+path, or when the compiled-vs-seed speedup drops under the required floor.
+Run after ``benchmarks/bench_train.py``::
+
+    PYTHONPATH=src python benchmarks/bench_train.py --smoke --output /tmp/BENCH_train.json
+    python scripts/check_bench.py /tmp/BENCH_train.json
+
+A small tolerance absorbs timer noise on shared CI runners; the full-mode
+numbers committed in ``BENCH_train.json`` are the ones that matter for the
+perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(report: dict, tolerance: float, min_seed_ratio: float) -> list[str]:
+    """Return a list of failure messages (empty when the gate passes)."""
+    train = report["benchmarks"]["train_step"]
+    compiled = train["compiled_steps_per_sec"]
+    eager = train["eager_steps_per_sec"]
+    seed = train["seed_steps_per_sec"]
+    failures = []
+    if compiled < tolerance * eager:
+        failures.append(
+            f"compiled path regressed below eager: {compiled:.2f} < "
+            f"{tolerance:.2f} * {eager:.2f} steps/sec"
+        )
+    if compiled < min_seed_ratio * seed:
+        failures.append(
+            f"compiled-vs-seed speedup below floor: {compiled / seed:.2f}x < "
+            f"{min_seed_ratio:.2f}x"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "report",
+        type=Path,
+        nargs="?",
+        default=Path(__file__).resolve().parent.parent / "BENCH_train.json",
+        help="path to a bench_train JSON report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.90,
+        help="compiled must reach at least this fraction of eager steps/sec",
+    )
+    parser.add_argument(
+        "--min-seed-ratio",
+        type=float,
+        default=1.2,
+        help="minimum compiled/seed steps-per-sec ratio",
+    )
+    args = parser.parse_args()
+
+    report = json.loads(args.report.read_text())
+    failures = check(report, args.tolerance, args.min_seed_ratio)
+    train = report["benchmarks"]["train_step"]
+    print(
+        f"steps/sec — seed {train['seed_steps_per_sec']:.2f}, "
+        f"eager {train['eager_steps_per_sec']:.2f}, "
+        f"compiled {train['compiled_steps_per_sec']:.2f} "
+        f"({train['speedup_compiled_vs_seed']:.2f}x vs seed)"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

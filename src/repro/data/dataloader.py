@@ -1,8 +1,26 @@
-"""Minibatch iteration over in-memory datasets."""
+"""Minibatch iteration: batched transforms + double-buffered prefetch.
+
+The loader is a small pipeline:
+
+1. at the start of an epoch the shuffle order and one RNG seed *per batch*
+   are drawn from the loader's private generator — all randomness is fixed
+   up front, so batch construction is order-independent;
+2. each batch is assembled by fancy-indexing the dataset and applying the
+   transform *vectorised across the batch* (:meth:`Transform.batch`);
+3. with ``prefetch`` enabled, a daemon thread assembles batches ahead of the
+   consumer into a small bounded queue (double buffering), overlapping
+   augmentation with the training step.
+
+Because of step 1 the sample stream is **identical with prefetch on or off**
+— toggling the pipeline never perturbs training trajectories or cache
+fingerprints.
+"""
 
 from __future__ import annotations
 
-from typing import Iterator
+import queue
+import threading
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -10,6 +28,21 @@ from .datasets import ClassificationDataset
 from .transforms import Transform
 
 __all__ = ["DataLoader"]
+
+_SEED_MAX = 2**63
+_ERROR = object()  # prefetch-queue marker for producer-side exceptions
+
+
+def _apply_transform(transform, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Apply ``transform`` to a batch, preferring its vectorised form.
+
+    Plain callables (``image, rng -> image``) without a ``batch`` method are
+    applied per image, preserving the pre-pipeline loader contract.
+    """
+    batch_fn = getattr(transform, "batch", None)
+    if batch_fn is not None:
+        return batch_fn(images, rng)
+    return np.stack([transform(image, rng) for image in images])
 
 
 class DataLoader:
@@ -25,9 +58,19 @@ class DataLoader:
     shuffle:
         Reshuffle indices at the start of every epoch.
     transform:
-        Optional per-image augmentation applied on the fly.
+        Optional augmentation applied on the fly.  :class:`Transform`
+        subclasses are applied batched (vectorised across the batch); plain
+        ``(image, rng)`` callables are applied per image.
+    drop_last:
+        Drop the final short batch.
     seed:
         Seed of the loader's private RNG (shuffling and augmentations).
+    prefetch:
+        Assemble batches on a background thread, ``prefetch_depth`` batches
+        ahead.  The sample stream is identical either way; disabling simply
+        assembles each batch inline (eager fallback).
+    prefetch_depth:
+        Queue capacity of the prefetcher (default 2: double buffering).
     """
 
     def __init__(
@@ -35,17 +78,23 @@ class DataLoader:
         dataset: ClassificationDataset,
         batch_size: int = 32,
         shuffle: bool = True,
-        transform: Transform | None = None,
+        transform: Transform | Callable | None = None,
         drop_last: bool = False,
         seed: int = 0,
+        prefetch: bool = True,
+        prefetch_depth: int = 2,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if prefetch_depth <= 0:
+            raise ValueError("prefetch_depth must be positive")
         self.dataset = dataset
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.transform = transform
         self.drop_last = drop_last
+        self.prefetch = prefetch
+        self.prefetch_depth = prefetch_depth
         self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
@@ -53,16 +102,87 @@ class DataLoader:
             return len(self.dataset) // self.batch_size
         return (len(self.dataset) + self.batch_size - 1) // self.batch_size
 
-    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    # ------------------------------------------------------------------ #
+    # batch assembly
+    # ------------------------------------------------------------------ #
+    def _epoch_plan(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Draw the epoch's shuffle order and per-batch transform seeds.
+
+        All RNG consumption happens here, synchronously, so the resulting
+        batches do not depend on *when* (or on which thread) they are built —
+        the stream is byte-identical with prefetch on or off.
+        """
         indices = np.arange(len(self.dataset))
         if self.shuffle:
             self._rng.shuffle(indices)
-        for start in range(0, len(indices), self.batch_size):
-            batch_idx = indices[start : start + self.batch_size]
-            if self.drop_last and len(batch_idx) < self.batch_size:
-                break
-            images = self.dataset.images[batch_idx]
-            labels = self.dataset.labels[batch_idx]
-            if self.transform is not None:
-                images = np.stack([self.transform(img, self._rng) for img in images])
-            yield images.astype(np.float32), labels
+        seeds = None
+        if self.transform is not None:
+            seeds = self._rng.integers(0, _SEED_MAX, size=len(self), dtype=np.int64)
+        return indices, seeds
+
+    def _make_batch(
+        self, indices: np.ndarray, seeds: np.ndarray | None, batch_index: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        start = batch_index * self.batch_size
+        batch_idx = indices[start : start + self.batch_size]
+        images = self.dataset.images[batch_idx]
+        labels = self.dataset.labels[batch_idx]
+        if self.transform is not None:
+            rng = np.random.default_rng(int(seeds[batch_index]))
+            images = _apply_transform(self.transform, images, rng)
+        return images.astype(np.float32, copy=False), labels
+
+    # ------------------------------------------------------------------ #
+    # iteration
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        indices, seeds = self._epoch_plan()
+        num_batches = len(self)
+        if not self.prefetch or num_batches <= 1:
+            for batch_index in range(num_batches):
+                yield self._make_batch(indices, seeds, batch_index)
+            return
+        yield from self._iter_prefetched(indices, seeds, num_batches)
+
+    def _iter_prefetched(
+        self, indices: np.ndarray, seeds: np.ndarray | None, num_batches: int
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        out: queue.Queue = queue.Queue(maxsize=self.prefetch_depth)
+        stop = threading.Event()
+        sentinel = object()
+
+        def produce() -> None:
+            try:
+                for batch_index in range(num_batches):
+                    if stop.is_set():
+                        return
+                    item = self._make_batch(indices, seeds, batch_index)
+                    while not stop.is_set():
+                        try:
+                            out.put(item, timeout=0.1)
+                            break
+                        except queue.Full:
+                            continue
+            except BaseException as exc:  # surfaced on the consumer side
+                out.put((_ERROR, exc))
+                return
+            out.put(sentinel)
+
+        worker = threading.Thread(target=produce, name="dataloader-prefetch", daemon=True)
+        worker.start()
+        try:
+            while True:
+                item = out.get()
+                if item is sentinel:
+                    break
+                if item[0] is _ERROR:
+                    raise item[1]
+                yield item
+        finally:
+            stop.set()
+            # Unblock a producer waiting on a full queue, then let it exit.
+            try:
+                while True:
+                    out.get_nowait()
+            except queue.Empty:
+                pass

@@ -5,11 +5,20 @@ which helps large DNNs, *hurts* tiny networks because they under-fit.  The
 transforms here implement the standard recipes (flip/crop/erasing/colour
 jitter and a light RandAugment-style policy) so that this comparison can be
 reproduced on the synthetic corpus.
+
+Every transform has two entry points:
+
+* ``__call__(image, rng)`` — the original per-image form;
+* ``batch(images, rng)`` — vectorised across a ``(N, 3, H, W)`` batch, used
+  by the prefetching :class:`~repro.data.dataloader.DataLoader`.  The default
+  implementation falls back to the per-image loop, so custom transforms only
+  need ``__call__``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 __all__ = [
     "Transform",
@@ -30,6 +39,14 @@ class Transform:
     def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError
 
+    def batch(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Apply the transform across a ``(N, C, H, W)`` batch.
+
+        Subclasses override this with a vectorised implementation; the
+        default applies ``__call__`` per image.
+        """
+        return np.stack([self(image, rng) for image in images])
+
 
 class Compose(Transform):
     """Apply transforms in sequence."""
@@ -42,6 +59,15 @@ class Compose(Transform):
             image = transform(image, rng)
         return image
 
+    def batch(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            images = (
+                transform.batch(images, rng)
+                if isinstance(transform, Transform)
+                else np.stack([transform(image, rng) for image in images])
+            )
+        return images
+
 
 class RandomHorizontalFlip(Transform):
     """Flip the image left-right with probability ``p``."""
@@ -53,6 +79,14 @@ class RandomHorizontalFlip(Transform):
         if rng.random() < self.p:
             return image[:, :, ::-1].copy()
         return image
+
+    def batch(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flip = rng.random(len(images)) < self.p
+        if not flip.any():
+            return images
+        out = images.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
 
 
 class RandomCrop(Transform):
@@ -69,6 +103,18 @@ class RandomCrop(Transform):
         top = int(rng.integers(0, 2 * self.padding + 1))
         left = int(rng.integers(0, 2 * self.padding + 1))
         return padded[:, top : top + h, left : left + w].copy()
+
+    def batch(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return images
+        n, c, h, w = images.shape
+        pad = self.padding
+        padded = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        tops = rng.integers(0, 2 * pad + 1, size=n)
+        lefts = rng.integers(0, 2 * pad + 1, size=n)
+        # One gather over the zero-copy window view replaces N slice-copies.
+        windows = sliding_window_view(padded, (h, w), axis=(2, 3))
+        return windows[np.arange(n), :, tops, lefts]
 
 
 class RandomErasing(Transform):
@@ -89,6 +135,20 @@ class RandomErasing(Transform):
         out[:, top : top + size, left : left + size] = rng.random()
         return out
 
+    def batch(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, c, h, w = images.shape
+        erase = rng.random(n) < self.p
+        if not erase.any():
+            return images
+        size = max(int(min(h, w) * self.size_fraction), 1)
+        tops = rng.integers(0, h - size + 1, size=n)
+        lefts = rng.integers(0, w - size + 1, size=n)
+        fills = rng.random(n)
+        out = images.copy()
+        for k in np.flatnonzero(erase):
+            out[k, :, tops[k] : tops[k] + size, lefts[k] : lefts[k] + size] = fills[k]
+        return out
+
 
 class ColorJitter(Transform):
     """Random brightness/contrast scaling."""
@@ -107,6 +167,22 @@ class ColorJitter(Transform):
             out = (out - mean) * factor + mean
         return np.clip(out, 0.0, 1.0).astype(np.float32)
 
+    def batch(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = images.astype(np.float32, copy=True)
+        n = len(images)
+        if self.brightness > 0:
+            offsets = rng.uniform(-self.brightness, self.brightness, size=(n, 1, 1, 1))
+            out += offsets.astype(np.float32)
+        if self.contrast > 0:
+            factors = (1.0 + rng.uniform(-self.contrast, self.contrast, size=(n, 1, 1, 1))).astype(
+                np.float32
+            )
+            means = out.mean(axis=(1, 2, 3), keepdims=True)
+            out -= means
+            out *= factors
+            out += means
+        return np.clip(out, 0.0, 1.0, out=out)
+
 
 class GaussianNoise(Transform):
     """Additive pixel noise."""
@@ -118,9 +194,17 @@ class GaussianNoise(Transform):
         noisy = image + rng.normal(0.0, self.std, size=image.shape).astype(np.float32)
         return np.clip(noisy, 0.0, 1.0)
 
+    def batch(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        noisy = images + rng.normal(0.0, self.std, size=images.shape).astype(np.float32)
+        return np.clip(noisy, 0.0, 1.0, out=noisy)
+
 
 class RandAugmentLite(Transform):
-    """A small RandAugment-style policy: apply ``num_ops`` random transforms."""
+    """A small RandAugment-style policy: apply ``num_ops`` random transforms.
+
+    The op *choice* is inherently per-image, so the batch form loops images
+    but each chosen op still runs its (single-image) fast path.
+    """
 
     def __init__(self, num_ops: int = 2, magnitude: float = 0.5):
         self.num_ops = num_ops
@@ -148,3 +232,9 @@ class Normalize(Transform):
 
     def __call__(self, image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         return ((image - self.mean) / self.std).astype(np.float32)
+
+    def batch(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = images.astype(np.float32, copy=True)
+        out -= np.float32(self.mean)
+        out /= np.float32(self.std)
+        return out

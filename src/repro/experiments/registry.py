@@ -386,6 +386,7 @@ def _pipeline_fingerprint() -> str:
 
     from .. import baselines, data, eval as eval_pkg, models, nn, optim
     from ..core import contraction, expansion, netbooster, plt
+    from ..runtime import training as runtime_training
     from ..train import detection, trainer, transfer
 
     modules = (
@@ -393,8 +394,11 @@ def _pipeline_fingerprint() -> str:
         netbooster, expansion, contraction, plt, trainer, transfer, detection,
         baselines.vanilla, baselines.netaug, baselines.kd, baselines.regularization,
         data.datasets, data.generator, data.detection,
+        data.dataloader, data.transforms,  # batching/prefetch + RNG scheme
         models.mobilenetv2, models.mcunet, models.blocks, models.detector,
-        eval_pkg.complexity, nn.layers, nn.norm, optim.sgd, optim.schedulers,
+        eval_pkg.complexity, nn.layers, nn.norm, nn.functional,
+        optim.sgd, optim.schedulers, optim.flat,
+        runtime_training,  # the default (compiled) train-step path
     )
     return source_fingerprint(*modules)
 

@@ -29,6 +29,8 @@ __all__ = [
     "softmax",
     "log_softmax",
     "cross_entropy",
+    "softmax_cross_entropy_raw",
+    "softmax_cross_entropy_grad",
     "kl_divergence",
     "mse_loss",
     "smooth_l1_loss",
@@ -43,15 +45,17 @@ __all__ = [
 # workspace cache
 # --------------------------------------------------------------------------- #
 # Per-shape scratch buffers so the hot ops (pooling window materialisation,
-# padded inputs in no-grad mode) stop reallocating large arrays every step.
-# Workspaces are only handed out for buffers that are fully consumed within a
-# single op call — anything retained for the backward pass allocates fresh.
-_WORKSPACE_LIMIT = 64
+# padded inputs in no-grad mode, conv backward col/grad staging) stop
+# reallocating large arrays every step.  Workspaces are only handed out for
+# buffers that are fully consumed within a single op call — anything retained
+# for the backward pass allocates fresh.  The ``tag`` namespaces buffers so
+# two different roles with the same shape never alias within one op call.
+_WORKSPACE_LIMIT = 96
 _WORKSPACES: dict[tuple, np.ndarray] = {}
 
 
-def _workspace(shape: tuple[int, ...], dtype) -> np.ndarray:
-    key = (tuple(shape), np.dtype(dtype).str)
+def _workspace(shape: tuple[int, ...], dtype, tag: str = "") -> np.ndarray:
+    key = (tag, tuple(shape), np.dtype(dtype).str)
     buf = _WORKSPACES.get(key)
     if buf is None:
         if len(_WORKSPACES) >= _WORKSPACE_LIMIT:
@@ -188,6 +192,267 @@ def col2im(
 
 
 # --------------------------------------------------------------------------- #
+# raw convolution kernels (shared by autograd and the training runtime)
+# --------------------------------------------------------------------------- #
+# The dense (groups == 1, k > 1) convolution is lowered to a single sgemm over
+# channel-major patch columns of shape ``(C_in, kH, kW, N, oH, oW)``; the same
+# column buffer doubles as the ``dL/dW`` contraction operand in the backward
+# pass, and ``dL/dx`` is a second sgemm followed by a clipped channel-major
+# scatter.  Compared to the einsum formulation this drops the internal
+# transpose-copies einsum performs on the strided window view (the column
+# copy is done once, in the cache-friendly channel-major order).
+
+
+def _dense_conv_cols(windows: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Materialise the ``(N, C, oH, oW, kH, kW)`` window view channel-major.
+
+    Returns a contiguous array of shape ``(C, kH, kW, N, oH, oW)`` — the
+    layout both the forward and the weight-gradient sgemm consume directly.
+    """
+    n, c, oh, ow, kh, kw = windows.shape
+    if out is None:
+        out = np.empty((c, kh, kw, n, oh, ow), dtype=windows.dtype)
+    np.copyto(out, windows.transpose(1, 4, 5, 0, 2, 3))
+    return out
+
+
+def _dense_conv_forward_from_cols(cols: np.ndarray, wd: np.ndarray) -> np.ndarray:
+    """Dense convolution forward as one sgemm over channel-major columns."""
+    c_in, kh, kw, n, oh, ow = cols.shape
+    c_out = wd.shape[0]
+    out_t = _workspace((c_out, n, oh, ow), cols.dtype, tag="conv.out_t")
+    np.matmul(
+        wd.reshape(c_out, c_in * kh * kw),
+        cols.reshape(c_in * kh * kw, n * oh * ow),
+        out=out_t.reshape(c_out, n * oh * ow),
+    )
+    return np.ascontiguousarray(out_t.transpose(1, 0, 2, 3))
+
+
+def _depthwise_conv_forward(
+    xp: np.ndarray,
+    windows: np.ndarray,
+    wd: np.ndarray,
+    stride: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Depthwise (multiplier 1) forward shared by autograd and the runtime.
+
+    ``xp`` is the padded input, ``windows`` its strided window view.  Large
+    kernels at stride 1 use one fused row-contraction per kernel row (much
+    faster than the full 6-D window einsum); other configurations contract
+    the window view directly.
+    """
+    c_in, _, kh, kw = wd.shape
+    oh, ow = windows.shape[2:4]
+    # The output buffer is always explicit and C-contiguous: einsum otherwise
+    # picks a layout-dependent result order, and downstream contractions are
+    # bit-sensitive to operand strides (the compiled runtime and the eager
+    # tape must see identical layouts to stay bit-identical).
+    if out is None:
+        out = np.empty(windows.shape[:4], dtype=xp.dtype)
+    if stride == 1 and kh == kw and kh > 3:
+        win_rows = sliding_window_view(xp, kw, axis=3)
+        np.einsum("nchwj,cj->nchw", win_rows[:, :, 0:oh], wd[:, 0, 0], out=out, optimize=True)
+        for i in range(1, kh):
+            out += np.einsum(
+                "nchwj,cj->nchw", win_rows[:, :, i : i + oh], wd[:, 0, i], optimize=True
+            )
+        return out
+    np.einsum("nchwij,cij->nchw", windows, wd[:, 0], out=out, optimize=True)
+    return out
+
+
+def _scatter_cols(
+    gcols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    stride: int,
+    padding: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Scatter-add channel-major column grads back into an NCHW image.
+
+    ``gcols`` has shape ``(C, kH, kW, N, oH, oW)``.  The accumulator stays in
+    the same channel-major layout (contiguous adds), clipping each kernel
+    offset against the image bounds so no padded ring is materialised; a
+    single transpose-copy produces the NCHW result.
+    """
+    n, c, h, w = input_shape
+    _, kh, kw, _, oh, ow = gcols.shape
+    acc = _workspace((c, n, h, w), gcols.dtype, tag="convbw.acc")
+    acc.fill(0)
+    for i in range(kh):
+        for j in range(kw):
+            # Output rows r contribute at image row (i - padding + stride*r).
+            r0 = max(-((i - padding) // stride) if i < padding else 0, 0)
+            r1 = min((h - 1 - i + padding) // stride, oh - 1)
+            c0 = max(-((j - padding) // stride) if j < padding else 0, 0)
+            c1 = min((w - 1 - j + padding) // stride, ow - 1)
+            if r1 < r0 or c1 < c0:
+                continue
+            ys = slice(i - padding + stride * r0, i - padding + stride * r1 + 1, stride)
+            xs = slice(j - padding + stride * c0, j - padding + stride * c1 + 1, stride)
+            acc[:, :, ys, xs] += gcols[:, i, j, :, r0 : r1 + 1, c0 : c1 + 1]
+    if out is None:
+        return np.ascontiguousarray(acc.transpose(1, 0, 2, 3))
+    np.copyto(out, acc.transpose(1, 0, 2, 3))
+    return out
+
+
+def _grad_channel_major(grad: np.ndarray) -> np.ndarray:
+    """Stage ``(N, C_out, oH, oW)`` grads as a ``(C_out, N*oH*oW)`` matrix."""
+    c_out = grad.shape[1]
+    grad_t = _workspace(
+        (c_out, grad.shape[0], grad.shape[2], grad.shape[3]), grad.dtype, tag="convbw.gradT"
+    )
+    np.copyto(grad_t, grad.transpose(1, 0, 2, 3))
+    return grad_t.reshape(c_out, -1)
+
+
+def _dense_conv_backward(
+    grad: np.ndarray,
+    cols: np.ndarray,
+    wd: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    stride: int,
+    padding: int,
+    need_x: bool,
+    need_w: bool,
+    dx_out: np.ndarray | None = None,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Backward of the dense conv: two sgemms sharing the staged operands."""
+    c_in, kh, kw = cols.shape[:3]
+    c_out = wd.shape[0]
+    nhw = cols.shape[3] * cols.shape[4] * cols.shape[5]
+    grad_mat = _grad_channel_major(grad)
+    dx = dw = None
+    if need_w:
+        dw_t = cols.reshape(c_in * kh * kw, nhw) @ grad_mat.T
+        dw = np.ascontiguousarray(dw_t.T).reshape(wd.shape)
+    if need_x:
+        gcols = _workspace(cols.shape, grad.dtype, tag="convbw.gcols")
+        np.matmul(
+            wd.reshape(c_out, c_in * kh * kw).T,
+            grad_mat,
+            out=gcols.reshape(c_in * kh * kw, nhw),
+        )
+        dx = _scatter_cols(gcols, input_shape, stride, padding, out=dx_out)
+    return dx, dw
+
+
+def _depthwise_conv_backward(
+    grad: np.ndarray,
+    windows: np.ndarray,
+    wd: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    stride: int,
+    padding: int,
+    need_x: bool,
+    need_w: bool,
+    dx_out: np.ndarray | None = None,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Backward of the depthwise (multiplier 1) conv without window tensors.
+
+    Iterates the ``kH x kW`` kernel offsets and performs one fused contraction
+    (for ``dL/dW``) or one broadcast multiply-accumulate (for ``dL/dx``) per
+    offset, so the ``(N, C, oH, oW, kH, kW)`` gradient tensor the einsum
+    formulation materialises never exists.
+    """
+    n, c_in, h, w = input_shape
+    kh, kw = wd.shape[2:]
+    oh, ow = grad.shape[2:]
+    dx = dw = None
+    if need_w:
+        dw = np.empty(wd.shape, dtype=wd.dtype)
+        for i in range(kh):
+            for j in range(kw):
+                # optimize=False: the contraction is a single fused pass and
+                # skipping the per-call einsum_path search halves the cost.
+                dw[:, 0, i, j] = np.einsum(
+                    "nchw,nchw->c", grad, windows[..., i, j], optimize=False
+                )
+    if need_x:
+        if stride == 1 and kh == kw and padding <= kh - 1:
+            # dL/dx is a correlation of the (zero-padded) output gradient with
+            # the flipped kernel; one fused row-contraction per kernel row.
+            pg = kh - 1 - padding
+            gp = np.pad(grad, ((0, 0), (0, 0), (pg, pg), (pg, pg))) if pg > 0 else grad
+            win_rows = sliding_window_view(gp, kw, axis=3)
+            w_flip = wd[:, 0, ::-1, ::-1]
+            dx = dx_out if dx_out is not None else np.empty((n, c_in, h, w), dtype=grad.dtype)
+            np.einsum("nchwj,cj->nchw", win_rows[:, :, 0:h], w_flip[:, 0], out=dx, optimize=True)
+            for i in range(1, kh):
+                dx += np.einsum(
+                    "nchwj,cj->nchw", win_rows[:, :, i : i + h], w_flip[:, i], optimize=True
+                )
+        else:
+            acc = _workspace(
+                (n, c_in, h + 2 * padding, w + 2 * padding), grad.dtype, tag="convbw.dwacc"
+            )
+            acc.fill(0)
+            tmp = _workspace((n, c_in, oh, ow), grad.dtype, tag="convbw.dwtmp")
+            for i in range(kh):
+                i_max = i + stride * oh
+                for j in range(kw):
+                    j_max = j + stride * ow
+                    np.multiply(grad, wd[:, 0, i, j].reshape(1, c_in, 1, 1), out=tmp)
+                    acc[:, :, i:i_max:stride, j:j_max:stride] += tmp
+            inner = acc[:, :, padding : padding + h, padding : padding + w]
+            if dx_out is None:
+                dx = np.ascontiguousarray(inner)
+            else:
+                np.copyto(dx_out, inner)
+                dx = dx_out
+    return dx, dw
+
+
+def _pointwise_conv_backward(
+    grad: np.ndarray,
+    x_flat: np.ndarray,
+    wd: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    stride: int,
+    padding: int,
+    need_x: bool,
+    need_w: bool,
+    dx_out: np.ndarray | None = None,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Backward of the 1x1 conv; ``x_flat`` is the ``(N, C_in, oH*oW)`` input."""
+    n, c_in, h, w = input_shape
+    c_out = grad.shape[1]
+    out_h, out_w = grad.shape[2:]
+    grad_flat = grad.reshape(n, c_out, out_h * out_w)
+    dx = dw = None
+    if need_w:
+        # Single sgemm over channel-major stagings instead of an N-batched
+        # matmul plus a reduction over the batch axis.
+        grad_mat = _grad_channel_major(grad)
+        x_t = _workspace((c_in, n, out_h * out_w), x_flat.dtype, tag="convbw.pwx")
+        np.copyto(x_t, x_flat.transpose(1, 0, 2))
+        dw = (grad_mat @ x_t.reshape(c_in, -1).T).reshape(wd.shape)
+    if need_x:
+        w_mat = wd.reshape(c_out, c_in)
+        if dx_out is not None and stride == 1 and padding == 0:
+            np.matmul(w_mat.T, grad_flat, out=dx_out.reshape(n, c_in, out_h * out_w))
+            return dx_out, dw
+        grad_xs = np.matmul(w_mat.T, grad_flat).reshape(n, c_in, out_h, out_w)
+        if stride > 1 or padding > 0:
+            grad_padded = np.zeros((n, c_in, h + 2 * padding, w + 2 * padding), dtype=grad.dtype)
+            grad_padded[:, :, : stride * out_h : stride, : stride * out_w : stride] = grad_xs
+            if padding > 0:
+                inner = grad_padded[:, :, padding:-padding, padding:-padding]
+                grad_xs = np.ascontiguousarray(inner) if dx_out is None else inner
+            else:
+                grad_xs = grad_padded
+        if dx_out is None:
+            dx = grad_xs
+        else:
+            np.copyto(dx_out, grad_xs)
+            dx = dx_out
+    return dx, dw
+
+
+# --------------------------------------------------------------------------- #
 # convolution
 # --------------------------------------------------------------------------- #
 def conv2d(
@@ -234,6 +499,7 @@ def conv2d(
     pointwise = kh == 1 and kw == 1 and groups == 1
     multiplier = c_out // groups
 
+    cols = None  # channel-major patch columns, retained for the dense backward
     if pointwise:
         # 1x1 fast path: a pure channel contraction, lowered to batched matmul
         # (several times faster than the generic windowed einsum).
@@ -245,19 +511,36 @@ def conv2d(
         out = np.matmul(w_mat, x_flat).reshape(n, c_out, out_h, out_w)
     else:
         # (N, C, oh, ow, kH, kW) strided view — no patch data materialised.
-        windows = _conv_windows(xd, (kh, kw), stride, padding, reuse_pad=not grad_needed)
+        # The dense path never retains the view (it materialises channel-major
+        # columns instead), so its padded copy can always reuse the workspace.
+        dense = groups == 1 and not depthwise
+        xp = _pad2d(xd, padding, reuse=dense or not grad_needed)
+        windows = sliding_window_view(xp, (kh, kw), axis=(2, 3))
+        if stride > 1:
+            windows = windows[:, :, ::stride, ::stride]
         out_h, out_w = windows.shape[2:4]
         if depthwise:
             # Depthwise fast path: contract only over the window axes,
             # skipping the grouped reshape dance entirely.
             if multiplier == 1:
-                out = np.einsum("nchwij,cij->nchw", windows, wd[:, 0], optimize=True)
+                out = _depthwise_conv_forward(xp, windows, wd, stride)
             else:
                 w_dw = wd.reshape(c_in, multiplier, kh, kw)
                 out = np.einsum("nchwij,cmij->ncmhw", windows, w_dw, optimize=True)
                 out = out.reshape(n, c_out, out_h, out_w)
         elif groups == 1:
-            out = np.einsum("nchwij,ocij->nohw", windows, wd, optimize=True)
+            if grad_needed:
+                # Materialise the columns once; the buffer feeds the forward
+                # sgemm here and the dL/dW sgemm in the backward pass.
+                cols = _dense_conv_cols(windows)
+                out = _dense_conv_forward_from_cols(cols, wd)
+            else:
+                out = _dense_conv_forward_from_cols(
+                    _dense_conv_cols(windows, out=_workspace(
+                        (c_in, kh, kw, n) + windows.shape[2:4], xd.dtype, tag="conv.cols"
+                    )),
+                    wd,
+                )
         else:
             windows_g = windows.reshape(n, groups, c_in_g, out_h, out_w, kh, kw)
             w_g = wd.reshape(groups, multiplier, c_in_g, kh, kw)
@@ -276,25 +559,23 @@ def conv2d(
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)), owned=True)
         if pointwise:
-            grad_flat = grad.reshape(n, c_out, out_h * out_w)
-            if weight.requires_grad:
-                grad_w = np.matmul(grad_flat, x_flat.transpose(0, 2, 1)).sum(axis=0)
-                weight._accumulate(grad_w.reshape(wd.shape), owned=True)
-            if x.requires_grad:
-                w_mat = wd.reshape(c_out, c_in)
-                grad_xs = np.matmul(w_mat.T, grad_flat).reshape(n, c_in, out_h, out_w)
-                if stride > 1 or padding > 0:
-                    grad_padded = np.zeros(
-                        (n, c_in, h + 2 * padding, w + 2 * padding), dtype=xd.dtype
-                    )
-                    grad_padded[:, :, : stride * out_h : stride, : stride * out_w : stride] = grad_xs
-                    if padding > 0:
-                        grad_xs = np.ascontiguousarray(
-                            grad_padded[:, :, padding:-padding, padding:-padding]
-                        )
-                    else:
-                        grad_xs = grad_padded
-                x._accumulate(grad_xs, owned=True)
+            dx, dw = _pointwise_conv_backward(
+                grad, x_flat, wd, xd.shape, stride, padding,
+                need_x=x.requires_grad, need_w=weight.requires_grad,
+            )
+            if dw is not None:
+                weight._accumulate(dw, owned=True)
+            if dx is not None:
+                x._accumulate(dx, owned=True)
+        elif depthwise and multiplier == 1:
+            dx, dw = _depthwise_conv_backward(
+                grad, windows, wd, xd.shape, stride, padding,
+                need_x=x.requires_grad, need_w=weight.requires_grad,
+            )
+            if dw is not None:
+                weight._accumulate(dw, owned=True)
+            if dx is not None:
+                x._accumulate(dx, owned=True)
         elif depthwise:
             grad_g = grad.reshape(n, c_in, multiplier, out_h, out_w)
             if weight.requires_grad:
@@ -308,15 +589,14 @@ def conv2d(
                     owned=True,
                 )
         elif groups == 1:
-            if weight.requires_grad:
-                grad_w = np.einsum("nohw,nchwij->ocij", grad, windows, optimize=True)
-                weight._accumulate(grad_w, owned=True)
-            if x.requires_grad:
-                grad_windows = np.einsum("nohw,ocij->nchwij", grad, wd, optimize=True)
-                x._accumulate(
-                    _scatter_windows(grad_windows, xd.shape, (kh, kw), stride, padding),
-                    owned=True,
-                )
+            dx, dw = _dense_conv_backward(
+                grad, cols, wd, xd.shape, stride, padding,
+                need_x=x.requires_grad, need_w=weight.requires_grad,
+            )
+            if dw is not None:
+                weight._accumulate(dw, owned=True)
+            if dx is not None:
+                x._accumulate(dx, owned=True)
         else:
             grad_g = grad.reshape(n, groups, multiplier, out_h, out_w)
             windows_g = windows.reshape(n, groups, c_in_g, out_h, out_w, kh, kw)
@@ -432,6 +712,100 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 # --------------------------------------------------------------------------- #
 # normalisation
 # --------------------------------------------------------------------------- #
+def batch_norm2d_train_raw(
+    xd: np.ndarray,
+    gamma_d: np.ndarray,
+    beta_d: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    momentum: float,
+    eps: float,
+    out: np.ndarray | None = None,
+) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Training-mode batch-norm forward with a fused affine output.
+
+    Batch moments use the numerically-stable two-pass mean/var (a naive
+    ``E[x^2] - mean^2`` in float32 loses catastrophically for channels whose
+    mean is large relative to their std); the normalisation itself is folded
+    into one per-channel affine ``x * scale + shift``, so ``x_hat`` is never
+    materialised.  Updates ``running_mean`` / ``running_var`` in place and
+    returns the output plus the ``(xd, mean, inv_std)`` cache
+    :func:`batch_norm2d_train_grad` consumes.  Shared by the autograd op and
+    the compiled training runtime so both paths stay bit-identical.
+    """
+    c = xd.shape[1]
+    count = xd.shape[0] * xd.shape[2] * xd.shape[3]
+    mean_k = xd.mean(axis=(0, 2, 3), keepdims=True)
+    var = np.var(xd, axis=(0, 2, 3), mean=mean_k)  # reuses the computed mean
+    mean = mean_k.reshape(c)
+    unbiased = var * count / max(count - 1, 1)
+    running_mean *= 1.0 - momentum
+    running_mean += momentum * mean
+    running_var *= 1.0 - momentum
+    running_var += momentum * unbiased
+    inv_std = 1.0 / np.sqrt(var + eps)
+    scale = gamma_d * inv_std
+    shift = beta_d - mean * scale
+    if out is None:
+        out = xd * scale.reshape(1, c, 1, 1)
+    else:
+        np.multiply(xd, scale.reshape(1, c, 1, 1), out=out)
+    out += shift.reshape(1, c, 1, 1)
+    return out, (xd, mean, inv_std)
+
+
+def batch_norm2d_train_grad(
+    grad: np.ndarray,
+    cache: tuple[np.ndarray, np.ndarray, np.ndarray],
+    gamma_d: np.ndarray,
+    need_x: bool = True,
+    need_gamma: bool = True,
+    need_beta: bool = True,
+    dx_out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+    """Backward of :func:`batch_norm2d_train_raw`; returns ``(dx, dgamma, dbeta)``.
+
+    The classic three-term input gradient is collapsed algebraically into one
+    per-element affine ``grad * A + (x - mean) * B + C`` with per-channel
+    coefficients, fed by two whole-array reductions (``sum(grad)`` and a
+    fused ``grad * (x - mean)`` contraction) — roughly half the memory passes
+    of the textbook formulation.  The input is centred *before* the
+    contraction: recovering ``sum(grad * x_hat)`` from the uncentred
+    ``sum(grad * x)`` would subtract two nearly-equal quantities when the
+    channel mean is large, which float32 accumulation cannot survive.
+    """
+    xd, mean, inv_std = cache
+    c = xd.shape[1]
+    m = xd.shape[0] * xd.shape[2] * xd.shape[3]
+    mean4 = mean.reshape(1, c, 1, 1)
+    if scratch is None:
+        centered = xd - mean4
+    else:
+        np.subtract(xd, mean4, out=scratch)
+        centered = scratch
+    grad_sum = grad.sum(axis=(0, 2, 3))
+    grad_xhat_sum = inv_std * np.einsum("nchw,nchw->c", grad, centered, optimize=False)
+    dgamma = grad_xhat_sum if need_gamma else None
+    dbeta = grad_sum if need_beta else None
+    dx = None
+    if need_x:
+        # dx = inv_std * (grad*g - sum(grad*g)/m - x_hat*sum(grad*g*x_hat)/m)
+        # expands to the per-element affine  grad*A + centered*B + C  with:
+        coeff_a = gamma_d * inv_std
+        coeff_b = -coeff_a * inv_std * grad_xhat_sum * (1.0 / m)
+        coeff_c = -coeff_a * grad_sum * (1.0 / m)
+        if dx_out is None:
+            dx = grad * coeff_a.reshape(1, c, 1, 1)
+        else:
+            np.multiply(grad, coeff_a.reshape(1, c, 1, 1), out=dx_out)
+            dx = dx_out
+        centered *= coeff_b.reshape(1, c, 1, 1)
+        dx += centered
+        dx += coeff_c.reshape(1, c, 1, 1)
+    return dx, dgamma, dbeta
+
+
 def batch_norm2d(
     x: Tensor,
     gamma: Tensor,
@@ -451,42 +825,41 @@ def batch_norm2d(
     c = xd.shape[1]
 
     if training:
-        mean = xd.mean(axis=(0, 2, 3))
-        var = xd.var(axis=(0, 2, 3))
-        count = xd.shape[0] * xd.shape[2] * xd.shape[3]
-        unbiased = var * count / max(count - 1, 1)
-        running_mean *= 1.0 - momentum
-        running_mean += momentum * mean
-        running_var *= 1.0 - momentum
-        running_var += momentum * unbiased
+        out, cache = batch_norm2d_train_raw(
+            xd, gamma.data, beta.data, running_mean, running_var, momentum, eps
+        )
+        x_hat = inv_std = None
     else:
-        mean = running_mean
-        var = running_var
-
-    inv_std = 1.0 / np.sqrt(var + eps)
-    x_hat = (xd - mean.reshape(1, c, 1, 1)) * inv_std.reshape(1, c, 1, 1)
-    out = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
+        cache = None
+        inv_std = 1.0 / np.sqrt(running_var + eps)
+        x_hat = (xd - running_mean.reshape(1, c, 1, 1)) * inv_std.reshape(1, c, 1, 1)
+        out = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
 
     def backward(grad):
         grad = np.asarray(grad, dtype=xd.dtype)
+        if training:
+            dx, dgamma, dbeta = batch_norm2d_train_grad(
+                grad,
+                cache,
+                gamma.data,
+                need_x=x.requires_grad,
+                need_gamma=gamma.requires_grad,
+                need_beta=beta.requires_grad,
+            )
+            if dgamma is not None:
+                gamma._accumulate(dgamma)
+            if dbeta is not None:
+                beta._accumulate(dbeta)
+            if dx is not None:
+                x._accumulate(dx)
+            return
         if gamma.requires_grad:
             gamma._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
         if beta.requires_grad:
             beta._accumulate(grad.sum(axis=(0, 2, 3)))
         if x.requires_grad:
             g = gamma.data.reshape(1, c, 1, 1)
-            if training:
-                m = xd.shape[0] * xd.shape[2] * xd.shape[3]
-                grad_xhat = grad * g
-                sum_grad = grad_xhat.sum(axis=(0, 2, 3), keepdims=True)
-                sum_grad_xhat = (grad_xhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
-                grad_x = (
-                    inv_std.reshape(1, c, 1, 1)
-                    * (grad_xhat - sum_grad / m - x_hat * sum_grad_xhat / m)
-                )
-            else:
-                grad_x = grad * g * inv_std.reshape(1, c, 1, 1)
-            x._accumulate(grad_x)
+            x._accumulate(grad * g * inv_std.reshape(1, c, 1, 1))
 
     return Tensor._make(out, (x, gamma, beta), backward)
 
@@ -523,6 +896,66 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     return out
 
 
+def _cross_entropy_targets(
+    targets, num_classes: int, label_smoothing: float, soft_targets: bool
+) -> np.ndarray:
+    """Resolve integer labels / soft targets into a target-probability matrix."""
+    if soft_targets:
+        target_probs = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    else:
+        target_probs = one_hot(np.asarray(targets), num_classes)
+    if label_smoothing > 0.0:
+        target_probs = (
+            (1.0 - label_smoothing) * target_probs + label_smoothing / num_classes
+        )
+    return target_probs
+
+
+def softmax_cross_entropy_raw(
+    logits: np.ndarray, target_probs: np.ndarray
+) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+    """Forward of the fused softmax cross-entropy on raw arrays.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, C)`` unnormalised scores.
+    target_probs:
+        ``(N, C)`` target distribution.
+
+    Returns
+    -------
+    (loss, cache)
+        The scalar loss (0-d array in the logits dtype) and the
+        ``(exp_shifted, sum_exp)`` cache consumed by
+        :func:`softmax_cross_entropy_grad`.
+    """
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    sum_exp = exp.sum(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(sum_exp)
+    loss = np.asarray(-(target_probs * log_probs).sum(axis=-1).mean(), dtype=logits.dtype)
+    return loss, (exp, sum_exp)
+
+
+def softmax_cross_entropy_grad(
+    cache: tuple[np.ndarray, np.ndarray],
+    target_probs: np.ndarray,
+    upstream: np.ndarray | float = 1.0,
+) -> np.ndarray:
+    """Gradient of the fused softmax cross-entropy w.r.t. the logits.
+
+    Analytic form ``(softmax(z) * sum(t) - t) * upstream / N`` — one fused
+    kernel instead of the log-softmax tape chain.  ``sum(t)`` keeps the
+    gradient exact for unnormalised soft-target rows.
+    """
+    exp, sum_exp = cache
+    probs = exp / sum_exp
+    grad_logits = probs * target_probs.sum(axis=-1, keepdims=True) - target_probs
+    grad_logits *= np.asarray(upstream) * (1.0 / exp.shape[0])
+    return grad_logits
+
+
 def cross_entropy(
     logits: Tensor,
     targets: np.ndarray | Tensor,
@@ -530,6 +963,10 @@ def cross_entropy(
     soft_targets: bool = False,
 ) -> Tensor:
     """Cross-entropy between logits and integer labels or soft targets.
+
+    Implemented as a single fused tape node (forward and backward are one
+    kernel each, see :func:`softmax_cross_entropy_raw`) rather than the
+    log-softmax chain, which removes ~10 tape nodes per training step.
 
     Parameters
     ----------
@@ -541,18 +978,17 @@ def cross_entropy(
     label_smoothing:
         Mixes the hard target distribution with a uniform distribution.
     """
-    num_classes = logits.shape[-1]
-    if soft_targets:
-        target_probs = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
-    else:
-        target_probs = one_hot(np.asarray(targets), num_classes)
-    if label_smoothing > 0.0:
-        target_probs = (
-            (1.0 - label_smoothing) * target_probs + label_smoothing / num_classes
+    target_probs = _cross_entropy_targets(
+        targets, logits.shape[-1], label_smoothing, soft_targets
+    )
+    loss, cache = softmax_cross_entropy_raw(logits.data, target_probs)
+
+    def backward(grad):
+        logits._accumulate(
+            softmax_cross_entropy_grad(cache, target_probs, upstream=grad), owned=True
         )
-    log_probs = log_softmax(logits, axis=-1)
-    loss = -(Tensor(target_probs) * log_probs).sum(axis=-1).mean()
-    return loss
+
+    return Tensor._make(loss, (logits,), backward)
 
 
 def kl_divergence(teacher_logits: Tensor, student_logits: Tensor, temperature: float = 1.0) -> Tensor:

@@ -1,8 +1,9 @@
 """Optimisers, learning-rate schedules and training-stability utilities."""
 
 from .adaptive import Adam, AdamW, RMSprop
-from .clip import clip_grad_norm, clip_grad_value, global_grad_norm
+from .clip import clip_grad_norm, clip_grad_norm_, clip_grad_value, global_grad_norm
 from .ema import ModelEMA
+from .flat import FlatParams, FlatSGD
 from .schedulers import (
     ConstantLR,
     CosineAnnealingLR,
@@ -18,12 +19,15 @@ from .sgd import SGD, Optimizer
 
 __all__ = [
     "SGD",
+    "FlatSGD",
+    "FlatParams",
     "Adam",
     "AdamW",
     "RMSprop",
     "Optimizer",
     "ModelEMA",
     "clip_grad_norm",
+    "clip_grad_norm_",
     "clip_grad_value",
     "global_grad_norm",
     "LRScheduler",

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..nn.module import Parameter
 
-__all__ = ["clip_grad_norm", "clip_grad_value", "global_grad_norm"]
+__all__ = ["clip_grad_norm", "clip_grad_norm_", "clip_grad_value", "global_grad_norm"]
 
 
 def global_grad_norm(params: Iterable[Parameter]) -> float:
@@ -41,6 +41,43 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
         for param in params:
             if param.grad is not None:
                 param.grad *= scale
+    return norm
+
+
+def clip_grad_norm_(target, max_norm: float) -> float:
+    """Flat-buffer-aware global-norm clipping (in place).
+
+    When ``target`` carries a flat gradient buffer (a
+    :class:`~repro.optim.flat.FlatSGD`, a
+    :class:`~repro.optim.flat.FlatParams`, or anything exposing a 1-D
+    ``grad`` ndarray), the norm is one fused ``float64``-accumulated
+    contraction and the rescale is a single in-place multiply — no per-param
+    temporaries.  Plain parameter iterables fall back to
+    :func:`clip_grad_norm`.
+
+    Parameters
+    ----------
+    target:
+        A flat optimiser / flat buffer, or an iterable of parameters.
+    max_norm:
+        Maximum allowed global L2 norm; must be positive.
+
+    Returns
+    -------
+    float
+        The global gradient norm measured *before* clipping.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    flat = getattr(target, "flat", target)
+    grad = getattr(flat, "grad", None)
+    if not (isinstance(grad, np.ndarray) and grad.ndim == 1):
+        return clip_grad_norm(target, max_norm)
+    if hasattr(flat, "sync_grads"):
+        flat.sync_grads()
+    norm = math.sqrt(float(np.einsum("i,i->", grad, grad, dtype=np.float64)))
+    if norm > max_norm and norm > 0.0:
+        grad *= max_norm / norm
     return norm
 
 

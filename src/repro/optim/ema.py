@@ -3,6 +3,12 @@
 Weight averaging is a cheap way to squeeze extra validation accuracy out of
 the deep-giant training run; the averaged weights are what get handed to
 Progressive Linearization Tuning in the "EMA" ablation.
+
+The shadow state lives in one contiguous float buffer (plus per-name views),
+so :meth:`ModelEMA.update` is three whole-model vectorised ops and a set of
+buffer-to-buffer copies — no per-parameter temporaries are allocated, where
+the previous implementation materialised a full ``state_dict()`` copy plus a
+``(1 - decay) * value`` array for every entry on every step.
 """
 
 from __future__ import annotations
@@ -27,6 +33,12 @@ class ModelEMA:
     decay:
         Smoothing factor; ``averaged = decay * averaged + (1 - decay) * live``.
 
+    Attributes
+    ----------
+    shadow:
+        Mapping of state-dict name to the averaged array.  Float entries are
+        views into one flat buffer; treat them as read-only.
+
     Usage::
 
         ema = ModelEMA(model, decay=0.999)
@@ -41,24 +53,70 @@ class ModelEMA:
             raise ValueError("decay must lie in (0, 1)")
         self.decay = decay
         self.updates = 0
-        self.shadow: "OrderedDict[str, np.ndarray]" = OrderedDict(
-            (name, value.copy()) for name, value in model.state_dict().items()
-        )
-
-    def update(self, model: Module) -> None:
-        """Fold the model's current weights into the running average."""
-        self.updates += 1
         state = model.state_dict()
-        if set(state) != set(self.shadow):
-            raise KeyError("model state keys changed since the EMA was created")
+        self._keys = tuple(state)
+        # Only float32 entries join the flat buffer (anything else would be
+        # silently downcast); other float dtypes take the per-name EMA path.
+        self._float_names = [
+            name for name, value in state.items() if value.dtype == np.float32
+        ]
+        self._other_float_names = frozenset(
+            name
+            for name, value in state.items()
+            if np.issubdtype(value.dtype, np.floating) and value.dtype != np.float32
+        )
+        total = int(sum(state[name].size for name in self._float_names))
+        self._flat = np.empty(total, dtype=np.float32)
+        self._scratch = np.empty(total, dtype=np.float32)
+        self.shadow: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._scratch_views: dict[str, np.ndarray] = {}
+        float_names = set(self._float_names)
+        offset = 0
         for name, value in state.items():
-            shadow = self.shadow[name]
-            if np.issubdtype(shadow.dtype, np.floating):
-                shadow *= self.decay
-                shadow += (1.0 - self.decay) * value
+            if name in float_names:
+                view = self._flat[offset : offset + value.size].reshape(value.shape)
+                np.copyto(view, value)
+                self.shadow[name] = view
+                self._scratch_views[name] = self._scratch[offset : offset + value.size].reshape(
+                    value.shape
+                )
+                offset += value.size
             else:
                 # Integer buffers (e.g. counters) track the live model exactly.
                 self.shadow[name] = value.copy()
+
+    def _live_state(self, model: Module) -> "OrderedDict[str, np.ndarray]":
+        """Name → live array mapping *without* copying (unlike ``state_dict``)."""
+        live: OrderedDict[str, np.ndarray] = OrderedDict()
+        for name, param in model.named_parameters():
+            live[name] = param.data
+        for name, buf in model.named_buffers():
+            live[name] = np.asarray(buf)
+        return live
+
+    def update(self, model: Module) -> None:
+        """Fold the model's current weights into the running average.
+
+        Allocation-free: live values are gathered into a preallocated scratch
+        buffer, then the average advances with two in-place scalings and one
+        in-place add over the whole flat buffer.
+        """
+        self.updates += 1
+        live = self._live_state(model)
+        if tuple(live) != self._keys and set(live) != set(self._keys):
+            raise KeyError("model state keys changed since the EMA was created")
+        for name in self._float_names:
+            np.copyto(self._scratch_views[name], live[name])
+        self._flat *= self.decay
+        self._scratch *= 1.0 - self.decay
+        self._flat += self._scratch
+        for name in self._other_float_names:
+            shadow = self.shadow[name]
+            shadow *= self.decay
+            shadow += (1.0 - self.decay) * live[name]
+        for name, value in live.items():
+            if name not in self._scratch_views and name not in self._other_float_names:
+                np.copyto(self.shadow[name], value)
 
     def copy_to(self, model: Module) -> None:
         """Write the averaged weights into ``model``."""

@@ -1,4 +1,4 @@
-"""Fused inference runtime.
+"""Fused inference and training runtime.
 
 Turn a trained eager :class:`~repro.nn.module.Module` into a
 :class:`CompiledNet` executing fused NumPy kernels::
@@ -12,12 +12,36 @@ Turn a trained eager :class:`~repro.nn.module.Module` into a
 ``compile`` snapshots the weights — recompile after further training.  The
 :func:`~repro.train.trainer.evaluate` helper and the latency tooling in
 :mod:`repro.eval` use this path by default.
+
+For training, :func:`compile_training_step` lowers model + loss into a fused
+forward+backward :class:`TrainStep` that skips per-step tape construction and
+writes gradients straight into the optimiser's flat buffer::
+
+    from repro.runtime import compile_training_step
+
+    step = compile_training_step(model, loss_computer, optimizer)
+    loss, logits = step(images, labels)   # grads are now in param.grad
+    optimizer.step()
+
+:class:`~repro.train.trainer.Trainer` routes ``train_step`` through this path
+automatically and falls back to the eager tape when a model or loss cannot be
+lowered.
 """
 
 from .compiler import CompiledNet, activation_spec, compile_net, fold_conv_bn
+from .training import TrainStep, compile_training_step
 from . import kernels
 
 # torch.compile-style alias; shadows the builtin only inside this namespace.
 compile = compile_net
 
-__all__ = ["compile", "compile_net", "CompiledNet", "fold_conv_bn", "activation_spec", "kernels"]
+__all__ = [
+    "compile",
+    "compile_net",
+    "CompiledNet",
+    "compile_training_step",
+    "TrainStep",
+    "fold_conv_bn",
+    "activation_spec",
+    "kernels",
+]

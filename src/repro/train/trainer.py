@@ -13,6 +13,7 @@ pluggable:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -23,7 +24,7 @@ from ..data.dataloader import DataLoader
 from ..data.datasets import ClassificationDataset
 from ..data.transforms import Transform
 from ..nn import functional as F
-from ..optim import SGD, ConstantLR, CosineAnnealingLR, LinearWarmup, StepLR
+from ..optim import FlatSGD, SGD, ConstantLR, CosineAnnealingLR, LinearWarmup, StepLR
 from ..utils.config import ExperimentConfig
 from .metrics import AverageMeter, accuracy
 
@@ -152,6 +153,12 @@ class Trainer:
     epoch_callbacks:
         Called (with the epoch index and the running history) after every
         epoch.
+    compile:
+        Route ``train_step`` through the fused training runtime
+        (:func:`repro.runtime.compile_training_step`) when the model and loss
+        can be lowered; the eager tape remains as automatic fallback and the
+        two paths are bit-identical.  Disable to force the eager path (used
+        by the parity tests and benchmarks).
     """
 
     def __init__(
@@ -162,6 +169,7 @@ class Trainer:
         train_transform: Transform | None = None,
         iteration_callbacks: list[Callable[[int], None]] | None = None,
         epoch_callbacks: list[Callable[[int, TrainingHistory], None]] | None = None,
+        compile: bool = True,
     ):
         self.model = model
         self.config = config
@@ -169,7 +177,9 @@ class Trainer:
         self.train_transform = train_transform
         self.iteration_callbacks = list(iteration_callbacks or [])
         self.epoch_callbacks = list(epoch_callbacks or [])
-        self.optimizer = SGD(
+        # FlatSGD applies the exact same per-element update as SGD but as a
+        # handful of whole-model vectorised ops over a flat buffer.
+        self.optimizer = FlatSGD(
             model.parameters(),
             lr=config.lr,
             momentum=config.momentum,
@@ -177,6 +187,10 @@ class Trainer:
         )
         self.scheduler = _build_scheduler(self.optimizer, config, config.epochs)
         self.global_iteration = 0
+        self._compile_enabled = compile
+        self._compiled_step = None
+        self._compile_attempted = False
+        self._failed_signature = None
 
     def fit(
         self,
@@ -212,17 +226,66 @@ class Trainer:
                 callback(epoch, history)
         return history
 
+    def _ensure_compiled(self):
+        """Build (or rebuild) the fused train step; ``None`` when unsupported.
+
+        The compiled program holds live references to the model's modules and
+        parameters, so weight updates need no recompilation; a structural
+        edit (swapped submodule / replaced parameter) is detected via
+        :meth:`~repro.runtime.TrainStep.matches` and triggers a recompile.
+        """
+        if not self._compile_enabled:
+            return None
+        step = self._compiled_step
+        if step is not None and step.matches(self.model):
+            return step
+        from ..runtime import compile_training_step
+        from ..runtime.training import structure_signature
+
+        if step is None and self._compile_attempted:
+            # Unsupported (or failed) at the last attempt: retry only after a
+            # structural edit, which may have made the model compilable.
+            if structure_signature(self.model) == self._failed_signature:
+                return None
+        self._compile_attempted = True
+        try:
+            self._compiled_step = compile_training_step(
+                self.model, self.loss_computer, self.optimizer
+            )
+        except Exception:
+            self._compiled_step = None
+            warnings.warn(
+                "compile_training_step raised; training continues on the eager "
+                "path (results are identical, throughput is lower)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if self._compiled_step is None:
+            self._failed_signature = structure_signature(self.model)
+        return self._compiled_step
+
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
-        """One optimiser update; returns the loss value and detached logits."""
-        inputs = nn.Tensor(images)
+        """One optimiser update; returns the loss value and detached logits.
+
+        Routes through the compiled training runtime when available (fused
+        forward+backward kernels, gradients written into the optimiser's flat
+        buffer); otherwise runs the eager tape.  Both paths are numerically
+        identical.
+        """
+        compiled = self._ensure_compiled() if self.model.training else None
         self.optimizer.zero_grad()
-        loss, logits = self.loss_computer(self.model, inputs, labels)
-        loss.backward()
+        if compiled is not None:
+            loss_value, logits_arr = compiled(images, labels)
+        else:
+            inputs = nn.Tensor(images)
+            loss, logits = self.loss_computer(self.model, inputs, labels)
+            loss.backward()
+            loss_value, logits_arr = loss.item(), logits.numpy()
         self.optimizer.step()
         self.global_iteration += 1
         for callback in self.iteration_callbacks:
             callback(self.global_iteration)
-        return loss.item(), logits.numpy()
+        return loss_value, logits_arr
 
     def evaluate(self, dataset: ClassificationDataset) -> float:
         """Top-1 accuracy (percent) on ``dataset``."""
