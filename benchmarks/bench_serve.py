@@ -1,0 +1,183 @@
+"""Serving benchmarks: int8 vs float compiled throughput, batched vs serial.
+
+Two lanes, written to ``BENCH_serve.json`` so the perf trajectory is tracked
+across PRs and gated by ``scripts/check_bench.py``:
+
+1. **Engine lane** — single-stream throughput (imgs/sec) of the int8 integer
+   engine (:func:`repro.runtime.compile_quantized`) vs the float compiled
+   runtime (:func:`repro.runtime.compile_net`) on MobileNetV2-Tiny at batch
+   1 / 8 / 64.  The acceptance floor is int8 >= 1.5x float at batches 1-8.
+2. **Serving lane** — sustained req/s of the dynamic-batching engine
+   (max-batch window, padded assembly) vs serial batch-1 serving, both driven
+   by the closed-loop load generator.  The acceptance floor is batched >= 2x
+   serial.
+
+Also records the int8-vs-fake-quant parity error (max |logit delta|), so a
+perf win can never silently trade away correctness.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import nn
+from repro.compress import calibrate, quantize_model
+from repro.models import create_model
+from repro.runtime import compile_net, compile_quantized
+from repro.serve import Engine
+from repro.serve.loadgen import run_load
+from repro.utils import seed_everything
+
+
+def interleaved_median_ms(fn_a, fn_b, repeats: int, warmup: int = 5) -> tuple[float, float]:
+    """Median wall time of two competing lanes, measured strictly interleaved.
+
+    Alternating the lanes rep-by-rep means both see the same machine state
+    (thermal drift, cache pressure), which keeps the *ratio* stable across
+    runs — the ratio is what the gate checks.
+    """
+    for _ in range(warmup):
+        fn_a()
+        fn_b()
+    times_a, times_b = [], []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn_a()
+        times_a.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        times_b.append(time.perf_counter() - start)
+    return float(np.median(times_a) * 1e3), float(np.median(times_b) * 1e3)
+
+
+def build_engines(model_name: str, resolution: int, seed: int = 0):
+    """Float-compiled and int8-compiled engines over the same architecture."""
+    seed_everything(seed)
+    rng = np.random.default_rng(seed)
+    model = create_model(model_name, num_classes=16)
+    model.eval()
+    float_net = compile_net(model)  # snapshot before fake-quant rewrites weights
+    quantize_model(model)
+    calibrate(
+        model,
+        [rng.normal(0.2, 0.8, size=(8, 3, resolution, resolution)).astype(np.float32) for _ in range(2)],
+    )
+    int8_net = compile_quantized(model)
+    return float_net, int8_net, model
+
+
+def engine_lane(float_net, int8_net, model, resolution: int, repeats: int, rng) -> dict:
+    results: dict[str, dict] = {}
+    for batch in (1, 8, 64):
+        x = rng.normal(0.2, 0.8, size=(batch, 3, resolution, resolution)).astype(np.float32)
+        n = repeats if batch < 64 else max(3, repeats // 3)
+        float_ms, int8_ms = interleaved_median_ms(
+            lambda: float_net.numpy_forward(x), lambda: int8_net.numpy_forward(x), n
+        )
+        results[f"batch{batch}"] = {
+            "float_ms": float_ms,
+            "int8_ms": int8_ms,
+            "float_imgs_per_sec": batch / float_ms * 1e3,
+            "int8_imgs_per_sec": batch / int8_ms * 1e3,
+            "speedup_int8_vs_float": float_ms / int8_ms,
+        }
+    # parity: the integer engine must track the fake-quant oracle
+    x = rng.normal(0.2, 0.8, size=(8, 3, resolution, resolution)).astype(np.float32)
+    with nn.no_grad():
+        oracle = model(nn.Tensor(x)).numpy()
+    results["parity_max_abs_logit_delta"] = float(
+        np.abs(int8_net.numpy_forward(x) - oracle).max()
+    )
+    return results
+
+
+def serving_lane(int8_net, resolution: int, n_requests: int) -> dict:
+    shape = (3, resolution, resolution)
+    with Engine(int8_net, shape, max_batch=1, max_wait_ms=0.0, workers=1) as serial:
+        serial_report = run_load(serial, n_requests=n_requests, concurrency=1, warmup=8)
+    with Engine(int8_net, shape, max_batch=16, max_wait_ms=2.0, workers=1) as batched:
+        batched_report = run_load(batched, n_requests=n_requests, concurrency=32, warmup=16)
+        batched_stats = batched.stats()
+    return {
+        "serial_req_per_sec": serial_report.requests_per_sec,
+        "serial_p50_ms": serial_report.latency_ms_p50,
+        "batched_req_per_sec": batched_report.requests_per_sec,
+        "batched_p50_ms": batched_report.latency_ms_p50,
+        "batched_p99_ms": batched_report.latency_ms_p99,
+        "batched_mean_batch_size": batched_stats.mean_batch_size,
+        "speedup_batched_vs_serial": batched_report.requests_per_sec
+        / max(serial_report.requests_per_sec, 1e-9),
+    }
+
+
+def run_benchmarks(smoke: bool, repeats: int) -> dict:
+    resolution = 12  # the MCU-scale substrate: experiments run 12-16 px inputs
+    n_requests = 1500 if smoke else 3000
+    float_net, int8_net, model = build_engines("mobilenetv2-tiny", resolution)
+    rng = np.random.default_rng(1)
+    return {
+        "model": "mobilenetv2-tiny",
+        "resolution": resolution,
+        "engine": engine_lane(float_net, int8_net, model, resolution, repeats, rng),
+        "serving": serving_lane(int8_net, resolution, n_requests),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats per point")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+    repeats = args.repeats if args.repeats is not None else (15 if args.smoke else 40)
+
+    results = run_benchmarks(smoke=args.smoke, repeats=repeats)
+    report = {
+        "suite": "bench_serve",
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "benchmarks": results,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    engine = results["engine"]
+    print(f"{'batch':>6s} {'float ms':>10s} {'int8 ms':>10s} {'speedup':>8s}")
+    for batch in (1, 8, 64):
+        row = engine[f"batch{batch}"]
+        print(
+            f"{batch:>6d} {row['float_ms']:>10.3f} {row['int8_ms']:>10.3f} "
+            f"{row['speedup_int8_vs_float']:>7.2f}x"
+        )
+    print(f"parity max |logit delta| : {engine['parity_max_abs_logit_delta']:.4f}")
+    serving = results["serving"]
+    print(
+        f"serving: serial {serving['serial_req_per_sec']:.0f} req/s, "
+        f"batched {serving['batched_req_per_sec']:.0f} req/s "
+        f"({serving['speedup_batched_vs_serial']:.2f}x, "
+        f"mean batch {serving['batched_mean_batch_size']:.1f})"
+    )
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,16 +1,26 @@
 #!/usr/bin/env python
-"""Regression gate over ``BENCH_train.json``.
+"""Regression gates over the benchmark JSON reports.
 
-Fails (exit 1) when the compiled training path regresses below the eager
-path, or when the compiled-vs-seed speedup drops under the required floor.
-Run after ``benchmarks/bench_train.py``::
+Dispatches on the report's ``suite`` field:
+
+* ``bench_train`` (``BENCH_train.json``) — the compiled training path must
+  stay ahead of the eager path and above the seed-speedup floor.
+* ``bench_serve`` (``BENCH_serve.json``) — the int8 integer engine must reach
+  the configured speedup over the float compiled engine at batches 1-8, and
+  dynamic batching must sustain the configured multiple of serial batch-1
+  serving req/s.
+
+Run after the corresponding benchmark::
 
     PYTHONPATH=src python benchmarks/bench_train.py --smoke --output /tmp/BENCH_train.json
     python scripts/check_bench.py /tmp/BENCH_train.json
 
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke --output /tmp/BENCH_serve.json
+    python scripts/check_bench.py /tmp/BENCH_serve.json
+
 A small tolerance absorbs timer noise on shared CI runners; the full-mode
-numbers committed in ``BENCH_train.json`` are the ones that matter for the
-perf trajectory.
+numbers committed in the repo are the ones that matter for the perf
+trajectory.
 """
 
 from __future__ import annotations
@@ -21,23 +31,64 @@ import sys
 from pathlib import Path
 
 
-def check(report: dict, tolerance: float, min_seed_ratio: float) -> list[str]:
-    """Return a list of failure messages (empty when the gate passes)."""
+def check_train(report: dict, args) -> list[str]:
+    """Gate the training-throughput report; returns failure messages."""
     train = report["benchmarks"]["train_step"]
     compiled = train["compiled_steps_per_sec"]
     eager = train["eager_steps_per_sec"]
     seed = train["seed_steps_per_sec"]
     failures = []
-    if compiled < tolerance * eager:
+    if compiled < args.tolerance * eager:
         failures.append(
             f"compiled path regressed below eager: {compiled:.2f} < "
-            f"{tolerance:.2f} * {eager:.2f} steps/sec"
+            f"{args.tolerance:.2f} * {eager:.2f} steps/sec"
         )
-    if compiled < min_seed_ratio * seed:
+    if compiled < args.min_seed_ratio * seed:
         failures.append(
             f"compiled-vs-seed speedup below floor: {compiled / seed:.2f}x < "
-            f"{min_seed_ratio:.2f}x"
+            f"{args.min_seed_ratio:.2f}x"
         )
+    print(
+        f"steps/sec — seed {seed:.2f}, eager {eager:.2f}, compiled {compiled:.2f} "
+        f"({train['speedup_compiled_vs_seed']:.2f}x vs seed)"
+    )
+    return failures
+
+
+def check_serve(report: dict, args) -> list[str]:
+    """Gate the serving report; returns failure messages."""
+    bench = report["benchmarks"]
+    engine = bench["engine"]
+    serving = bench["serving"]
+    failures = []
+    for batch in (1, 8):
+        speedup = engine[f"batch{batch}"]["speedup_int8_vs_float"]
+        if speedup < args.min_int8_speedup:
+            failures.append(
+                f"int8 engine below floor at batch {batch}: "
+                f"{speedup:.2f}x < {args.min_int8_speedup:.2f}x vs float compiled"
+            )
+    batching = serving["speedup_batched_vs_serial"]
+    if batching < args.min_batching_speedup:
+        failures.append(
+            f"dynamic batching below floor: {batching:.2f}x < "
+            f"{args.min_batching_speedup:.2f}x vs serial batch-1 serving"
+        )
+    parity = engine["parity_max_abs_logit_delta"]
+    if parity > args.max_parity_delta:
+        failures.append(
+            f"int8 parity drifted: max |logit delta| {parity:.4f} > {args.max_parity_delta}"
+        )
+    speedups = " ".join(
+        f"b{batch}={engine[f'batch{batch}']['speedup_int8_vs_float']:.2f}x"
+        for batch in (1, 8, 64)
+    )
+    print(
+        f"int8 vs float compiled: {speedups}; "
+        f"serving {serving['serial_req_per_sec']:.0f} -> "
+        f"{serving['batched_req_per_sec']:.0f} req/s ({batching:.2f}x batched); "
+        f"parity {parity:.4f}"
+    )
     return failures
 
 
@@ -48,31 +99,49 @@ def main() -> int:
         type=Path,
         nargs="?",
         default=Path(__file__).resolve().parent.parent / "BENCH_train.json",
-        help="path to a bench_train JSON report",
+        help="path to a bench_train / bench_serve JSON report",
     )
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.90,
-        help="compiled must reach at least this fraction of eager steps/sec",
+        help="[train] compiled must reach this fraction of eager steps/sec",
     )
     parser.add_argument(
         "--min-seed-ratio",
         type=float,
         default=1.2,
-        help="minimum compiled/seed steps-per-sec ratio",
+        help="[train] minimum compiled/seed steps-per-sec ratio",
+    )
+    parser.add_argument(
+        "--min-int8-speedup",
+        type=float,
+        default=1.5,
+        help="[serve] minimum int8-vs-float-compiled speedup at batches 1-8",
+    )
+    parser.add_argument(
+        "--min-batching-speedup",
+        type=float,
+        default=2.0,
+        help="[serve] minimum batched-vs-serial served req/s ratio",
+    )
+    parser.add_argument(
+        "--max-parity-delta",
+        type=float,
+        default=1.0,
+        help="[serve] maximum int8-vs-fake-quant |logit delta|",
     )
     args = parser.parse_args()
 
     report = json.loads(args.report.read_text())
-    failures = check(report, args.tolerance, args.min_seed_ratio)
-    train = report["benchmarks"]["train_step"]
-    print(
-        f"steps/sec — seed {train['seed_steps_per_sec']:.2f}, "
-        f"eager {train['eager_steps_per_sec']:.2f}, "
-        f"compiled {train['compiled_steps_per_sec']:.2f} "
-        f"({train['speedup_compiled_vs_seed']:.2f}x vs seed)"
-    )
+    suite = report.get("suite", "bench_train")
+    if suite == "bench_serve":
+        failures = check_serve(report, args)
+    elif suite == "bench_train":
+        failures = check_train(report, args)
+    else:
+        print(f"FAIL: unknown benchmark suite {suite!r}", file=sys.stderr)
+        return 1
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -20,6 +20,7 @@ from .quantization import (
     QuantizationSpec,
     QuantizedConv2d,
     QuantizedLinear,
+    activation_qparams,
     calibrate,
     dequantize_array,
     quantize_array,
@@ -36,6 +37,7 @@ __all__ = [
     "QuantizationReport",
     "quantize_array",
     "dequantize_array",
+    "activation_qparams",
     "QuantizedConv2d",
     "QuantizedLinear",
     "quantize_model",

@@ -12,9 +12,20 @@ network quantizes as well as a vanilla-trained one.  This module provides:
 * :func:`quantize_model` — rewrite a trained model so every conv / linear goes
   through the wrappers, returning a :class:`QuantizationReport`.
 
-Quantization is *simulated*: values are rounded to the integer grid and
-immediately mapped back to float32, which reproduces int8 accuracy behaviour
-while keeping the NumPy execution path unchanged.
+The *eager* forward of a quantized model is simulated: values are rounded to
+the integer grid and immediately mapped back to float32, which reproduces
+int8 accuracy behaviour while keeping the NumPy execution path unchanged.
+The wrappers additionally store the **real** integer parameters — ``weight_q``
+(an ``int8`` array) with per-channel ``weight_scale`` — and, once calibrated,
+expose activation grids via :meth:`_QuantizedWrapper.input_qparams`.  The
+true-integer inference engine (:func:`repro.runtime.compile_quantized`)
+executes straight from these, with the fake-quant eager path serving as its
+accuracy oracle.
+
+:func:`calibrate` supports two range estimators: plain min/max observation and
+percentile calibration (``method="percentile"``), which discards extreme
+outliers and tightens the grid over the bulk of the distribution — the usual
+win for post-ReLU activations with heavy tails.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ __all__ = [
     "QuantizationReport",
     "quantize_array",
     "dequantize_array",
+    "activation_qparams",
     "QuantizedConv2d",
     "QuantizedLinear",
     "quantize_model",
@@ -145,11 +157,48 @@ def quantization_error(array: np.ndarray, spec: QuantizationSpec, channel_axis: 
     return float(np.sqrt(np.mean((array - fake_quantize(array, spec, channel_axis)) ** 2)))
 
 
+def activation_qparams(low: float, high: float, bits: int = 8) -> tuple[float, float]:
+    """Affine (asymmetric) activation quantization parameters for a range.
+
+    Returns ``(scale, zero_point)`` for the unsigned grid ``[0, 2**bits - 1]``.
+    The range is *nudged to include zero* so that the real value ``0.0`` maps
+    exactly onto an integer grid point — a requirement for zero-padded integer
+    convolutions (the pad value is the zero-point) — and the zero-point is an
+    exact integer, so requantization between grids commutes with rounding.
+    Both the fake-quant eager path and the integer engine derive their grids
+    from this helper, keeping the two bit-compatible.
+    """
+    low = min(float(low), 0.0)
+    high = max(float(high), 0.0)
+    qmax = 2**bits - 1
+    scale = max((high - low) / qmax, 1e-12)
+    zero_point = float(round(-low / scale))
+    return scale, zero_point
+
+
 # --------------------------------------------------------------------------- #
 # quantized layer wrappers
 # --------------------------------------------------------------------------- #
 class _QuantizedWrapper(nn.Module):
-    """Shared machinery for the conv / linear fake-quant wrappers."""
+    """Shared machinery for the conv / linear fake-quant wrappers.
+
+    Besides writing fake-quantized values back into the wrapped layer's float
+    weight (the simulation path), the wrapper stores the true integer
+    parameters as buffers:
+
+    ``weight_q``
+        The quantized weight on the integer grid, *zero-point centred*
+        (``q - zero_point``), stored as ``int8`` whenever the values fit
+        (always the case for the default symmetric 8-bit spec) and ``int16``
+        otherwise.
+    ``weight_scale``
+        Per-output-channel scales (``(C_out,)``), or a single-element array
+        for per-tensor quantization, such that
+        ``wrapped.weight ≈ weight_q * weight_scale``.
+    """
+
+    # Fraction of each calibration batch sampled for percentile estimation.
+    _SAMPLES_PER_BATCH = 4096
 
     def __init__(self, wrapped: nn.Module, spec: QuantizationSpec):
         super().__init__()
@@ -158,36 +207,77 @@ class _QuantizedWrapper(nn.Module):
         self.observing = True
         self.register_buffer("act_low", np.array([np.inf], dtype=np.float32))
         self.register_buffer("act_high", np.array([-np.inf], dtype=np.float32))
+        self._samples: list[np.ndarray] = []
+        self._collect_samples = False
         self.weight_error = self._quantize_weights()
 
     def _quantize_weights(self) -> float:
         weight = self.wrapped.weight
         channel_axis = 0 if self.spec.per_channel else None
-        error = quantization_error(weight.data, self.spec, channel_axis)
-        weight.data[...] = fake_quantize(weight.data, self.spec, channel_axis)
+        q, scale, zero_point = quantize_array(weight.data, self.spec, channel_axis)
+        if channel_axis is None:
+            centered = q - zero_point.reshape(())
+        else:
+            shape = [1] * q.ndim
+            shape[channel_axis] = -1
+            centered = q - zero_point.reshape(shape)
+        int_dtype = np.int8 if np.abs(centered).max(initial=0.0) <= 127 else np.int16
+        self.register_buffer("weight_q", centered.astype(int_dtype))
+        self.register_buffer("weight_scale", scale.astype(np.float32))
+        fq = dequantize_array(q, scale, zero_point, channel_axis)
+        error = float(np.sqrt(np.mean((weight.data - fq) ** 2)))
+        weight.data[...] = fq
         return error
 
     def _observe(self, x: np.ndarray) -> None:
         self.act_low[0] = min(self.act_low[0], float(x.min()))
         self.act_high[0] = max(self.act_high[0], float(x.max()))
+        if self._collect_samples:
+            flat = x.reshape(-1)
+            step = max(1, flat.size // self._SAMPLES_PER_BATCH)
+            self._samples.append(flat[::step].astype(np.float32, copy=True))
 
     def _quantize_activation(self, x: nn.Tensor) -> nn.Tensor:
         if self.observing:
             self._observe(x.data)
             return x
-        if not np.isfinite(self.act_low[0]) or not np.isfinite(self.act_high[0]):
+        qparams = self.input_qparams()
+        if qparams is None:
             return x
-        low, high = float(self.act_low[0]), float(self.act_high[0])
-        if high <= low:
-            return x
-        act_spec = QuantizationSpec(bits=self.spec.bits, symmetric=False, per_channel=False)
-        scale = max((high - low) / (act_spec.qmax - act_spec.qmin), 1e-12)
-        zero_point = round(act_spec.qmin - low / scale)
-        q = np.clip(np.round(x.data / scale + zero_point), act_spec.qmin, act_spec.qmax)
+        scale, zero_point = qparams
+        qmax = 2**self.spec.bits - 1
+        q = np.clip(np.round(x.data / scale + zero_point), 0, qmax)
         return nn.Tensor(((q - zero_point) * scale).astype(np.float32))
 
-    def freeze(self) -> None:
-        """Stop observing activation ranges and start quantizing activations."""
+    def input_qparams(self) -> tuple[float, float] | None:
+        """Calibrated ``(scale, zero_point)`` of the input grid, else ``None``."""
+        low, high = float(self.act_low[0]), float(self.act_high[0])
+        if not np.isfinite(low) or not np.isfinite(high) or high <= low:
+            return None
+        return activation_qparams(low, high, self.spec.bits)
+
+    @property
+    def frozen(self) -> bool:
+        """True once calibration has produced a usable activation grid."""
+        return not self.observing and self.input_qparams() is not None
+
+    def freeze(self, method: str = "minmax", percentile: float = 99.9) -> None:
+        """Stop observing activation ranges and start quantizing activations.
+
+        ``method="percentile"`` replaces the observed min/max range with the
+        ``[100 - percentile, percentile]`` percentiles of the values sampled
+        during calibration (never *widening* beyond the observed range), which
+        keeps one-off outliers from stretching the grid.
+        """
+        if method not in ("minmax", "percentile"):
+            raise ValueError(f"unknown calibration method {method!r}")
+        if method == "percentile" and self._samples:
+            pooled = np.concatenate(self._samples)
+            low, high = np.percentile(pooled, [100.0 - percentile, percentile])
+            self.act_low[0] = max(float(low), float(self.act_low[0]))
+            self.act_high[0] = min(float(high), float(self.act_high[0]))
+        self._samples = []
+        self._collect_samples = False
         self.observing = False
 
     def forward(self, x: nn.Tensor) -> nn.Tensor:
@@ -258,7 +348,13 @@ def quantize_model(
     return report
 
 
-def calibrate(model: nn.Module, batches, freeze: bool = True) -> int:
+def calibrate(
+    model: nn.Module,
+    batches,
+    freeze: bool = True,
+    method: str = "minmax",
+    percentile: float = 99.9,
+) -> int:
     """Run calibration batches through a quantized model to set activation ranges.
 
     Parameters
@@ -271,14 +367,25 @@ def calibrate(model: nn.Module, batches, freeze: bool = True) -> int:
     freeze:
         Freeze the observers afterwards so subsequent forward passes quantize
         activations.
+    method:
+        ``"minmax"`` uses the observed extrema; ``"percentile"`` clips the
+        range to the ``[100 - percentile, percentile]`` percentiles of sampled
+        activation values, which tightens the grid when calibration data
+        contains outliers (typical for post-ReLU distributions).
+    percentile:
+        Upper percentile used by the percentile estimator.
 
     Returns the number of calibration batches processed.
     """
+    if method not in ("minmax", "percentile"):
+        raise ValueError(f"unknown calibration method {method!r}")
     wrappers = [m for _, m in model.named_modules() if isinstance(m, _QuantizedWrapper)]
     if not wrappers:
         raise ValueError("model has no quantized layers; call quantize_model first")
     for wrapper in wrappers:
         wrapper.observing = True
+        wrapper._collect_samples = method == "percentile"
+        wrapper._samples = []
     was_training = model.training
     model.eval()
     count = 0
@@ -289,5 +396,5 @@ def calibrate(model: nn.Module, batches, freeze: bool = True) -> int:
     model.train(was_training)
     if freeze:
         for wrapper in wrappers:
-            wrapper.freeze()
+            wrapper.freeze(method=method, percentile=percentile)
     return count

@@ -15,7 +15,13 @@ from .deployment import (
     peak_activation_memory,
     weight_memory,
 )
-from .profiler import LayerProfile, format_profile_table, measure_latency, profile_layers
+from .profiler import (
+    LayerProfile,
+    format_profile_table,
+    latency_percentiles,
+    measure_latency,
+    profile_layers,
+)
 from .robustness import RobustnessReport, evaluate_robustness
 
 __all__ = [
@@ -39,6 +45,7 @@ __all__ = [
     "profile_layers",
     "format_profile_table",
     "measure_latency",
+    "latency_percentiles",
     "RobustnessReport",
     "evaluate_robustness",
 ]

@@ -188,20 +188,25 @@ def deployment_report(
     weight_bytes: int = 1,
     activation_bytes: int = 1,
     measure_host_latency: bool = False,
+    latency_repeats: int = 5,
 ) -> DeploymentReport:
     """Build a :class:`DeploymentReport` for ``model`` on ``device``.
 
     Defaults assume int8 deployment (one byte per weight and per activation).
     ``measure_host_latency=True`` additionally times the model through the
-    fused :mod:`repro.runtime` inference engine on this machine.
+    fused :mod:`repro.runtime` inference engine on this machine;
+    ``latency_repeats`` controls how many timed runs back that number (raise
+    it when the p95/p99 tail matters more than wall-clock budget).
     """
+    if latency_repeats < 1:
+        raise ValueError("latency_repeats must be at least 1")
     complexity = count_complexity(model, input_shape)
     host_latency_ms = None
     host_latency_backend = None
     if measure_host_latency:
         from .profiler import measure_latency
 
-        stats = measure_latency(model, input_shape, repeats=5, compiled=True)
+        stats = measure_latency(model, input_shape, repeats=latency_repeats, compiled=True)
         host_latency_ms = stats["median_ms"]
         host_latency_backend = "compiled runtime" if stats.get("compiled") else "eager forward"
     return DeploymentReport(

@@ -16,7 +16,13 @@ import numpy as np
 from .. import nn
 from .complexity import count_complexity
 
-__all__ = ["LayerProfile", "profile_layers", "format_profile_table", "measure_latency"]
+__all__ = [
+    "LayerProfile",
+    "profile_layers",
+    "format_profile_table",
+    "measure_latency",
+    "latency_percentiles",
+]
 
 
 @dataclass
@@ -76,6 +82,17 @@ def format_profile_table(model: nn.Module, input_shape: tuple[int, int, int], to
     return "\n".join(lines)
 
 
+def latency_percentiles(timings_ms) -> dict[str, float]:
+    """p50/p95/p99 summary of a latency sample, in milliseconds.
+
+    Shared by :func:`measure_latency` and the serving stats: tail percentiles,
+    not means, are what a serving SLO is written against.
+    """
+    timings = np.asarray(timings_ms, dtype=np.float64)
+    p50, p95, p99 = np.percentile(timings, [50.0, 95.0, 99.0])
+    return {"p50_ms": float(p50), "p95_ms": float(p95), "p99_ms": float(p99)}
+
+
 def measure_latency(
     model: nn.Module,
     input_shape: tuple[int, int, int],
@@ -86,7 +103,8 @@ def measure_latency(
 ) -> dict[str, float]:
     """Wall-clock forward-pass latency of the NumPy implementation.
 
-    Returns mean / median / best latency in milliseconds.  This measures the
+    Returns mean / median / best latency plus the p50/p95/p99 percentiles in
+    milliseconds (raise ``repeats`` for meaningful tails).  This measures the
     simulator, not an MCU — use :mod:`repro.eval.deployment` for device
     estimates — but it is the honest way to compare the *relative* cost of a
     vanilla TNN, its expanded deep giant and the contracted result.
@@ -125,7 +143,7 @@ def measure_latency(
             forward()
             timings.append((time.perf_counter() - start) * 1e3)
     model.train(was_training)
-    return {
+    stats = {
         "mean_ms": float(np.mean(timings)),
         "median_ms": float(np.median(timings)),
         "best_ms": float(np.min(timings)),
@@ -133,3 +151,5 @@ def measure_latency(
         # (either requested or after a compilation failure fallback).
         "compiled": 1.0 if used_compiled else 0.0,
     }
+    stats.update(latency_percentiles(timings))
+    return stats

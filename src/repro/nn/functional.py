@@ -10,6 +10,8 @@ All spatial operations use the ``NCHW`` layout.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
@@ -50,24 +52,34 @@ __all__ = [
 # buffers that are fully consumed within a single op call — anything retained
 # for the backward pass allocates fresh.  The ``tag`` namespaces buffers so
 # two different roles with the same shape never alias within one op call.
+# The cache is **per-thread**: the serving layer runs concurrent inference
+# workers, and two threads hitting the same shape must never share scratch.
 _WORKSPACE_LIMIT = 96
-_WORKSPACES: dict[tuple, np.ndarray] = {}
+_WORKSPACE_STORE = threading.local()
+
+
+def _workspaces() -> dict:
+    cache = getattr(_WORKSPACE_STORE, "cache", None)
+    if cache is None:
+        cache = _WORKSPACE_STORE.cache = {}
+    return cache
 
 
 def _workspace(shape: tuple[int, ...], dtype, tag: str = "") -> np.ndarray:
+    workspaces = _workspaces()
     key = (tag, tuple(shape), np.dtype(dtype).str)
-    buf = _WORKSPACES.get(key)
+    buf = workspaces.get(key)
     if buf is None:
-        if len(_WORKSPACES) >= _WORKSPACE_LIMIT:
-            _WORKSPACES.clear()
+        if len(workspaces) >= _WORKSPACE_LIMIT:
+            workspaces.clear()
         buf = np.empty(shape, dtype=dtype)
-        _WORKSPACES[key] = buf
+        workspaces[key] = buf
     return buf
 
 
 def clear_workspaces() -> None:
-    """Drop all cached scratch buffers (frees memory after large workloads)."""
-    _WORKSPACES.clear()
+    """Drop this thread's cached scratch buffers (frees memory after large workloads)."""
+    _workspaces().clear()
 
 
 # --------------------------------------------------------------------------- #

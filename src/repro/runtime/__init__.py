@@ -13,6 +13,21 @@ Turn a trained eager :class:`~repro.nn.module.Module` into a
 :func:`~repro.train.trainer.evaluate` helper and the latency tooling in
 :mod:`repro.eval` use this path by default.
 
+A model quantized and calibrated with :mod:`repro.compress` can instead be
+lowered to the **true-integer engine** — int8 weights, activations on their
+calibrated integer grids end to end, and a statically planned buffer arena::
+
+    from repro.runtime import compile_quantized
+
+    quantize_model(model)
+    calibrate(model, batches)
+    net = compile_quantized(model)        # int8 kernels + memory planner
+    logits = net.numpy_forward(images)    # matches fake-quant within dequant tol
+
+See :mod:`repro.runtime.quantized` for the integer dataflow and
+:mod:`repro.runtime.planner` for the arena planner; ``repro.serve`` builds a
+dynamic-batching model server on top of either engine.
+
 For training, :func:`compile_training_step` lowers model + loss into a fused
 forward+backward :class:`TrainStep` that skips per-step tape construction and
 writes gradients straight into the optimiser's flat buffer::
@@ -28,7 +43,9 @@ automatically and falls back to the eager tape when a model or loss cannot be
 lowered.
 """
 
-from .compiler import CompiledNet, activation_spec, compile_net, fold_conv_bn
+from .compiler import CompiledNet, QuantConvOp, QuantLinearOp, activation_spec, compile_net, fold_conv_bn
+from .planner import ArenaPlanner, MemoryPlan
+from .quantized import QuantCompileError, QuantizedNet, compile_quantized
 from .training import TrainStep, compile_training_step
 from . import kernels
 
@@ -39,6 +56,13 @@ __all__ = [
     "compile",
     "compile_net",
     "CompiledNet",
+    "compile_quantized",
+    "QuantizedNet",
+    "QuantCompileError",
+    "QuantConvOp",
+    "QuantLinearOp",
+    "ArenaPlanner",
+    "MemoryPlan",
     "compile_training_step",
     "TrainStep",
     "fold_conv_bn",

@@ -9,8 +9,18 @@ lowers it to a flat chain of op nodes over raw NumPy arrays:
 * known composite blocks (``ConvBNAct``, ``InvertedResidual``, ``BasicBlock``,
   ``Bottleneck``) and classifier heads (``MobileNetV2``, ``MCUNet``) lower
   structurally;
+* calibrated :class:`~repro.compress.QuantizedConv2d` /
+  :class:`~repro.compress.QuantizedLinear` wrappers lower to **real integer
+  ops** (:class:`QuantConvOp` / :class:`QuantLinearOp`) executing from the
+  stored int8 weights, with BN folded into the requantization constants —
+  they never silently drop to the eager fallback (an uncalibrated wrapper,
+  still observing ranges, stays eager so observation keeps working);
 * anything unrecognised falls back to the eager module under ``no_grad`` — a
   compiled net is therefore always *correct*, merely less fused.
+
+For a whole-network integer pipeline with a static memory plan, use
+:func:`repro.runtime.compile_quantized` instead — the per-op routing here
+keeps mixed float/quantized models compilable with the same entry point.
 
 Compilation snapshots the weights: after further training, call
 :func:`compile_net` again to pick up the new parameters.
@@ -23,13 +33,21 @@ from typing import Callable
 import numpy as np
 
 from .. import nn
+from ..compress.quantization import QuantizedConv2d, QuantizedLinear
 from ..models.blocks import BasicBlock, Bottleneck, ConvBNAct, InvertedResidual
 from ..models.mcunet import MCUNet
 from ..models.mobilenetv2 import MobileNetV2
 from ..nn.norm import FrozenBatchNorm2d
 from . import kernels
 
-__all__ = ["CompiledNet", "compile_net", "fold_conv_bn", "activation_spec"]
+__all__ = [
+    "CompiledNet",
+    "compile_net",
+    "fold_conv_bn",
+    "activation_spec",
+    "QuantConvOp",
+    "QuantLinearOp",
+]
 
 
 class _Unsupported(Exception):
@@ -169,6 +187,79 @@ class LinearOp:
         return kernels.fused_linear(x, self.weight, self.bias, self.activation)
 
 
+class _QuantOpBase:
+    """Shared machinery for the integer conv / linear ops.
+
+    Executes from the wrapper's stored ``weight_q`` int8 array; the fused
+    requantization constants (``multiplier = in_scale * weight_scale`` and the
+    float bias) absorb any following BatchNorm via :meth:`fold_affine`, so the
+    peephole fusion pass treats these exactly like :class:`ConvOp`.
+    """
+
+    def __init__(self, wrapper):
+        layer = wrapper.wrapped
+        qparams = wrapper.input_qparams()
+        if wrapper.observing or qparams is None:
+            raise _Unsupported("uncalibrated quantized wrapper")
+        self.in_scale, self.in_zp = qparams
+        self.bits = wrapper.spec.bits
+        self.weight_q = wrapper.weight_q
+        c_out = self.weight_q.shape[0]
+        w_scale = np.atleast_1d(np.asarray(wrapper.weight_scale, dtype=np.float64))
+        if w_scale.size == 1:
+            w_scale = np.full(c_out, w_scale[0])
+        self._mult = (self.in_scale * w_scale).astype(np.float64)
+        bias = np.zeros(c_out) if layer.bias is None else layer.bias.data.astype(np.float64)
+        self._bias = bias
+        self.activation: tuple | None = None
+
+    def fold_affine(self, scale: np.ndarray, shift: np.ndarray) -> None:
+        self._mult = self._mult * scale
+        self._bias = self._bias * scale + shift
+
+
+class QuantConvOp(_QuantOpBase):
+    """Fused integer convolution lowered from a calibrated wrapper."""
+
+    def __init__(self, wrapper: QuantizedConv2d):
+        super().__init__(wrapper)
+        conv = wrapper.wrapped
+        self.stride = conv.stride
+        self.padding = conv.padding
+        self.groups = conv.groups
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return kernels.quantized_conv2d_raw(
+            x,
+            self.weight_q,
+            self._mult.astype(np.float32),
+            self._bias.astype(np.float32),
+            self.in_scale,
+            self.in_zp,
+            self.bits,
+            self.stride,
+            self.padding,
+            self.groups,
+            self.activation,
+        )
+
+
+class QuantLinearOp(_QuantOpBase):
+    """Fused integer linear layer lowered from a calibrated wrapper."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return kernels.quantized_linear_raw(
+            x,
+            self.weight_q,
+            self._mult.astype(np.float32),
+            self._bias.astype(np.float32),
+            self.in_scale,
+            self.in_zp,
+            self.bits,
+            self.activation,
+        )
+
+
 class AffineOp:
     """Standalone eval-mode batch norm (not preceded by a foldable conv)."""
 
@@ -265,12 +356,13 @@ class EagerOp:
 # --------------------------------------------------------------------------- #
 def _fuse(ops: list) -> list:
     """Peephole pass: fold affines into conv/linear, attach activations."""
+    foldable = (ConvOp, LinearOp, _QuantOpBase)
     fused: list = []
     for op in ops:
         prev = fused[-1] if fused else None
-        if isinstance(op, AffineOp) and isinstance(prev, (ConvOp, LinearOp)) and prev.activation is None:
+        if isinstance(op, AffineOp) and isinstance(prev, foldable) and prev.activation is None:
             prev.fold_affine(op.scale, op.shift)
-        elif isinstance(op, ActivationOp) and isinstance(prev, (ConvOp, LinearOp, AffineOp)) and prev.activation is None:
+        elif isinstance(op, ActivationOp) and isinstance(prev, foldable + (AffineOp,)) and prev.activation is None:
             prev.activation = op.act
         else:
             fused.append(op)
@@ -294,6 +386,15 @@ def _lower(module: nn.Module):
     """Lower one module to an op node (``None`` elides identity ops)."""
     if isinstance(module, (nn.Identity, nn.Dropout)):
         return None  # dropout is the identity at inference time
+    if isinstance(module, (QuantizedConv2d, QuantizedLinear)):
+        # Calibrated wrappers route through real integer ops; a wrapper still
+        # observing activation ranges must keep running eagerly so calibration
+        # continues to record extrema.
+        try:
+            op_cls = QuantConvOp if isinstance(module, QuantizedConv2d) else QuantLinearOp
+            return op_cls(module)
+        except _Unsupported:
+            return EagerOp(module)
     if isinstance(module, nn.Conv2d):
         return ConvOp(module)
     if isinstance(module, nn.Linear):

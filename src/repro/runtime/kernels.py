@@ -31,6 +31,9 @@ __all__ = [
     "max_pool2d_raw",
     "avg_pool2d_raw",
     "global_avg_pool2d_raw",
+    "quantize_input_raw",
+    "quantized_conv2d_raw",
+    "quantized_linear_raw",
 ]
 
 
@@ -203,3 +206,72 @@ def avg_pool2d_raw(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.
 
 def global_avg_pool2d_raw(x: np.ndarray) -> np.ndarray:
     return x.mean(axis=(2, 3), keepdims=True)
+
+
+# --------------------------------------------------------------------------- #
+# integer (quantized) kernels
+# --------------------------------------------------------------------------- #
+def quantize_input_raw(
+    x: np.ndarray, scale: float, zero_point: float, bits: int = 8
+) -> np.ndarray:
+    """Quantize a float tensor onto a calibrated activation grid, zero-centred.
+
+    Returns float32 values on the integer grid shifted by the zero point
+    (``v = clip(rint(x / scale), -zp, qmax - zp)``) — the representation used
+    by the integer engine: real ``0.0`` maps to ``0.0`` exactly, so zero
+    padding needs no special handling, and requantization between grids
+    commutes with rounding because zero points are integers.
+    """
+    qmax = float(2**bits - 1)
+    v = np.rint(x * np.float32(1.0 / scale))
+    return np.clip(v, -zero_point, qmax - zero_point, out=v)
+
+
+def quantized_conv2d_raw(
+    x: np.ndarray,
+    weight_q: np.ndarray,
+    multiplier: np.ndarray,
+    bias: np.ndarray,
+    in_scale: float,
+    in_zero_point: float,
+    bits: int,
+    stride: int,
+    padding: int,
+    groups: int,
+    act: tuple | None = None,
+) -> np.ndarray:
+    """One-shot integer convolution returning dequantized float output.
+
+    The input is quantized onto the layer's calibrated grid, convolved against
+    the raw int8 ``weight_q`` (carried in float32 lanes, where the integer
+    accumulation is exact below :math:`2^{24}`), and mapped back to float by
+    the fused per-output-channel ``multiplier`` / ``bias``
+    (``in_scale * weight_scale * bn_scale`` and
+    ``conv_bias * bn_scale + bn_shift``).  This is the self-contained op the
+    float compiler uses to route :class:`~repro.compress.QuantizedConv2d`
+    wrappers; the planned engine (:mod:`repro.runtime.quantized`) fuses the
+    same math across ops instead.
+    """
+    v = quantize_input_raw(x, in_scale, in_zero_point, bits)
+    acc = fused_conv2d(v, weight_q.astype(np.float32), None, stride, padding, groups, None)
+    out = acc * multiplier.reshape(1, -1, 1, 1)
+    out += bias.reshape(1, -1, 1, 1)
+    return apply_activation(out, act)
+
+
+def quantized_linear_raw(
+    x: np.ndarray,
+    weight_q: np.ndarray,
+    multiplier: np.ndarray,
+    bias: np.ndarray,
+    in_scale: float,
+    in_zero_point: float,
+    bits: int,
+    act: tuple | None = None,
+) -> np.ndarray:
+    """One-shot integer linear layer returning dequantized float output."""
+    v = quantize_input_raw(x, in_scale, in_zero_point, bits)
+    out = v @ weight_q.astype(np.float32).T
+    out *= multiplier
+    out += bias
+    return apply_activation(out, act)

@@ -1,0 +1,1280 @@
+"""True-integer (int8) inference engine.
+
+:func:`compile_quantized` consumes a model processed by
+:func:`repro.compress.quantize_model` + :func:`repro.compress.calibrate` and
+lowers it to a statically planned program that *actually executes on the
+integer grid*, instead of round-tripping through float like the fake-quant
+eager path:
+
+* **Weights stay int8.**  Each op reads the wrapper's ``weight_q`` /
+  ``weight_scale`` buffers; the float weights are never touched.
+* **Activations live on the integer grid end to end.**  The input image is
+  quantized once; every conv/linear output is *requantized* straight onto its
+  consumer's calibrated grid with a fused per-channel multiplier, and ReLU /
+  ReLU6 become clamps in the integer domain.  Values are stored zero-point
+  centred, so zero padding is literally zero.  Residual adds and global
+  average pooling happen on the grid as well; logits are dequantized at the
+  very end.
+* **Integer-exact accumulation.**  Grid values are carried in ``float32``
+  lanes so the gemms run on BLAS: products of int8 weights with
+  ``(2**bits - 1)``-bounded activations accumulate exactly as long as
+  ``K * max|w| * max|v| < 2**24``, which is checked per op at lowering time
+  (ops exceeding the bound accumulate in float64 instead).  Every kernel
+  variant therefore produces bit-identical integers, and results are
+  bit-identical across batch sizes — the property the serving layer's padded
+  dynamic batching relies on.
+* **Static memory plan.**  All activation and scratch buffers are packed into
+  one arena by :class:`repro.runtime.planner.ArenaPlanner`; the steady-state
+  forward performs no heap allocation on the hot paths, and the plan reports
+  the peak int8 working set, directly comparable to
+  :func:`repro.eval.deployment.peak_activation_memory`.
+
+Buffers use a channel-outermost ``(C, N, H, W)`` layout so a pointwise
+convolution over the whole batch is a single ``(C_out, C_in) @ (C_in, N*H*W)``
+sgemm.  Depthwise convolutions choose among several kernel strategies
+(flat-tap shift stack, flat einsum, transposed tap-stack, path-optimized
+windowed einsum, per-offset accumulation) by timing each candidate on the
+planned buffers at plan time — all variants compute the same exact integers,
+so the choice never affects results.
+
+The fake-quant eager model remains the accuracy oracle: engine logits match
+it to within dequantization tolerance (asserted in the test-suite).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .. import nn
+from ..compress.quantization import QuantizedConv2d, QuantizedLinear, _QuantizedWrapper
+from ..models.blocks import BasicBlock, Bottleneck, ConvBNAct, InvertedResidual
+from ..models.mcunet import MCUNet
+from ..models.mobilenetv2 import MobileNetV2
+from ..nn.norm import FrozenBatchNorm2d
+from ..nn.functional import conv_output_size
+from . import kernels
+from .compiler import _bn_scale_shift, _Unsupported, activation_spec
+from .planner import ArenaPlanner, MemoryPlan
+
+__all__ = ["QuantCompileError", "QuantizedNet", "compile_quantized"]
+
+# float32 mantissa capacity: integer sums below this are exact.
+_EXACT_F32_BOUND = float(2**24)
+
+_DW_KERNELS = ("auto", "flat", "flat_einsum", "stacked", "einsum", "offsets")
+
+
+class QuantCompileError(Exception):
+    """Raised when a model cannot be lowered to the integer engine."""
+
+
+# --------------------------------------------------------------------------- #
+# IR nodes
+# --------------------------------------------------------------------------- #
+class _QConvIR:
+    """Integer conv op: int8 weight, input grid, folded BN, fused activation."""
+
+    def __init__(self, wrapper: _QuantizedWrapper, name: str):
+        self.name = name or "qconv"
+        self.weight_q = wrapper.weight_q
+        self.w_scale = np.atleast_1d(np.asarray(wrapper.weight_scale, dtype=np.float32))
+        layer = wrapper.wrapped
+        self.bias = None if layer.bias is None else layer.bias.data.astype(np.float32)
+        self.stride = getattr(layer, "stride", 1)
+        self.padding = getattr(layer, "padding", 0)
+        self.groups = getattr(layer, "groups", 1)
+        self.bits = wrapper.spec.bits
+        qparams = wrapper.input_qparams() if not wrapper.observing else None
+        if qparams is None:
+            raise QuantCompileError(
+                f"quantized layer {self.name!r} has no frozen activation range; "
+                "run repro.compress.calibrate first"
+            )
+        self.in_scale, self.in_zp = qparams
+        self.bn_scale: np.ndarray | None = None
+        self.bn_shift: np.ndarray | None = None
+        self.act: tuple | None = None  # ("relu",) / ("relu6",) fuse into the clamp
+
+    @property
+    def c_out(self) -> int:
+        return self.weight_q.shape[0]
+
+    @property
+    def grid(self) -> tuple[float, float, int]:
+        return (self.in_scale, self.in_zp, self.bits)
+
+    def fold_bn(self, scale: np.ndarray, shift: np.ndarray) -> None:
+        self.bn_scale = scale.astype(np.float32)
+        self.bn_shift = shift.astype(np.float32)
+
+    def needs_float64(self) -> bool:
+        k = int(np.prod(self.weight_q.shape[1:]))
+        max_w = float(np.abs(self.weight_q.astype(np.int32)).max(initial=1))
+        return k * max_w * float(2**self.bits - 1) >= _EXACT_F32_BOUND
+
+    def requant_constants(self, out_scale: float | None):
+        """Fused multiplier/offset mapping raw accumulators to the output.
+
+        ``out_scale=None`` yields the dequantize-to-float constants.
+        """
+        bn_scale = self.bn_scale if self.bn_scale is not None else np.float64(1.0)
+        bn_shift = self.bn_shift if self.bn_shift is not None else np.float64(0.0)
+        w_scale = self.w_scale.astype(np.float64)
+        if w_scale.size == 1:
+            w_scale = np.full(self.c_out, w_scale[0])
+        m = float(self.in_scale) * w_scale * bn_scale
+        bias = np.zeros(self.c_out) if self.bias is None else self.bias.astype(np.float64)
+        c = bias * bn_scale + bn_shift
+        if out_scale is not None:
+            m = m / out_scale
+            c = c / out_scale
+        return m.astype(np.float32), np.asarray(c, dtype=np.float32)
+
+
+class _QLinearIR(_QConvIR):
+    pass
+
+
+class _AffineIR:
+    def __init__(self, scale: np.ndarray, shift: np.ndarray):
+        self.scale = scale.astype(np.float32)
+        self.shift = shift.astype(np.float32)
+
+
+class _ActIR:
+    def __init__(self, spec: tuple):
+        self.spec = spec
+
+
+class _PoolIR:
+    def __init__(self, kind: str, kernel: int, stride: int, padding: int):
+        self.kind = kind  # "max" | "avg"
+        self.kernel, self.stride, self.padding = kernel, stride, padding
+
+
+class _GapIR:
+    pass
+
+
+class _FlattenIR:
+    pass
+
+
+class _ResidualIR:
+    def __init__(self, body: list):
+        self.body = body
+
+
+class _EagerIR:
+    def __init__(self, module: nn.Module):
+        self.module = module
+
+
+# --------------------------------------------------------------------------- #
+# lowering: module tree -> flat IR list
+# --------------------------------------------------------------------------- #
+def _lower_q(module: nn.Module, name: str = "") -> list:
+    if isinstance(module, (nn.Identity, nn.Dropout)):
+        return []
+    if isinstance(module, QuantizedLinear):
+        return [_QLinearIR(module, name)]
+    if isinstance(module, QuantizedConv2d):
+        return [_QConvIR(module, name)]
+    if isinstance(module, _QuantizedWrapper):  # pragma: no cover - future wrappers
+        raise QuantCompileError(f"unsupported quantized wrapper {type(module).__name__}")
+    if isinstance(module, (nn.BatchNorm2d, FrozenBatchNorm2d)):
+        return [_AffineIR(*_bn_scale_shift(module))]
+    if isinstance(module, nn.MaxPool2d):
+        return [_PoolIR("max", module.kernel_size, module.stride, module.padding)]
+    if isinstance(module, nn.AvgPool2d):
+        return [_PoolIR("avg", module.kernel_size, module.stride, module.padding)]
+    if isinstance(module, nn.GlobalAvgPool2d):
+        return [_GapIR()]
+    if isinstance(module, nn.Flatten):
+        return [_FlattenIR()]
+    if isinstance(module, nn.Sequential):
+        return _lower_q_sequence(module._modules.items(), name)
+    if isinstance(module, ConvBNAct):
+        return _lower_q_sequence(
+            [("conv", module.conv), ("bn", module.bn), ("act", module.act)], name
+        )
+    if isinstance(module, InvertedResidual):
+        body = _lower_q_sequence(
+            [("expand", module.expand), ("depthwise", module.depthwise), ("project", module.project)],
+            name,
+        )
+        return [_ResidualIR(body)] if module.use_residual else body
+    if isinstance(module, BasicBlock):
+        body = _lower_q_sequence([("conv1", module.conv1), ("conv2", module.conv2)], name)
+        return [_ResidualIR(body)] if module.use_residual else body
+    if isinstance(module, Bottleneck):
+        body = _lower_q_sequence(
+            [("reduce", module.reduce), ("spatial", module.spatial), ("expand", module.expand)], name
+        )
+        return [_ResidualIR(body)] if module.use_residual else body
+    if isinstance(module, MobileNetV2):
+        return _lower_q_sequence(
+            [
+                ("features", module.features),
+                ("pool", module.pool),
+                ("flatten", module.flatten),
+                ("dropout", module.dropout),
+                ("classifier", module.classifier),
+            ],
+            name,
+        )
+    if isinstance(module, MCUNet):
+        return _lower_q_sequence(
+            [
+                ("features", module.features),
+                ("pool", module.pool),
+                ("flatten", module.flatten),
+                ("classifier", module.classifier),
+            ],
+            name,
+        )
+    try:
+        spec = activation_spec(module)
+    except _Unsupported:
+        # Unquantized layers (skip-prefixed convs, custom blocks) run eagerly
+        # in the float domain — correct, merely unfused.
+        return [_EagerIR(module)]
+    return [_ActIR(spec)] if spec is not None else []
+
+
+def _lower_q_sequence(named_children, prefix: str) -> list:
+    nodes: list = []
+    for child_name, child in named_children:
+        path = f"{prefix}.{child_name}" if prefix else str(child_name)
+        nodes.extend(_lower_q(child, path))
+    return nodes
+
+
+def _fuse_q(nodes: list) -> list:
+    """Fold BN affines into the preceding integer op; attach ReLU/ReLU6 clamps."""
+    fused: list = []
+    for node in nodes:
+        if isinstance(node, _ResidualIR):
+            node.body = _fuse_q(node.body)
+            fused.append(node)
+            continue
+        prev = fused[-1] if fused else None
+        if (
+            isinstance(node, _AffineIR)
+            and isinstance(prev, _QConvIR)
+            and prev.act is None
+            and prev.bn_scale is None
+        ):
+            prev.fold_bn(node.scale, node.shift)
+        elif (
+            isinstance(node, _ActIR)
+            and node.spec[0] in ("relu", "relu6")
+            and isinstance(prev, _QConvIR)
+            and prev.act is None
+        ):
+            prev.act = node.spec
+        else:
+            fused.append(node)
+    return fused
+
+
+# --------------------------------------------------------------------------- #
+# emission: IR -> planned steps
+# --------------------------------------------------------------------------- #
+class _Val:
+    """A value flowing between steps: a buffer plus its grid (None = float).
+
+    ``viewer`` maps the backing slot array to the logical tensor — the
+    identity for plain contiguous buffers, an interior slice for values
+    written straight into a consumer's padded scratch.
+    """
+
+    __slots__ = ("buf", "shape", "viewer", "grid")
+
+    def __init__(self, buf, shape, viewer, grid):
+        self.buf = buf
+        self.shape = tuple(shape)
+        self.viewer = viewer
+        self.grid = grid
+
+
+def _identity_view(a):
+    return a
+
+
+def _grid_target(nodes: list, index: int, tail):
+    """What representation does the value produced at ``index`` feed into?
+
+    The *grid* (scale/zero-point) propagates through grid-preserving ops
+    (pooling, flatten), so the producer requantizes straight onto the grid of
+    the next integer op even when such ops intervene.  Returns
+    ``("grid", consumer_ir)``, ``("float", None)``, or ``tail`` when the
+    chain is exhausted.
+    """
+    for node in nodes[index + 1 :]:
+        if isinstance(node, (_PoolIR, _GapIR, _FlattenIR)):
+            continue
+        if isinstance(node, (_QConvIR, _QLinearIR)):
+            return ("grid", node)
+        if isinstance(node, _ResidualIR):
+            inner = _grid_target(node.body, -1, ("float", None))
+            return inner if inner[0] == "grid" else ("float", None)
+        return ("float", None)
+    return tail
+
+
+def _direct_consumer(nodes: list, index: int, consumer) -> bool:
+    """True when ``consumer`` is the op immediately after ``index`` (possibly
+    as the first op of a residual body), i.e. the producer may write straight
+    into the consumer's input slot."""
+    if index + 1 >= len(nodes):
+        return False
+    nxt = nodes[index + 1]
+    if nxt is consumer:
+        return True
+    return isinstance(nxt, _ResidualIR) and bool(nxt.body) and nxt.body[0] is consumer
+
+
+class _Emitter:
+    def __init__(self, planner: ArenaPlanner, dw_kernel: str):
+        self.planner = planner
+        self.factories: list = []
+        self.slot_for: dict[int, tuple] = {}  # id(consumer ir) -> (buf, viewer)
+        self.op_log: list[str] = []
+        self.dw_kernel = dw_kernel
+        self.tail_slack = 0
+
+    def need_tail_slack(self, elements: int) -> None:
+        """Reserve arena tail slack for shifted overlapping views."""
+        self.tail_slack = max(self.tail_slack, int(elements))
+
+    def emit(self, factory, uses: list, label: str = "") -> None:
+        """Schedule one step; ``uses`` are the planner buffers it touches."""
+        step = self.planner.advance()
+        for buf in uses:
+            buf.touch(step)
+        self.factories.append((factory, label))
+
+    def log(self, kind: str) -> None:
+        self.op_log.append(kind)
+
+
+def _q_bounds(grid, act: tuple | None) -> tuple[float, float]:
+    """Integer-domain clamp for a centred grid, with the activation fused in."""
+    scale, zp, bits = grid
+    qmax = float(2**bits - 1)
+    lo, hi = -zp, qmax - zp
+    if act is not None and act[0] in ("relu", "relu6"):
+        lo = max(lo, 0.0)
+        if act[0] == "relu6":
+            hi = min(hi, float(np.rint(6.0 / scale)))
+    return lo, hi
+
+
+def _requantize(acc, m, c, lo, hi, mode, float_act, target, scratch=None):
+    """Fused scale + offset (+ integer round/clamp) from accumulator to target.
+
+    When ``target`` is a strided view (a consumer's padded-scratch interior),
+    the elementwise chain runs in a contiguous buffer — the accumulator, or
+    ``scratch`` when the accumulator itself is strided — and lands in the
+    view with a single strided copy, several times cheaper than four strided
+    passes.
+    """
+    if target is acc or target.flags["C_CONTIGUOUS"]:
+        work = target
+    elif acc.flags["C_CONTIGUOUS"]:
+        work = acc
+    else:
+        work = scratch
+    np.multiply(acc, m, out=work)
+    work += c
+    if mode == "grid":
+        np.rint(work, out=work)
+        np.clip(work, lo, hi, out=work)
+    elif mode == "float" and float_act is not None:
+        result = kernels.apply_activation(work, float_act, inplace=True)
+        if result is not work:
+            work[...] = result
+    if work is not target:
+        target[...] = work
+
+
+def _make_conv_slot(em: _Emitter, ir: _QConvIR, c: int, n: int, h: int, w: int):
+    """Allocate the (possibly padded) input slot owned by a conv.
+
+    Padded slots get a zero-fill step immediately before the interior write —
+    the arena slot is shared with other buffers, so the pad ring must be
+    re-zeroed each run (zero *is* the grid zero: values are zero-point
+    centred)."""
+    p = ir.padding
+    if p > 0:
+        buf = em.planner.alloc((c, n, h + 2 * p, w + 2 * p), "value", f"{ir.name}.in")
+
+        def viewer(a, p=p, h=h, w=w):
+            return a[:, :, p : p + h, p : p + w]
+
+        def fill_factory(buf=buf):
+            def run():
+                buf.a[...] = 0.0
+
+            return run
+
+        em.emit(fill_factory, [buf], f"fill.{ir.name}")
+        return buf, viewer
+    buf = em.planner.alloc((c, n, h, w), "value", f"{ir.name}.in")
+    return buf, _identity_view
+
+
+def _emit_quantize(em: _Emitter, val, grid, slot_buf, slot_viewer, external_ctx=None):
+    """Quantize a float value (or the external NCHW input) into a grid slot.
+
+    Padded-interior targets are strided, so the rounding chain runs in a
+    contiguous scratch buffer and lands with one strided copy.
+    """
+    scale, zp, bits = grid
+    inv = np.float32(1.0 / scale)
+    lo, hi = -zp, float(2**bits - 1) - zp
+    strided = slot_viewer is not _identity_view
+    scratch = em.planner.alloc(
+        _viewer_shape(slot_buf, slot_viewer), "scratch", "quantize.tmp"
+    ) if strided else None
+
+    if external_ctx is not None:
+
+        def factory(buf=slot_buf, viewer=slot_viewer, ctx=external_ctx, scratch=scratch):
+            view = viewer(buf.a)
+            work = scratch.a if scratch is not None else view
+
+            def run():
+                x = ctx["x"].transpose(1, 0, 2, 3)  # NCHW -> CNHW
+                np.multiply(x, inv, out=work)
+                np.rint(work, out=work)
+                np.clip(work, lo, hi, out=work)
+                if work is not view:
+                    view[...] = work
+
+            return run
+
+        uses = [slot_buf] if scratch is None else [slot_buf, scratch]
+        em.emit(factory, uses, "quantize.input")
+    else:
+
+        def factory(src=val.buf, sview=val.viewer, buf=slot_buf, viewer=slot_viewer, scratch=scratch):
+            view = viewer(buf.a)
+            work = scratch.a if scratch is not None else view
+
+            def run():
+                np.multiply(sview(src.a), inv, out=work)
+                np.rint(work, out=work)
+                np.clip(work, lo, hi, out=work)
+                if work is not view:
+                    view[...] = work
+
+            return run
+
+        uses = [val.buf, slot_buf] if scratch is None else [val.buf, slot_buf, scratch]
+        em.emit(factory, uses, "quantize")
+    em.log("quantize")
+
+
+def _viewer_shape(buf, viewer) -> tuple[int, ...]:
+    """Logical shape a slot viewer exposes (computed from the slot's shape)."""
+    probe = np.empty(buf.shape, dtype=np.bool_)
+    return viewer(probe).shape
+
+
+def _dw_candidates(ir: _QConvIR, pbuf, em: _Emitter, n, oh, ow):
+    """Kernel strategies for a depthwise conv; closures are built at bind time
+    (after arena packing) so they can precompute views on the real buffers.
+
+    Every candidate computes the same exact integers (accumulation below
+    ``2**24`` is order-independent), so selection never affects results.
+    Each ``make_*`` returns ``(run, acc_array)`` — the accumulator the
+    requantization step should read (contiguous for most variants, a strided
+    slice of the padded-size accumulator for the flat-tap variant).
+    """
+    planner = em.planner
+    c = ir.weight_q.shape[0]
+    kh, kw = ir.weight_q.shape[2], ir.weight_q.shape[3]
+    stride = ir.stride
+    hp, wp = pbuf.shape[2], pbuf.shape[3]
+    w_f32 = ir.weight_q.astype(np.float32)[:, 0]  # (C, kh, kw)
+    prod = planner.alloc((kh * kw, c, n, hp, wp), "scratch", f"{ir.name}.taps")
+    acc = planner.alloc((c, n, oh, ow), "scratch", f"{ir.name}.acc")
+    acc_pad = planner.alloc((c, n, hp, wp), "scratch", f"{ir.name}.accpad")
+    # The flat-tap view reads up to this many elements past the buffer's end
+    # (the overrun lands in pad positions that are never read back).
+    em.need_tail_slack((kh - 1) * wp + (kw - 1))
+
+    def windows():
+        win = sliding_window_view(pbuf.a, (kh, kw), axis=(2, 3))
+        return win[:, :, ::stride, ::stride] if stride > 1 else win
+
+    def make_flat():
+        # Each tap is the *whole padded buffer* shifted by i*Wp + j: a set of
+        # overlapping views with identical contiguous memory order, stacked
+        # via as_strided.  The multiply/reduce then run at contiguous speed;
+        # out-of-window positions compute garbage that lands in pad rows/cols
+        # (or past the buffer, inside the arena's tail slack) and is excluded
+        # by the strided accumulator slice below.
+        itemsize = pbuf.a.itemsize
+        v = np.lib.stride_tricks.as_strided(
+            pbuf.a,
+            shape=(kh, kw, c, n, hp, wp),
+            strides=(wp * itemsize, itemsize) + pbuf.a.strides,
+        )
+        w6 = np.ascontiguousarray(w_f32.transpose(1, 2, 0)).reshape(kh, kw, c, 1, 1, 1)
+        prod6 = prod.a.reshape(kh, kw, c, n, hp, wp)
+        prod_flat = prod.a.reshape(kh * kw, c, n, hp, wp)
+        acc_slice = acc_pad.a[:, :, : stride * oh : stride, : stride * ow : stride]
+
+        def run():
+            np.multiply(v, w6, out=prod6)
+            np.add.reduce(prod_flat, axis=0, out=acc_pad.a)
+
+        return run, acc_slice
+
+    def make_flat_einsum():
+        # Same shifted-overlapping-taps trick, but contracted in one einsum
+        # pass (no 9x product materialization): V[i, j, c, m] addresses the
+        # whole padded buffer shifted by (i, j), flattened per channel.
+        itemsize = pbuf.a.itemsize
+        nhw = n * hp * wp
+        v = np.lib.stride_tricks.as_strided(
+            pbuf.a,
+            shape=(kh, kw, c, nhw),
+            strides=(wp * itemsize, itemsize, nhw * itemsize, itemsize),
+        )
+        w3 = np.ascontiguousarray(w_f32.transpose(1, 2, 0))  # (kh, kw, C)
+        acc2 = acc_pad.a.reshape(c, nhw)
+        path = np.einsum_path("ijcm,ijc->cm", v, w3, optimize=True)[0]
+        acc_slice = acc_pad.a[:, :, : stride * oh : stride, : stride * ow : stride]
+
+        def run():
+            np.einsum("ijcm,ijc->cm", v, w3, optimize=path, out=acc2)
+
+        return run, acc_slice
+
+    def make_stacked():
+        vt = windows().transpose(4, 5, 0, 1, 2, 3)
+        w6 = np.ascontiguousarray(w_f32.transpose(1, 2, 0)).reshape(kh, kw, c, 1, 1, 1)
+        flat_prefix = prod.a.reshape(-1)[: kh * kw * c * n * oh * ow]
+        prod6 = flat_prefix.reshape(kh, kw, c, n, oh, ow)
+        prod_flat = flat_prefix.reshape(kh * kw, c, n, oh, ow)
+
+        def run():
+            np.multiply(vt, w6, out=prod6)
+            np.add.reduce(prod_flat, axis=0, out=acc.a)
+
+        return run, acc.a
+
+    def make_einsum():
+        win = windows()
+        path = np.einsum_path("cnhwij,cij->cnhw", win, w_f32, optimize=True)[0]
+
+        def run():
+            np.einsum("cnhwij,cij->cnhw", win, w_f32, optimize=path, out=acc.a)
+
+        return run, acc.a
+
+    def make_offsets():
+        taps = []
+        for i in range(kh):
+            for j in range(kw):
+                sl = pbuf.a[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+                taps.append((sl, np.ascontiguousarray(w_f32[:, i, j]).reshape(c, 1, 1, 1)))
+        tmp = prod.a.reshape(-1)[: c * n * oh * ow].reshape(c, n, oh, ow)
+
+        def run():
+            sl0, w0 = taps[0]
+            np.multiply(sl0, w0, out=acc.a)
+            for sl, wij in taps[1:]:
+                np.multiply(sl, wij, out=tmp)
+                np.add(acc.a, tmp, out=acc.a)
+
+        return run, acc.a
+
+    candidates = {
+        "flat": make_flat,
+        "flat_einsum": make_flat_einsum,
+        "stacked": make_stacked,
+        "einsum": make_einsum,
+        "offsets": make_offsets,
+    }
+    return candidates, (prod, acc, acc_pad)
+
+
+def _pick_kernel(candidates: dict, choice: str):
+    """Bind-time kernel selection: time each candidate, keep the fastest.
+
+    Safe because every candidate computes the same exact integers — the
+    choice affects speed only, never results."""
+    if choice != "auto":
+        return candidates[choice]()
+    best, best_t = None, np.inf
+    for make in candidates.values():
+        run_acc = make()
+        run_acc[0]()  # warmup (also validates shapes)
+        start = time.perf_counter()
+        for _ in range(3):
+            run_acc[0]()
+        elapsed = time.perf_counter() - start
+        if elapsed < best_t:
+            best, best_t = run_acc, elapsed
+    return best
+
+
+def _emit_qconv(em: _Emitter, ir: _QConvIR, val: _Val, nodes: list, index: int, tail) -> _Val:
+    c_in, n, h, w = val.shape
+    kh, kw = ir.weight_q.shape[2], ir.weight_q.shape[3]
+    oh = conv_output_size(h, kh, ir.stride, ir.padding)
+    ow = conv_output_size(w, kw, ir.stride, ir.padding)
+    c_out = ir.c_out
+
+    # ---- input slot: pre-filled by the producer, borrowed, or built here.
+    if id(ir) in em.slot_for:
+        pbuf, pview = em.slot_for.pop(id(ir))
+    elif val.grid is not None and ir.padding == 0 and val.viewer is _identity_view:
+        pbuf, pview = val.buf, _identity_view  # borrow the producer's buffer
+    else:
+        pbuf, pview = _make_conv_slot(em, ir, c_in, n, h, w)
+        if val.grid is None:
+            _emit_quantize(em, val, ir.grid, pbuf, pview)
+        else:
+
+            def copy_factory(src=val.buf, sview=val.viewer, buf=pbuf, viewer=pview):
+                view = viewer(buf.a)
+
+                def run():
+                    view[...] = sview(src.a)
+
+                return run
+
+            em.emit(copy_factory, [val.buf, pbuf], f"copy.{ir.name}")
+
+    # ---- output destination.
+    request = _grid_target(nodes, index, tail)
+    mode = "grid"
+    out_view = _identity_view
+    if request[0] == "defer":
+        _, out_grid, (out_buf, out_view) = request
+        mode = "defer"
+    elif request[0] == "grid":
+        consumer = request[1]
+        out_grid = consumer.grid
+        if (
+            _direct_consumer(nodes, index, consumer)
+            and isinstance(consumer, _QConvIR)
+            and not isinstance(consumer, _QLinearIR)
+        ):
+            out_buf, out_view = _make_conv_slot(em, consumer, c_out, n, oh, ow)
+            em.slot_for[id(consumer)] = (out_buf, out_view)
+        else:
+            out_buf = em.planner.alloc((c_out, n, oh, ow), "value", f"{ir.name}.out")
+    else:
+        out_grid = None
+        mode = "float"
+        out_buf = em.planner.alloc((c_out, n, oh, ow), "value", f"{ir.name}.out")
+
+    m, c_const = ir.requant_constants(out_grid[0] if out_grid else None)
+    m4 = m.reshape(c_out, 1, 1, 1)
+    c4 = c_const.reshape(c_out, 1, 1, 1)
+    lo, hi = _q_bounds(out_grid, ir.act) if mode == "grid" else (None, None)
+    float_act = ir.act if mode == "float" else None
+    exact64 = ir.needs_float64()
+
+    depthwise = ir.groups == c_in and ir.weight_q.shape[1] == 1 and ir.groups == c_out
+    pointwise = kh == 1 and kw == 1 and ir.groups == 1 and ir.stride == 1 and ir.padding == 0
+
+    if pointwise:
+        w2 = ir.weight_q.astype(np.float64 if exact64 else np.float32).reshape(c_out, c_in)
+        direct = out_view is _identity_view  # gemm can target the slot itself
+        acc = out_buf if direct else em.planner.alloc((c_out, n, oh, ow), "scratch", f"{ir.name}.acc")
+
+        def factory(pbuf=pbuf, pview=pview, acc=acc, out_buf=out_buf, out_view=out_view):
+            x2 = pview(pbuf.a).reshape(c_in, n * oh * ow)
+            acc2 = acc.a.reshape(c_out, n * oh * ow)
+            target = out_view(out_buf.a)
+
+            def run():
+                if exact64:
+                    acc2[...] = w2 @ x2.astype(np.float64)
+                else:
+                    np.dot(w2, x2, out=acc2)
+                _requantize(acc.a, m4, c4, lo, hi, mode, float_act, target)
+
+            return run
+
+        em.emit(factory, [pbuf, acc, out_buf], f"pw.{ir.name}")
+        em.log("qconv.pw")
+    elif depthwise:
+        candidates, dw_bufs = _dw_candidates(ir, pbuf, em, n, oh, ow)
+        choice = em.dw_kernel
+        req_scratch = dw_bufs[1]  # the contiguous accumulator doubles as staging
+
+        def factory(out_buf=out_buf, out_view=out_view, req_scratch=req_scratch):
+            gemm, acc_arr = _pick_kernel(candidates, choice)
+            target = out_view(out_buf.a)
+
+            def run():
+                gemm()
+                _requantize(acc_arr, m4, c4, lo, hi, mode, float_act, target, req_scratch.a)
+
+            return run
+
+        em.emit(factory, [pbuf, out_buf, *dw_bufs], f"dw.{ir.name}")
+        em.log("qconv.dw")
+    else:
+        c_in_g = ir.weight_q.shape[1]
+        p_in = pbuf.shape  # (C, N, Hp, Wp) of the (possibly padded) input slot
+        acc = em.planner.alloc((c_out, n, oh, ow), "scratch", f"{ir.name}.acc")
+        acc_pad = em.planner.alloc((c_out, p_in[2] * p_in[3] * n), "scratch", f"{ir.name}.accpad")
+        col = em.planner.alloc((c_in_g, n, oh, ow), "scratch", f"{ir.name}.col")
+        tmp = em.planner.alloc((c_out, n * oh * ow), "scratch", f"{ir.name}.tmp")
+        em.need_tail_slack((kh - 1) * p_in[3] + (kw - 1))
+        w_taps = ir.weight_q.astype(np.float64 if exact64 else np.float32)
+        groups, stride = ir.groups, ir.stride
+        m_g = c_out // groups
+
+        def factory(
+            pbuf=pbuf, pview=pview, acc=acc, acc_pad=acc_pad, col=col, tmp=tmp,
+            out_buf=out_buf, out_view=out_view,
+        ):
+            target = out_view(out_buf.a)
+            padded = pview(pbuf.a) if ir.padding == 0 else pbuf.a
+            acc2 = acc.a.reshape(c_out, n * oh * ow)
+            col2 = col.a.reshape(c_in_g, n * oh * ow)
+
+            def tap_gemm():
+                first = True
+                for i in range(kh):
+                    for j in range(kw):
+                        for g in range(groups):
+                            sl = padded[
+                                g * c_in_g : (g + 1) * c_in_g,
+                                :,
+                                i : i + stride * oh : stride,
+                                j : j + stride * ow : stride,
+                            ]
+                            np.copyto(col.a, sl)
+                            wij = w_taps[g * m_g : (g + 1) * m_g, :, i, j]
+                            rows = acc2[g * m_g : (g + 1) * m_g] if first else tmp.a[g * m_g : (g + 1) * m_g]
+                            if exact64:
+                                rows[...] = wij @ col2.astype(np.float64)
+                            else:
+                                np.dot(np.ascontiguousarray(wij), col2, out=rows)
+                        if not first:
+                            np.add(acc2, tmp.a, out=acc2)
+                        first = False
+
+            gemm, acc_arr = tap_gemm, acc.a
+            if groups == 1 and not exact64:
+                win = sliding_window_view(padded, (kh, kw), axis=(2, 3))
+                if stride > 1:
+                    win = win[:, :, ::stride, ::stride]
+                path = np.einsum_path("cnhwij,ocij->onhw", win, w_taps, optimize=True)[0]
+
+                def einsum_gemm():
+                    np.einsum("cnhwij,ocij->onhw", win, w_taps, optimize=path, out=acc.a)
+
+                candidates = {
+                    "taps": lambda: (tap_gemm, acc.a),
+                    "einsum": lambda: (einsum_gemm, acc.a),
+                }
+                # flat-tap einsum over the whole padded grid (overrun lands
+                # in pad positions / arena slack, excluded by the slice)
+                c_in, hp, wp = p_in[0], p_in[2], p_in[3]
+                nhw = n * hp * wp
+                itemsize = pbuf.a.itemsize
+                v = np.lib.stride_tricks.as_strided(
+                    pbuf.a,
+                    shape=(c_in, kh, kw, nhw),
+                    strides=(nhw * itemsize, wp * itemsize, itemsize, itemsize),
+                )
+                acc_full = acc_pad.a.reshape(c_out, n, hp, wp)
+                fpath = np.einsum_path("cijm,ocij->om", v, w_taps, optimize=True)[0]
+                flat_slice = acc_full[:, :, : stride * oh : stride, : stride * ow : stride]
+
+                def flat_gemm():
+                    np.einsum(
+                        "cijm,ocij->om", v, w_taps, optimize=fpath,
+                        out=acc_pad.a.reshape(c_out, nhw),
+                    )
+
+                candidates["flat"] = lambda: (flat_gemm, flat_slice)
+                gemm, acc_arr = _pick_kernel(candidates, "auto")
+
+            def run():
+                gemm()
+                _requantize(acc_arr, m4, c4, lo, hi, mode, float_act, target, acc.a)
+
+            return run
+
+        em.emit(factory, [pbuf, acc, acc_pad, col, tmp, out_buf], f"im2col.{ir.name}")
+        em.log("qconv.im2col")
+
+    out_shape = (c_out, n, oh, ow)
+    return _Val(out_buf, out_shape, out_view, out_grid)
+
+
+def _emit_qlinear(em: _Emitter, ir: _QLinearIR, val: _Val, nodes: list, index: int, tail) -> _Val:
+    if len(val.shape) != 2:
+        val = _emit_flatten(em, val)
+    f, n = val.shape
+    m_out = ir.weight_q.shape[0]
+
+    if val.grid is not None:
+        in_buf, in_view = val.buf, val.viewer
+    else:
+        in_buf = em.planner.alloc((f, n), "value", f"{ir.name}.in")
+        in_view = _identity_view
+        _emit_quantize(em, val, ir.grid, in_buf, in_view)
+
+    request = _grid_target(nodes, index, tail)
+    out_grid = request[1].grid if request[0] == "grid" else None
+    mode = "grid" if out_grid else "float"
+    out_buf = em.planner.alloc((m_out, n), "value", f"{ir.name}.out")
+    m, c_const = ir.requant_constants(out_grid[0] if out_grid else None)
+    m2, c2 = m.reshape(m_out, 1), c_const.reshape(m_out, 1)
+    lo, hi = _q_bounds(out_grid, ir.act) if mode == "grid" else (None, None)
+    float_act = ir.act if mode == "float" else None
+    exact64 = ir.needs_float64()
+    w2 = ir.weight_q.astype(np.float64 if exact64 else np.float32)
+
+    def factory(in_buf=in_buf, in_view=in_view, out_buf=out_buf):
+        x2 = in_view(in_buf.a).reshape(f, n)
+
+        def run():
+            if exact64:
+                out_buf.a[...] = w2 @ x2.astype(np.float64)
+            else:
+                np.dot(w2, x2, out=out_buf.a)
+            _requantize(out_buf.a, m2, c2, lo, hi, mode, float_act, out_buf.a)
+
+        return run
+
+    em.emit(factory, [in_buf, out_buf], f"linear.{ir.name}")
+    em.log("qlinear")
+    return _Val(out_buf, (m_out, n), _identity_view, out_grid)
+
+
+def _emit_dequantize(em: _Emitter, val: _Val) -> _Val:
+    scale = np.float32(val.grid[0])
+    out = em.planner.alloc(val.shape, "value", "dequant")
+
+    def factory(src=val.buf, sview=val.viewer, out=out):
+        def run():
+            np.multiply(sview(src.a), scale, out=out.a)
+
+        return run
+
+    em.emit(factory, [val.buf, out], "dequantize")
+    em.log("dequantize")
+    return _Val(out, val.shape, _identity_view, None)
+
+
+def _emit_gap(em: _Emitter, val: _Val) -> _Val:
+    c, n, h, w = val.shape
+    out = em.planner.alloc((c, n, 1, 1), "value", "gap")
+    on_grid = val.grid is not None
+    inv_hw = np.float32(1.0 / (h * w))
+    ones = np.ones(h * w, dtype=np.float32)
+
+    def factory(src=val.buf, sview=val.viewer, out=out):
+        out_flat = out.a.reshape(c * n)
+        out2 = out.a.reshape(c, n)
+        x = sview(src.a)
+        x2 = x.reshape(c * n, h * w) if x.flags["C_CONTIGUOUS"] else None
+
+        def run():
+            if x2 is not None:
+                # integer-exact spatial sum as one gemv, then scale (+ round)
+                np.dot(x2, ones, out=out_flat)
+                np.multiply(out_flat, inv_hw, out=out_flat)
+            else:
+                np.mean(sview(src.a), axis=(2, 3), out=out2)
+            if on_grid:
+                np.rint(out2, out=out2)  # integer average pooling
+
+        return run
+
+    em.emit(factory, [val.buf, out], "gap")
+    em.log("gap")
+    return _Val(out, (c, n, 1, 1), _identity_view, val.grid)
+
+
+def _emit_pool(em: _Emitter, ir: _PoolIR, val: _Val) -> _Val:
+    c, n, h, w = val.shape
+    oh = conv_output_size(h, ir.kernel, ir.stride, ir.padding)
+    ow = conv_output_size(w, ir.kernel, ir.stride, ir.padding)
+    out = em.planner.alloc((c, n, oh, ow), "value", f"{ir.kind}pool")
+    round_back = val.grid is not None and ir.kind == "avg"
+    fn = kernels.max_pool2d_raw if ir.kind == "max" else kernels.avg_pool2d_raw
+
+    def factory(src=val.buf, sview=val.viewer, out=out):
+        def run():
+            out.a[...] = fn(sview(src.a), ir.kernel, ir.stride, ir.padding)
+            if round_back:
+                np.rint(out.a, out=out.a)
+
+        return run
+
+    em.emit(factory, [val.buf, out], f"{ir.kind}pool")
+    em.log(f"{ir.kind}pool")
+    return _Val(out, (c, n, oh, ow), _identity_view, val.grid)
+
+
+def _emit_flatten(em: _Emitter, val: _Val) -> _Val:
+    if len(val.shape) == 2:
+        return val
+    c, n, h, w = val.shape
+    if h == 1 and w == 1 and val.viewer is _identity_view:
+        buf = val.buf
+        return _Val(buf, (c, n), lambda a: a.reshape(c, n), val.grid)
+    out = em.planner.alloc((c * h * w, n), "value", "flatten")
+
+    def factory(src=val.buf, sview=val.viewer, out=out):
+        def run():
+            x = sview(src.a)  # (C, N, H, W) -> rows ordered (c, h, w)
+            out.a[...] = x.transpose(0, 2, 3, 1).reshape(c * h * w, n)
+
+        return run
+
+    em.emit(factory, [val.buf, out], "flatten")
+    em.log("flatten")
+    return _Val(out, (c * h * w, n), _identity_view, val.grid)
+
+
+def _emit_float_apply(em: _Emitter, val: _Val, fn, kind: str) -> _Val:
+    """Dequantize if needed, then apply an in-place float transform."""
+    if val.grid is not None:
+        val = _emit_dequantize(em, val)
+
+    def factory(src=val.buf, sview=val.viewer):
+        def run():
+            a = sview(src.a)
+            result = fn(a)
+            if result is not None and result is not a:
+                a[...] = result
+
+        return run
+
+    em.emit(factory, [val.buf], kind)
+    em.log(kind)
+    return val
+
+
+def _emit_eager(em: _Emitter, ir: _EagerIR, val: _Val) -> _Val:
+    if val.grid is not None:
+        val = _emit_dequantize(em, val)
+    module = ir.module
+    # infer the output shape once, at plan time
+    probe_shape = (val.shape[1], val.shape[0]) + tuple(val.shape[2:])  # CN.. -> NC..
+    was_training = module.training
+    module.eval()
+    with nn.no_grad():
+        probe_out = module(nn.Tensor(np.zeros(probe_shape, dtype=np.float32)))
+    module.train(was_training)
+    nchw = probe_out.data.shape
+    out_shape = (nchw[1], nchw[0]) + tuple(nchw[2:]) if len(nchw) > 1 else nchw
+    out = em.planner.alloc(out_shape, "value", "eager")
+    axes = (1, 0) + tuple(range(2, len(out_shape)))
+
+    def factory(src=val.buf, sview=val.viewer, out=out):
+        def run():
+            x = np.ascontiguousarray(sview(src.a).transpose(axes))
+            was = module.training
+            module.eval()
+            try:
+                with nn.no_grad():
+                    result = module(nn.Tensor(x))
+            finally:
+                module.train(was)
+            data = result.data if isinstance(result, nn.Tensor) else np.asarray(result)
+            out.a[...] = data.transpose(axes)
+
+        return run
+
+    em.emit(factory, [val.buf, out], "eager")
+    em.log("eager")
+    return _Val(out, out_shape, _identity_view, None)
+
+
+def _emit_residual(em: _Emitter, ir: _ResidualIR, val: _Val, nodes: list, index: int, tail) -> _Val:
+    identity = val
+    request = _grid_target(nodes, index, tail)
+    body_last = ir.body[-1] if ir.body else None
+    can_integer_add = (
+        request[0] == "grid"
+        and isinstance(body_last, _QConvIR)
+        and not isinstance(body_last, _QLinearIR)
+        and body_last.act is None
+    )
+    if can_integer_add:
+        consumer = request[1]
+        out_grid = consumer.grid
+        c_out = body_last.c_out
+        _, n, h, w = val.shape  # residual blocks preserve the spatial dims
+        if (
+            _direct_consumer(nodes, index, consumer)
+            and isinstance(consumer, _QConvIR)
+            and not isinstance(consumer, _QLinearIR)
+        ):
+            out_buf, out_view = _make_conv_slot(em, consumer, c_out, n, h, w)
+            em.slot_for[id(consumer)] = (out_buf, out_view)
+        else:
+            out_buf = em.planner.alloc((c_out, n, h, w), "value", "resid.out")
+            out_view = _identity_view
+        # body's last conv writes unrounded grid values into the slot; the
+        # identity contribution is added on the same grid, then one round+clamp
+        _emit_chain(em, ir.body, val, ("defer", out_grid, (out_buf, out_view)))
+        tmp = em.planner.alloc((c_out, n, h, w), "scratch", "resid.tmp")
+        k = np.float32((identity.grid[0] if identity.grid else 1.0) / out_grid[0])
+        lo, hi = _q_bounds(out_grid, None)
+
+        def factory(idb=identity.buf, idv=identity.viewer, out_buf=out_buf, out_view=out_view, tmp=tmp):
+            target = out_view(out_buf.a)
+
+            def run():
+                np.multiply(idv(idb.a), k, out=tmp.a)
+                np.add(target, tmp.a, out=target)
+                np.rint(target, out=target)
+                np.clip(target, lo, hi, out=target)
+
+            return run
+
+        em.emit(factory, [identity.buf, out_buf, tmp], "resid.add")
+        em.log("resid.add")
+        return _Val(out_buf, (c_out, n, h, w), out_view, out_grid)
+
+    # float fallback: body dequantizes, identity is added in float
+    body_val = _emit_chain(em, ir.body, val, ("float", None))
+    if body_val.grid is not None:
+        body_val = _emit_dequantize(em, body_val)
+    tmp = em.planner.alloc(body_val.shape, "scratch", "resid.tmp")
+    id_scale = np.float32(identity.grid[0]) if identity.grid else None
+
+    def factory(idb=identity.buf, idv=identity.viewer, bb=body_val.buf, bv=body_val.viewer, tmp=tmp):
+        def run():
+            idx = idv(idb.a)
+            body = bv(bb.a)
+            if id_scale is not None:
+                np.multiply(idx, id_scale, out=tmp.a)
+                body += tmp.a
+            else:
+                body += idx
+
+        return run
+
+    em.emit(factory, [identity.buf, body_val.buf, tmp], "resid.add")
+    em.log("resid.add")
+    return body_val
+
+
+def _emit_chain(em: _Emitter, nodes: list, val: _Val, tail) -> _Val:
+    for i, node in enumerate(nodes):
+        if isinstance(node, _QLinearIR):
+            val = _emit_qlinear(em, node, val, nodes, i, tail)
+        elif isinstance(node, _QConvIR):
+            val = _emit_qconv(em, node, val, nodes, i, tail)
+        elif isinstance(node, _ResidualIR):
+            val = _emit_residual(em, node, val, nodes, i, tail)
+        elif isinstance(node, _GapIR):
+            val = _emit_gap(em, val)
+        elif isinstance(node, _PoolIR):
+            val = _emit_pool(em, node, val)
+        elif isinstance(node, _FlattenIR):
+            val = _emit_flatten(em, val)
+        elif isinstance(node, _ActIR):
+            spec = node.spec
+            val = _emit_float_apply(
+                em,
+                val,
+                lambda a, s=spec: kernels.apply_activation(a, s, inplace=True),
+                f"act.{spec[0]}",
+            )
+        elif isinstance(node, _AffineIR):
+            scale = node.scale.reshape(-1, 1, 1, 1)
+            shift = node.shift.reshape(-1, 1, 1, 1)
+
+            def affine(a, s=scale, sh=shift):
+                a *= s
+                a += sh
+
+            val = _emit_float_apply(em, val, affine, "affine")
+        elif isinstance(node, _EagerIR):
+            val = _emit_eager(em, node, val)
+        else:  # pragma: no cover - defensive
+            raise QuantCompileError(f"unhandled IR node {type(node).__name__}")
+    return val
+
+
+# --------------------------------------------------------------------------- #
+# execution plans and the public net
+# --------------------------------------------------------------------------- #
+@dataclass
+class _ExecPlan:
+    steps: list
+    step_labels: list
+    ctx: dict
+    out_val: _Val
+    arena: np.ndarray
+    memory: MemoryPlan
+    op_log: list
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        self.ctx["x"] = x
+        for step in self.steps:
+            step()
+        out = self.out_val
+        result = out.viewer(out.buf.a)
+        if out.grid is not None:
+            result = result * np.float32(out.grid[0])
+        # CN.. -> NC..; always copy — the result must not alias the arena,
+        # which the next run overwrites (a batch-1 transpose would otherwise
+        # stay contiguous and escape as a live view).
+        if result.ndim == 2:  # (M, N) -> (N, M)
+            return result.T.copy()
+        return result.transpose((1, 0) + tuple(range(2, result.ndim))).copy()
+
+
+class QuantizedNet:
+    """A quantized model lowered to the planned integer engine.
+
+    Callable like :class:`~repro.runtime.compiler.CompiledNet`: Tensor or
+    ndarray in, detached Tensor out; :meth:`numpy_forward` stays in ndarray
+    land.  Execution plans (arena + bound kernels) are built lazily per input
+    shape and cached **per thread**, so a server can run one worker per thread
+    against a single :class:`QuantizedNet` without sharing scratch memory.
+
+    Attributes
+    ----------
+    source:
+        The calibrated fake-quant model this engine was compiled from
+        (integer weights are snapshotted — recalibrate/retrain requires
+        recompiling).
+    """
+
+    def __init__(self, ir: list, source: nn.Module, dw_kernel: str = "auto"):
+        if dw_kernel not in _DW_KERNELS:
+            raise ValueError(f"dw_kernel must be one of {_DW_KERNELS}")
+        self._ir = ir
+        self.source = source
+        self._dw_kernel = dw_kernel
+        self._local = threading.local()
+        self._op_log: list[str] | None = None
+
+    # ------------------------------------------------------------------ #
+    def plan(self, input_shape: tuple[int, int, int, int]) -> _ExecPlan:
+        """Build (or fetch the thread-cached) plan for an ``(N, C, H, W)`` shape."""
+        cache = getattr(self._local, "plans", None)
+        if cache is None:
+            cache = self._local.plans = {}
+        key = tuple(int(s) for s in input_shape)
+        plan = cache.get(key)
+        if plan is None:
+            plan = self._build(key)
+            cache[key] = plan
+            if self._op_log is None:
+                self._op_log = plan.op_log
+        return plan
+
+    def _build(self, input_shape) -> _ExecPlan:
+        n, c, h, w = input_shape
+        planner = ArenaPlanner()
+        em = _Emitter(planner, self._dw_kernel)
+        ctx: dict = {}
+        first = self._ir[0] if self._ir else None
+        if isinstance(first, _QConvIR) and not isinstance(first, _QLinearIR):
+            # quantize the external input straight into the first conv's slot
+            pbuf, pview = _make_conv_slot(em, first, c, n, h, w)
+            _emit_quantize(em, None, first.grid, pbuf, pview, external_ctx=ctx)
+            em.slot_for[id(first)] = (pbuf, pview)
+            val = _Val(pbuf, (c, n, h, w), pview, first.grid)
+        else:
+            x_buf = planner.alloc((c, n, h, w), "value", "input")
+
+            def input_factory(buf=x_buf):
+                def run():
+                    buf.a[...] = ctx["x"].transpose(1, 0, 2, 3)
+
+                return run
+
+            em.emit(input_factory, [x_buf], "input")
+            val = _Val(x_buf, (c, n, h, w), _identity_view, None)
+        out_val = _emit_chain(em, self._ir, val, ("float", None))
+        arena, memory = planner.solve(tail_slack=em.tail_slack)
+        steps = [factory() for factory, _ in em.factories]
+        labels = [label for _, label in em.factories]
+        return _ExecPlan(
+            steps=steps, step_labels=labels, ctx=ctx, out_val=out_val,
+            arena=arena, memory=memory, op_log=em.op_log,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ops(self) -> list[str]:
+        """Lowered op kinds (e.g. ``"qconv.dw"``); built with the first plan.
+
+        Contains no ``"eager"`` entries when every layer lowered to integer
+        kernels — the test-suite asserts this for calibrated registry models.
+        """
+        if self._op_log is None:
+            raise RuntimeError("no plan built yet; run a batch or call plan() first")
+        return list(self._op_log)
+
+    def memory_report(self, input_shape: tuple[int, int, int, int]) -> MemoryPlan:
+        """The arena plan (peak working set, buffer table) for a shape."""
+        return self.plan(tuple(input_shape)).memory
+
+    def numpy_forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the integer program on a raw ``(N, C, H, W)`` batch."""
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        return self.plan(x.shape).run(x)
+
+    def __call__(self, x) -> nn.Tensor:
+        data = x.data if isinstance(x, nn.Tensor) else np.asarray(x, dtype=np.float32)
+        return nn.Tensor(self.numpy_forward(data))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QuantizedNet(source={type(self.source).__name__})"
+
+
+def compile_quantized(model: nn.Module, dw_kernel: str = "auto") -> QuantizedNet:
+    """Lower a calibrated fake-quant model to the true-integer engine.
+
+    Parameters
+    ----------
+    model:
+        A model processed by :func:`repro.compress.quantize_model` and
+        :func:`repro.compress.calibrate` (every wrapper must be frozen).
+    dw_kernel:
+        Depthwise kernel strategy: ``"auto"`` (time the candidates on the
+        planned buffers and keep the fastest — the default), or one of
+        ``"flat"`` / ``"flat_einsum"`` / ``"stacked"`` / ``"einsum"`` /
+        ``"offsets"`` to force a variant.  All variants produce bit-identical
+        results.
+
+    Returns
+    -------
+    QuantizedNet
+        The planned integer program.
+
+    Raises
+    ------
+    QuantCompileError
+        If the model contains no quantized layers, or a quantized layer has
+        not been calibrated.
+    """
+    wrappers = [m for _, m in model.named_modules() if isinstance(m, _QuantizedWrapper)]
+    if not wrappers:
+        raise QuantCompileError(
+            "model has no quantized layers; run repro.compress.quantize_model first"
+        )
+    ir = _fuse_q(_lower_q(model))
+    return QuantizedNet(ir, model, dw_kernel=dw_kernel)

@@ -1,0 +1,86 @@
+"""Throughput-oriented model serving on top of the compiled runtimes.
+
+The serving layer turns the repo's compiled inference engines into a
+dynamic-batching model server::
+
+    from repro.serve import Engine, build_server
+
+    engine = build_server("mobilenetv2-tiny", workers=4)   # int8 by default
+    future = engine.submit(image)        # (C, H, W) -> Future of logits
+    logits = future.result()
+    print(engine.stats().summary())
+
+:class:`Engine` implements the max-batch / max-wait dynamic batching policy
+with padded batch assembly over a multi-worker executor;
+:func:`repro.serve.loadgen.run_load` is the closed-loop load harness, and
+``python -m repro.serve --model mobilenetv2-tiny --workers 4`` runs a
+self-contained load test from the command line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .engine import Engine, EngineConfig, ServeStats
+from .loadgen import LoadReport, run_load
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "ServeStats",
+    "LoadReport",
+    "run_load",
+    "build_server",
+]
+
+
+def build_server(
+    model_name: str = "mobilenetv2-tiny",
+    resolution: int = 16,
+    num_classes: int = 16,
+    backend: str = "int8",
+    calibration_batches: int = 2,
+    calibration_method: str = "minmax",
+    seed: int = 0,
+    **engine_kwargs,
+) -> Engine:
+    """Build a ready-to-serve :class:`Engine` for a registry model.
+
+    The model is created from :mod:`repro.models`, quantized and calibrated on
+    synthetic data (``backend="int8"``, the default) and compiled with
+    :func:`repro.runtime.compile_quantized`; ``backend="float"`` serves the
+    fused float runtime instead, and ``backend="eager"`` the plain module.
+    Extra keyword arguments configure the engine's batching policy
+    (``max_batch``, ``max_wait_ms``, ``workers``...).
+    """
+    from ..compress import calibrate, quantize_model
+    from ..models import create_model
+    from ..runtime import compile_net, compile_quantized
+    from ..utils import seed_everything
+
+    if backend not in ("int8", "float", "eager"):
+        raise ValueError(f"unknown backend {backend!r}")
+    seed_everything(seed)
+    model = create_model(model_name, num_classes=num_classes)
+    model.eval()
+    input_shape = (3, resolution, resolution)
+    if backend == "int8":
+        rng = np.random.default_rng(seed)
+        quantize_model(model)
+        batches = [
+            rng.normal(0.2, 0.8, size=(8,) + input_shape).astype(np.float32)
+            for _ in range(calibration_batches)
+        ]
+        calibrate(model, batches, method=calibration_method)
+        net = compile_quantized(model)
+    elif backend == "float":
+        net = compile_net(model)
+    else:
+        from .. import nn
+
+        def eager_forward(batch, _model=model):
+            with nn.no_grad():
+                return _model(nn.Tensor(batch)).numpy()
+
+        net = eager_forward
+    return Engine(net, input_shape, **engine_kwargs)

@@ -1,0 +1,79 @@
+"""Command-line load test for the serving engine.
+
+Builds a registry model, compiles it (int8 by default), serves it through the
+dynamic-batching engine and drives it with a closed-loop load generator::
+
+    PYTHONPATH=src python -m repro.serve --model mobilenetv2-tiny --workers 4
+    PYTHONPATH=src python -m repro.serve --backend float --concurrency 64
+    PYTHONPATH=src python -m repro.serve --requests 5000 --json /tmp/serve.json
+
+Prints sustained req/s, latency percentiles and the batch-size mix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from . import build_server
+from .loadgen import run_load
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.serve", description=__doc__)
+    parser.add_argument("--model", default="mobilenetv2-tiny", help="registry model name")
+    parser.add_argument("--backend", default="int8", choices=("int8", "float", "eager"))
+    parser.add_argument("--resolution", type=int, default=16, help="input resolution")
+    parser.add_argument("--workers", type=int, default=2, help="batching worker threads")
+    parser.add_argument("--max-batch", type=int, default=16, help="dynamic batch cap")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0, help="batch window")
+    parser.add_argument("--requests", type=int, default=2000, help="measured requests")
+    parser.add_argument("--concurrency", type=int, default=32, help="closed-loop clients")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", type=Path, default=None, help="write the report as JSON")
+    args = parser.parse_args(argv)
+
+    print(f"building {args.model} [{args.backend}] at {args.resolution}x{args.resolution} ...")
+    engine = build_server(
+        args.model,
+        resolution=args.resolution,
+        backend=args.backend,
+        seed=args.seed,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    with engine:
+        report = run_load(
+            engine, n_requests=args.requests, concurrency=args.concurrency, seed=args.seed
+        )
+        stats = engine.stats()
+    print(report.summary())
+    print(stats.summary())
+    print(f"batch-size mix    : {stats.batch_size_counts}")
+    if args.json is not None:
+        payload = {
+            "model": args.model,
+            "backend": args.backend,
+            "resolution": args.resolution,
+            "workers": args.workers,
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "load": report.__dict__,
+            "engine": {
+                "submitted": stats.submitted,
+                "completed": stats.completed,
+                "failed": stats.failed,
+                "batches": stats.batches,
+                "mean_batch_size": stats.mean_batch_size,
+                "batch_size_counts": stats.batch_size_counts,
+            },
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Closed-loop load generator for the serving engine.
+
+Drives an :class:`~repro.serve.Engine` with ``concurrency`` synchronous
+clients (each submits a request, waits for its result, submits the next —
+the standard closed-loop model) and reports sustained request throughput and
+end-to-end latency percentiles.  Used by ``python -m repro.serve`` and
+``benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass
+class LoadReport:
+    """Result of one closed-loop load run."""
+
+    requests: int
+    concurrency: int
+    elapsed_s: float
+    requests_per_sec: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+    latency_ms_mean: float
+    errors: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.requests} requests @ concurrency {self.concurrency}: "
+            f"{self.requests_per_sec:.1f} req/s, "
+            f"latency p50 {self.latency_ms_p50:.2f} ms / "
+            f"p95 {self.latency_ms_p95:.2f} ms / p99 {self.latency_ms_p99:.2f} ms"
+            + (f", {self.errors} errors" if self.errors else "")
+        )
+
+
+def run_load(
+    engine,
+    n_requests: int,
+    concurrency: int = 8,
+    input_shape: tuple[int, int, int] | None = None,
+    seed: int = 0,
+    warmup: int = 8,
+) -> LoadReport:
+    """Drive ``engine`` with a closed loop of synchronous clients.
+
+    Parameters
+    ----------
+    engine:
+        An :class:`~repro.serve.Engine` (or anything with ``submit``).
+    n_requests:
+        Total measured requests across all clients.
+    concurrency:
+        Number of concurrent closed-loop clients.
+    input_shape:
+        Per-sample shape; defaults to ``engine.input_shape``.
+    seed:
+        Seed for the synthetic request payloads.
+    warmup:
+        Unmeasured requests issued first (plan building, kernel auto-tuning).
+    """
+    shape = tuple(input_shape or engine.input_shape)
+    rng = np.random.default_rng(seed)
+    # a small pool of distinct payloads, cycled by the clients
+    pool = [rng.normal(0.2, 0.8, size=shape).astype(np.float32) for _ in range(16)]
+
+    for i in range(warmup):
+        engine.submit(pool[i % len(pool)]).result()
+
+    remaining = [n_requests]
+    counter_lock = threading.Lock()
+    latencies: list[float] = []
+    errors = [0]
+
+    def client(client_index: int) -> None:
+        local: list[float] = []
+        local_errors = 0
+        step = client_index
+        while True:
+            with counter_lock:
+                if remaining[0] <= 0:
+                    break
+                remaining[0] -= 1
+            start = time.perf_counter()
+            try:
+                engine.submit(pool[step % len(pool)]).result()
+                local.append((time.perf_counter() - start) * 1e3)
+            except Exception:
+                local_errors += 1
+            step += concurrency
+        with counter_lock:
+            latencies.extend(local)
+            errors[0] += local_errors
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    from ..eval.profiler import latency_percentiles
+
+    lat = np.asarray(latencies, dtype=np.float64)
+    pct = (
+        latency_percentiles(lat)
+        if lat.size
+        else {"p50_ms": float("nan"), "p95_ms": float("nan"), "p99_ms": float("nan")}
+    )
+    return LoadReport(
+        requests=len(latencies),
+        concurrency=concurrency,
+        elapsed_s=elapsed,
+        requests_per_sec=len(latencies) / elapsed if elapsed > 0 else 0.0,
+        latency_ms_p50=pct["p50_ms"],
+        latency_ms_p95=pct["p95_ms"],
+        latency_ms_p99=pct["p99_ms"],
+        latency_ms_mean=float(lat.mean()) if lat.size else float("nan"),
+        errors=errors[0],
+    )

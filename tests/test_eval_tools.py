@@ -17,6 +17,7 @@ from repro.eval import (
     evaluate_robustness,
     fits_device,
     format_profile_table,
+    latency_percentiles,
     measure_latency,
     peak_activation_memory,
     profile_layers,
@@ -101,6 +102,24 @@ class TestProfiler:
     def test_measure_latency_validates_repeats(self, tiny_model):
         with pytest.raises(ValueError):
             measure_latency(tiny_model, (3, 16, 16), repeats=0)
+
+    def test_measure_latency_reports_percentiles(self, tiny_model):
+        stats = measure_latency(tiny_model, (3, 16, 16), repeats=7, warmup=0)
+        assert stats["best_ms"] <= stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+        assert stats["p50_ms"] == pytest.approx(stats["median_ms"])
+
+    def test_latency_percentiles_helper(self):
+        stats = latency_percentiles([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert stats["p50_ms"] == pytest.approx(3.0)
+        assert stats["p95_ms"] <= stats["p99_ms"] <= 100.0
+
+    def test_deployment_report_latency_repeats_knob(self, tiny_model):
+        report = deployment_report(
+            tiny_model, (3, 16, 16), measure_host_latency=True, latency_repeats=2
+        )
+        assert report.host_latency_ms is not None and report.host_latency_ms > 0
+        with pytest.raises(ValueError):
+            deployment_report(tiny_model, (3, 16, 16), latency_repeats=0)
 
 
 class TestRobustness:

@@ -8,6 +8,7 @@ from repro.compress import (
     QuantizationSpec,
     QuantizedConv2d,
     QuantizedLinear,
+    activation_qparams,
     calibrate,
     dequantize_array,
     quantize_array,
@@ -129,3 +130,108 @@ class TestQuantizedModel:
         wrapper = QuantizedConv2d(conv, QuantizationSpec(bits=4))
         assert not np.allclose(wrapper.wrapped.weight.data, original)
         assert len(np.unique(wrapper.wrapped.weight.data[0])) <= 2 ** 4
+
+    def test_wrapper_stores_real_integer_parameters(self):
+        conv = nn.Conv2d(3, 4, 3)
+        wrapper = QuantizedConv2d(conv, QuantizationSpec())
+        assert wrapper.weight_q.dtype == np.int8
+        scale = np.asarray(wrapper.weight_scale).reshape(-1, 1, 1, 1)
+        np.testing.assert_allclose(
+            wrapper.weight_q.astype(np.float32) * scale,
+            wrapper.wrapped.weight.data,
+            rtol=1e-5,
+            atol=1e-6,
+        )
+
+    def test_input_qparams_only_after_calibration(self, rng):
+        conv = nn.Conv2d(3, 4, 3)
+        wrapper = QuantizedConv2d(conv, QuantizationSpec())
+        assert wrapper.input_qparams() is None
+        assert not wrapper.frozen
+        wrapper._observe(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        wrapper.freeze()
+        scale, zero_point = wrapper.input_qparams()
+        assert scale > 0 and zero_point == int(zero_point)
+        assert wrapper.frozen
+
+
+class TestActivationQParams:
+    def test_zero_is_exactly_representable(self):
+        for low, high in [(-1.5, 3.0), (0.2, 4.0), (-3.0, -0.1)]:
+            scale, zero_point = activation_qparams(low, high)
+            assert zero_point == int(zero_point)
+            assert 0 <= zero_point <= 255
+            # dequantize(zero_point) == 0 exactly
+            assert (zero_point - zero_point) * scale == 0.0
+
+    def test_range_nudged_to_include_zero(self):
+        scale, zero_point = activation_qparams(1.0, 3.0)  # all-positive range
+        assert zero_point == 0.0  # low nudged to 0
+        assert scale == pytest.approx(3.0 / 255)
+
+
+class TestPercentileCalibration:
+    def _model_and_batches(self, rng, outlier=False):
+        model = mobilenet_v2("tiny", num_classes=4)
+        model.eval()
+        quantize_model(model)
+        batches = [rng.normal(0.2, 0.5, size=(8, 3, 16, 16)).astype(np.float32) for _ in range(2)]
+        if outlier:
+            batches[0][0, 0, 0, 0] = 500.0  # single wild outlier
+        return model, batches
+
+    def test_percentile_tightens_ranges_against_outliers(self, rng):
+        model_mm, batches = self._model_and_batches(rng, outlier=True)
+        calibrate(model_mm, batches, method="minmax")
+        model_pc = mobilenet_v2("tiny", num_classes=4)
+        model_pc.eval()
+        quantize_model(model_pc)
+        calibrate(model_pc, batches, method="percentile", percentile=99.5)
+        first_mm = next(m for _, m in model_mm.named_modules() if isinstance(m, QuantizedConv2d))
+        first_pc = next(m for _, m in model_pc.named_modules() if isinstance(m, QuantizedConv2d))
+        range_mm = float(first_mm.act_high[0] - first_mm.act_low[0])
+        range_pc = float(first_pc.act_high[0] - first_pc.act_low[0])
+        assert range_pc < range_mm / 10  # outlier stretched minmax, not percentile
+
+    def test_percentile_improves_accuracy_under_outliers(self, rng):
+        """With a contaminated calibration set, percentile calibration keeps
+        the quantized model measurably closer to the float model."""
+        images = rng.normal(0.3, 0.2, size=(48, 3, 16, 16)).astype(np.float32)
+        labels = np.arange(48) % 4
+        for i, label in enumerate(labels):
+            images[i, 0] += 0.5 * label
+        reference = mobilenet_v2("tiny", num_classes=4)
+        reference.eval()
+        with nn.no_grad():
+            float_out = reference(nn.Tensor(images)).numpy()
+
+        def quantized_mse(method):
+            model = mobilenet_v2("tiny", num_classes=4)
+            model.eval()
+            model.load_state_dict(reference.state_dict())
+            quantize_model(model)
+            calib = [images[:8].copy()]
+            calib[0][0, 0, 0, 0] = 80.0  # one wild sensor-glitch pixel
+            calibrate(model, calib, method=method, percentile=99.9)
+            with nn.no_grad():
+                out = model(nn.Tensor(images)).numpy()
+            return float(np.mean((out - float_out) ** 2))
+
+        assert quantized_mse("percentile") < quantized_mse("minmax")
+
+    def test_unknown_method_rejected(self, rng):
+        model = mobilenet_v2("tiny", num_classes=4)
+        quantize_model(model)
+        with pytest.raises(ValueError):
+            calibrate(model, [], method="median")
+
+    def test_percentile_never_widens_beyond_observed(self, rng):
+        model = mobilenet_v2("tiny", num_classes=4)
+        model.eval()
+        quantize_model(model)
+        batches = [rng.normal(0.0, 1.0, size=(4, 3, 16, 16)).astype(np.float32)]
+        calibrate(model, batches, method="percentile", percentile=100.0)
+        for _, module in model.named_modules():
+            if isinstance(module, QuantizedConv2d):
+                assert np.isfinite(module.act_low[0]) and np.isfinite(module.act_high[0])
+                assert module.act_low[0] <= module.act_high[0]

@@ -1,0 +1,200 @@
+"""Tests for the dynamic-batching serving engine."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compress import calibrate, quantize_model
+from repro.models import create_model
+from repro.runtime import compile_quantized
+from repro.serve import Engine, EngineConfig, build_server, run_load
+
+
+RES = 12
+SHAPE = (3, RES, RES)
+
+
+@pytest.fixture(scope="module")
+def qnet():
+    """One calibrated int8 engine shared by the serving tests."""
+    rng = np.random.default_rng(0)
+    model = create_model("mobilenetv2-tiny", num_classes=8)
+    model.eval()
+    quantize_model(model)
+    calibrate(model, [rng.normal(0.2, 0.8, size=(8,) + SHAPE).astype(np.float32)])
+    return compile_quantized(model)
+
+
+def _samples(n, seed=1):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0.2, 0.8, size=SHAPE).astype(np.float32) for _ in range(n)]
+
+
+class TestEngineBasics:
+    def test_predict_matches_direct_inference(self, qnet):
+        sample = _samples(1)[0]
+        expected = qnet.numpy_forward(sample[None])[0]
+        with Engine(qnet, SHAPE, max_batch=4, max_wait_ms=0.5) as engine:
+            result = engine.predict(sample, timeout=10.0)
+        np.testing.assert_array_equal(result, expected)
+
+    def test_submit_returns_future(self, qnet):
+        with Engine(qnet, SHAPE) as engine:
+            future = engine.submit(_samples(1)[0])
+            out = future.result(timeout=10.0)
+        assert out.shape == (8,)
+
+    def test_wrong_shape_rejected_immediately(self, qnet):
+        with Engine(qnet, SHAPE) as engine:
+            with pytest.raises(ValueError):
+                engine.submit(np.zeros((3, RES + 1, RES), dtype=np.float32))
+
+    def test_submit_after_close_raises(self, qnet):
+        engine = Engine(qnet, SHAPE)
+        engine.close()
+        engine.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            engine.submit(_samples(1)[0])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            EngineConfig(max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0)
+        with pytest.raises(ValueError):
+            Engine(lambda x: x, SHAPE, config=EngineConfig(), max_batch=4)
+
+    def test_backend_error_propagates_to_futures(self):
+        def broken(batch):
+            raise RuntimeError("backend exploded")
+
+        with Engine(broken, SHAPE, max_batch=4, max_wait_ms=0.5) as engine:
+            future = engine.submit(_samples(1)[0])
+            with pytest.raises(RuntimeError, match="backend exploded"):
+                future.result(timeout=10.0)
+            deadline = time.time() + 5.0
+            while engine.stats().failed < 1 and time.time() < deadline:
+                time.sleep(0.01)
+            assert engine.stats().failed == 1
+
+
+class TestDynamicBatching:
+    def test_concurrent_submitters_get_their_own_answers(self, qnet):
+        """Determinism and ordering: under many concurrent submitters every
+        future must resolve to exactly the prediction for its own sample (the
+        int8 engine is bitwise batch-invariant, so equality is exact)."""
+        samples = _samples(64)
+        expected = [qnet.numpy_forward(s[None])[0] for s in samples]
+        results: dict[int, np.ndarray] = {}
+        lock = threading.Lock()
+
+        with Engine(qnet, SHAPE, max_batch=8, max_wait_ms=2.0, workers=2) as engine:
+
+            def client(indices):
+                for i in indices:
+                    out = engine.submit(samples[i]).result(timeout=30.0)
+                    with lock:
+                        results[i] = out
+
+            threads = [
+                threading.Thread(target=client, args=(range(start, 64, 8),))
+                for start in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert sorted(results) == list(range(64))
+        for i in range(64):
+            np.testing.assert_array_equal(results[i], expected[i], err_msg=f"request {i}")
+
+    def test_batches_are_actually_fused(self, qnet):
+        """With concurrent submitters the engine must run fewer forward passes
+        than requests."""
+        samples = _samples(48)
+        with Engine(qnet, SHAPE, max_batch=16, max_wait_ms=5.0) as engine:
+            futures = [engine.submit(s) for s in samples]
+            for future in futures:
+                future.result(timeout=30.0)
+            stats = engine.stats()
+        assert stats.completed == 48
+        assert stats.batches < 48
+        assert stats.mean_batch_size > 1.5
+
+    def test_serial_mode_runs_batch_one(self, qnet):
+        with Engine(qnet, SHAPE, max_batch=1, max_wait_ms=0.0) as engine:
+            out = engine.predict_batch(_samples(5), timeout=30.0)
+            stats = engine.stats()
+        assert out.shape == (5, 8)
+        assert stats.batches == 5
+        assert stats.batch_size_counts == {1: 5}
+
+    def test_padded_assembly_preserves_results(self, qnet):
+        """pad_to_pow2 runs odd request counts at padded batch sizes without
+        affecting any result."""
+        samples = _samples(5)
+        expected = [qnet.numpy_forward(s[None])[0] for s in samples]
+        with Engine(qnet, SHAPE, max_batch=8, max_wait_ms=50.0) as engine:
+            futures = [engine.submit(s) for s in samples]
+            outs = [f.result(timeout=30.0) for f in futures]
+        for out, exp in zip(outs, expected):
+            np.testing.assert_array_equal(out, exp)
+
+    def test_stats_percentiles_ordered(self, qnet):
+        with Engine(qnet, SHAPE, max_batch=8, max_wait_ms=1.0) as engine:
+            for sample in _samples(20):
+                engine.submit(sample)
+            deadline = time.time() + 10.0
+            while engine.stats().completed < 20 and time.time() < deadline:
+                time.sleep(0.01)
+            stats = engine.stats()
+        assert stats.completed == 20
+        assert stats.latency_ms_p50 <= stats.latency_ms_p95 <= stats.latency_ms_p99
+        assert "latency" in stats.summary()
+
+
+class TestLoadGenAndBuilder:
+    def test_run_load_reports_throughput(self, qnet):
+        with Engine(qnet, SHAPE, max_batch=8, max_wait_ms=1.0) as engine:
+            report = run_load(engine, n_requests=64, concurrency=8, warmup=4)
+        assert report.requests == 64
+        assert report.errors == 0
+        assert report.requests_per_sec > 0
+        assert report.latency_ms_p50 <= report.latency_ms_p99
+        assert "req/s" in report.summary()
+
+    def test_build_server_int8_roundtrip(self):
+        engine = build_server(
+            "mobilenetv2-tiny", resolution=RES, num_classes=8, max_batch=4, max_wait_ms=0.5
+        )
+        with engine:
+            out = engine.predict(np.zeros(SHAPE, dtype=np.float32), timeout=30.0)
+        assert out.shape == (8,)
+
+    def test_build_server_float_backend(self):
+        engine = build_server(
+            "mobilenetv2-tiny", resolution=RES, num_classes=8, backend="float", max_batch=4
+        )
+        with engine:
+            out = engine.predict(np.zeros(SHAPE, dtype=np.float32), timeout=30.0)
+        assert out.shape == (8,)
+
+    def test_build_server_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            build_server("mobilenetv2-tiny", backend="tpu")
+
+    def test_float_and_int8_servers_agree_roughly(self, qnet):
+        """The served int8 predictions track the eager fake-quant model."""
+        sample = _samples(1)[0]
+        model = qnet.source
+        with nn.no_grad():
+            oracle = model(nn.Tensor(sample[None])).numpy()[0]
+        with Engine(qnet, SHAPE, max_batch=2, max_wait_ms=0.5) as engine:
+            served = engine.predict(sample, timeout=30.0)
+        assert np.abs(served - oracle).max() < 0.5
