@@ -4,8 +4,8 @@ Two lanes, written to ``BENCH_serve.json`` so the perf trajectory is tracked
 across PRs and gated by ``scripts/check_bench.py``:
 
 1. **Engine lane** — single-stream throughput (imgs/sec) of the int8 integer
-   engine (:func:`repro.runtime.compile_quantized`) vs the float compiled
-   runtime (:func:`repro.runtime.compile_net`) on MobileNetV2-Tiny at batch
+   engine (``repro.compile(model, mode="int8")``) vs the float compiled
+   runtime (``repro.compile(model)``) on MobileNetV2-Tiny at batch
    1 / 8 / 64.  The acceptance floor is int8 >= 1.5x float at batches 1-8.
 2. **Serving lane** — sustained req/s of the dynamic-batching engine
    (max-batch window, padded assembly) vs serial batch-1 serving, both driven
@@ -31,10 +31,10 @@ from pathlib import Path
 
 import numpy as np
 
+import repro
 from repro import nn
 from repro.compress import calibrate, quantize_model
 from repro.models import create_model
-from repro.runtime import compile_net, compile_quantized
 from repro.serve import Engine
 from repro.serve.loadgen import run_load
 from repro.utils import seed_everything
@@ -67,13 +67,13 @@ def build_engines(model_name: str, resolution: int, seed: int = 0):
     rng = np.random.default_rng(seed)
     model = create_model(model_name, num_classes=16)
     model.eval()
-    float_net = compile_net(model)  # snapshot before fake-quant rewrites weights
+    float_net = repro.compile(model)  # snapshot before fake-quant rewrites weights
     quantize_model(model)
     calibrate(
         model,
         [rng.normal(0.2, 0.8, size=(8, 3, resolution, resolution)).astype(np.float32) for _ in range(2)],
     )
-    int8_net = compile_quantized(model)
+    int8_net = repro.compile(model, mode="int8")
     return float_net, int8_net, model
 
 

@@ -9,7 +9,7 @@ MobileNetV2-Tiny in three lanes:
 * ``eager``     — the current autograd tape (optimised kernels, fused
   cross-entropy, flat-buffer SGD, batched transforms, prefetching loader);
 * ``compiled``  — the fused training runtime
-  (:func:`repro.runtime.compile_training_step`).
+  (``repro.compile(model, mode="train")``, routed through the Trainer).
 
 plus two data-pipeline microbenchmarks (batched vs per-image transforms, and
 the compiled lane with prefetch off).  Results are written to

@@ -5,7 +5,8 @@ Produces the feasibility tables an embedded engineer needs:
 * per-layer FLOPs/parameter profile of each tiny network;
 * flash / peak-SRAM / latency estimates on three STM32-class device profiles;
 * measured host latency of each model through the fused inference runtime
-  (:func:`repro.runtime.compile`), next to the analytic roofline estimate;
+  (:func:`repro.compile`), next to the analytic roofline estimate and the
+  arena planner's liveness-packed peak working set;
 * proof that a NetBooster-contracted network has byte-for-byte the same
   deployment footprint as its vanilla counterpart (the paper's "no inference
   overhead" claim), while the training-time deep giant would *not* fit.

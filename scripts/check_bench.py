@@ -9,6 +9,11 @@ Dispatches on the report's ``suite`` field:
   the configured speedup over the float compiled engine at batches 1-8, and
   dynamic batching must sustain the configured multiple of serial batch-1
   serving req/s.
+* ``bench_ops`` (``BENCH_ops.json``) — the compiled inference program must
+  stay above the seed-speedup floor, and a program built through
+  ``repro.compile`` must match one built through the legacy ``compile_net``
+  wrapper (a canary: the graph-IR indirection is compile-time only, and the
+  wrapper must never diverge from the frontend).
 
 Run after the corresponding benchmark::
 
@@ -92,6 +97,33 @@ def check_serve(report: dict, args) -> list[str]:
     return failures
 
 
+def check_ops(report: dict, args) -> list[str]:
+    """Gate the operator/inference report; returns failure messages."""
+    infer = report["benchmarks"]["mobilenetv2_tiny_infer"]
+    failures = []
+    speedup = infer["speedup"]
+    if speedup < args.min_ops_seed_ratio:
+        failures.append(
+            f"compiled inference below seed floor: {speedup:.2f}x < "
+            f"{args.min_ops_seed_ratio:.2f}x"
+        )
+    frontend = infer.get("frontend_median_ms")
+    compiled = infer["compiled_median_ms"]
+    if frontend is None:
+        failures.append("report missing the repro.compile frontend lane")
+    elif frontend > compiled / args.ops_tolerance:
+        failures.append(
+            f"repro.compile frontend regressed vs direct compile: "
+            f"{frontend:.3f} ms > {compiled:.3f} ms / {args.ops_tolerance:.2f}"
+        )
+    if frontend is not None:
+        print(
+            f"infer — seed/compiled {speedup:.2f}x, compiled {compiled:.3f} ms, "
+            f"frontend {frontend:.3f} ms ({infer['frontend_vs_compiled']:.2f}x)"
+        )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -131,6 +163,18 @@ def main() -> int:
         default=1.0,
         help="[serve] maximum int8-vs-fake-quant |logit delta|",
     )
+    parser.add_argument(
+        "--min-ops-seed-ratio",
+        type=float,
+        default=1.2,
+        help="[ops] minimum compiled-inference/seed speedup",
+    )
+    parser.add_argument(
+        "--ops-tolerance",
+        type=float,
+        default=0.70,
+        help="[ops] frontend must reach this fraction of the direct compiled lane's speed",
+    )
     args = parser.parse_args()
 
     report = json.loads(args.report.read_text())
@@ -139,6 +183,8 @@ def main() -> int:
         failures = check_serve(report, args)
     elif suite == "bench_train":
         failures = check_train(report, args)
+    elif suite == "bench_ops":
+        failures = check_ops(report, args)
     else:
         print(f"FAIL: unknown benchmark suite {suite!r}", file=sys.stderr)
         return 1

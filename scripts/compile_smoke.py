@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""CI smoke: compile every registry model in all three modes, diff vs eager.
+
+The unified frontend (``repro.compile``) must route every registry model
+through the shared graph IR and produce outputs that match the eager
+reference on each engine:
+
+* ``infer``  — fused float program vs the eager forward (round-off tolerance);
+* ``int8``   — true-integer engine vs the fake-quant oracle (dequantization
+  tolerance derived from the classifier's grid, like the test-suite's bound);
+* ``train``  — one fused forward+backward step vs the eager autograd tape on
+  an identical model copy (loss, logits and every gradient **bit-identical**).
+
+Run with::
+
+    PYTHONPATH=src python scripts/compile_smoke.py
+    PYTHONPATH=src python scripts/compile_smoke.py --models mobilenetv2-tiny mcunet
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+import repro
+from repro import nn
+from repro.compress import calibrate, quantize_model
+from repro.compress.quantization import QuantizedLinear
+from repro.models import available_models, create_model
+from repro.utils import seed_everything
+
+
+def _randomize_bn_stats(model: nn.Module, rng) -> None:
+    for _, module in model.named_modules():
+        if isinstance(module, nn.BatchNorm2d):
+            module.running_mean[...] = rng.normal(0.0, 0.2, size=module.num_features)
+            module.running_var[...] = rng.uniform(0.5, 1.5, size=module.num_features)
+
+
+def _dequant_tolerance(model: nn.Module, drift_steps: float = 3.0) -> float:
+    """Worst-case logit drift from a few integer steps at the classifier."""
+    classifier = next(m for _, m in model.named_modules() if isinstance(m, QuantizedLinear))
+    in_scale, _ = classifier.input_qparams()
+    w_q = np.abs(classifier.weight_q.astype(np.float64))
+    w_scale = np.atleast_1d(np.asarray(classifier.weight_scale, dtype=np.float64))
+    row_l1 = (w_q.sum(axis=1) * (w_scale if w_scale.size > 1 else w_scale[0])).max()
+    return drift_steps * in_scale * row_l1
+
+
+def check_infer(name: str, res: int, rng) -> str:
+    model = create_model(name, num_classes=8)
+    _randomize_bn_stats(model, rng)
+    model.eval()
+    x = rng.normal(size=(2, 3, res, res)).astype(np.float32)
+    with nn.no_grad():
+        eager = model(nn.Tensor(x)).numpy()
+    out = repro.compile(model, mode="infer").numpy_forward(x)
+    delta = float(np.abs(out - eager).max())
+    if not np.allclose(out, eager, rtol=1e-3, atol=1e-3):
+        raise AssertionError(f"{name}/infer drifted from eager: max|delta|={delta:.3g}")
+    return f"max|delta|={delta:.2e}"
+
+
+def check_int8(name: str, res: int, rng) -> str:
+    model = create_model(name, num_classes=8)
+    _randomize_bn_stats(model, rng)
+    model.eval()
+    quantize_model(model)
+    batches = [rng.normal(0.2, 0.8, size=(8, 3, res, res)).astype(np.float32) for _ in range(2)]
+    calibrate(model, batches)
+    x = rng.normal(0.2, 0.8, size=(2, 3, res, res)).astype(np.float32)
+    with nn.no_grad():
+        oracle = model(nn.Tensor(x)).numpy()
+    engine = repro.compile(model, mode="int8", dw_kernel="einsum")
+    out = engine.numpy_forward(x)
+    delta = float(np.abs(out - oracle).max())
+    tolerance = _dequant_tolerance(model)
+    if delta > tolerance:
+        raise AssertionError(f"{name}/int8 outside dequant tolerance: {delta:.3g} > {tolerance:.3g}")
+    if "eager" in engine.ops:
+        raise AssertionError(f"{name}/int8 silently fell back to eager ops")
+    return f"max|delta|={delta:.2e} (tol {tolerance:.2e})"
+
+
+def check_train(name: str, res: int, seed: int) -> str:
+    def one_step(compiled: bool):
+        seed_everything(seed)
+        model = create_model(name, num_classes=8)
+        model.train()
+        rng = np.random.default_rng(seed + 1)
+        x = rng.normal(size=(4, 3, res, res)).astype(np.float32)
+        y = rng.integers(0, 8, size=4)
+        if compiled:
+            step = repro.compile(model, mode="train")
+            loss, logits = step(x, y)
+        else:
+            from repro.train.trainer import StandardLoss
+
+            loss_t, logits_t = StandardLoss()(model, nn.Tensor(x), y)
+            loss_t.backward()
+            loss, logits = loss_t.item(), logits_t.numpy()
+        grads = [None if p.grad is None else p.grad.copy() for p in model.parameters()]
+        return loss, logits, grads
+
+    loss_c, logits_c, grads_c = one_step(True)
+    loss_e, logits_e, grads_e = one_step(False)
+    if loss_c != loss_e or not np.array_equal(logits_c, logits_e):
+        raise AssertionError(f"{name}/train loss/logits not bit-identical to eager")
+    for gc, ge in zip(grads_c, grads_e):
+        same = (gc is None and ge is None) or (gc is not None and ge is not None and np.array_equal(gc, ge))
+        if not same:
+            raise AssertionError(f"{name}/train gradients not bit-identical to eager")
+    return f"loss={loss_c:.6f} bit-identical"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", nargs="*", default=None, help="registry models (default: all)")
+    parser.add_argument("--resolution", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    models = args.models if args.models else available_models()
+    failures = []
+    for name in models:
+        for mode, check in (("infer", check_infer), ("int8", check_int8)):
+            rng = np.random.default_rng(args.seed)
+            try:
+                detail = check(name, args.resolution, rng)
+                print(f"ok   {name:<18s} {mode:<6s} {detail}")
+            except Exception as error:  # noqa: BLE001 - report and keep going
+                failures.append(f"{name}/{mode}: {error}")
+                print(f"FAIL {name:<18s} {mode:<6s} {error}")
+        try:
+            detail = check_train(name, args.resolution, args.seed)
+            print(f"ok   {name:<18s} train  {detail}")
+        except Exception as error:  # noqa: BLE001
+            failures.append(f"{name}/train: {error}")
+            print(f"FAIL {name:<18s} train  {error}")
+    if failures:
+        print(f"\n{len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print(f"\ncompile smoke passed: {len(models)} models x 3 modes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,3 +1,34 @@
-"""NetBooster (DAC 2023) reproduction on a pure-NumPy deep learning substrate."""
+"""NetBooster (DAC 2023) reproduction on a pure-NumPy deep learning substrate.
+
+The package-level compilation frontend is the one entry point into every
+compiled runtime engine::
+
+    import repro
+
+    net  = repro.compile(model)                  # fused float inference
+    qnet = repro.compile(model, mode="int8")     # true-integer engine
+    step = repro.compile(model, mode="train", loss=loss, optimizer=opt)
+
+See :mod:`repro.runtime` for the graph IR, the pass pipelines and the
+executors' uniform ``numpy_forward`` / ``memory_plan`` / ``describe`` surface.
+"""
 
 __version__ = "0.1.0"
+
+__all__ = ["compile", "CompileOptions", "CompileError", "__version__"]
+
+_FRONTEND_EXPORTS = {
+    "compile": "compile_model",
+    "CompileOptions": "CompileOptions",
+    "CompileError": "CompileError",
+}
+
+
+def __getattr__(name: str):
+    # Lazy so that `import repro` stays light: the runtime (and NumPy-heavy
+    # substrate) only loads when the compilation frontend is first touched.
+    if name in _FRONTEND_EXPORTS:
+        from .runtime import frontend
+
+        return getattr(frontend, _FRONTEND_EXPORTS[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

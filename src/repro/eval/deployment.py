@@ -143,6 +143,13 @@ class DeploymentReport:
     ``host_latency_ms`` is optionally filled with the measured latency of the
     fused :mod:`repro.runtime` program on the development host — a sanity
     anchor next to the analytic device roofline estimate.
+
+    ``planned_peak_int8_bytes`` is the compiled runtime's arena-planner peak
+    working set (liveness-packed buffers at one logical byte per activation):
+    the *executable* plan of the int8 engine for calibrated quantized models,
+    or the float program's planning-pass accounting otherwise —
+    ``planner_backend`` records which.  It sits next to the analytic
+    ``peak_sram_bytes`` approximation (``max(layer input + output)``).
     """
 
     device: DeviceProfile
@@ -152,6 +159,8 @@ class DeploymentReport:
     mflops: float
     host_latency_ms: float | None = None
     host_latency_backend: str | None = None
+    planned_peak_int8_bytes: int | None = None
+    planner_backend: str | None = None
 
     @property
     def fits_flash(self) -> bool:
@@ -175,10 +184,46 @@ class DeploymentReport:
             f"estimated latency : {self.latency_ms:8.1f} ms",
             f"compute           : {self.mflops:8.1f} MFLOPs",
         ]
+        if self.planned_peak_int8_bytes is not None:
+            backend = self.planner_backend or "unknown backend"
+            lines.insert(
+                3,
+                f"planned peak SRAM : {self.planned_peak_int8_bytes / 1024:8.1f} kB ({backend} arena plan)",
+            )
         if self.host_latency_ms is not None:
             backend = self.host_latency_backend or "unknown backend"
             lines.append(f"host latency      : {self.host_latency_ms:8.2f} ms ({backend})")
         return "\n".join(lines)
+
+
+def _planned_peak_bytes(
+    model: nn.Module, input_shape: tuple[int, int, int]
+) -> tuple[int | None, str | None]:
+    """Arena-planner peak working set of the compiled runtime, in int8 bytes.
+
+    Uses the int8 engine's executable plan when the model is quantized and
+    calibrated, the float program's planning-pass accounting otherwise;
+    ``(None, None)`` when the model cannot be compiled at all.
+    """
+    import repro
+    from ..compress.quantization import _QuantizedWrapper
+
+    shape = (1,) + tuple(input_shape)
+    wrappers = [m for _, m in model.named_modules() if isinstance(m, _QuantizedWrapper)]
+    calibrated = bool(wrappers) and all(
+        not m.observing and m.input_qparams() is not None for m in wrappers
+    )
+    if calibrated:
+        try:
+            plan = repro.compile(model, mode="int8", dw_kernel="einsum").memory_plan(shape)
+            return plan.peak_value_int8_bytes, "int8"
+        except repro.CompileError:
+            pass  # not integer-lowerable after all: fall back to float accounting
+    try:
+        plan = repro.compile(model, mode="infer").memory_plan(shape)
+        return plan.peak_value_int8_bytes, "float"
+    except Exception:
+        return None, None
 
 
 def deployment_report(
@@ -189,6 +234,7 @@ def deployment_report(
     activation_bytes: int = 1,
     measure_host_latency: bool = False,
     latency_repeats: int = 5,
+    plan_memory: bool = True,
 ) -> DeploymentReport:
     """Build a :class:`DeploymentReport` for ``model`` on ``device``.
 
@@ -197,6 +243,12 @@ def deployment_report(
     fused :mod:`repro.runtime` inference engine on this machine;
     ``latency_repeats`` controls how many timed runs back that number (raise
     it when the p95/p99 tail matters more than wall-clock budget).
+
+    ``plan_memory=True`` (the default) also compiles the model through
+    :func:`repro.compile` and reports the arena planner's liveness-packed
+    peak working set next to the analytic ``max(input + output)``
+    approximation — the int8 engine's executable plan for calibrated
+    quantized models, the float program's planning pass otherwise.
     """
     if latency_repeats < 1:
         raise ValueError("latency_repeats must be at least 1")
@@ -209,6 +261,9 @@ def deployment_report(
         stats = measure_latency(model, input_shape, repeats=latency_repeats, compiled=True)
         host_latency_ms = stats["median_ms"]
         host_latency_backend = "compiled runtime" if stats.get("compiled") else "eager forward"
+    planned_peak, planner_backend = (
+        _planned_peak_bytes(model, input_shape) if plan_memory else (None, None)
+    )
     return DeploymentReport(
         device=device,
         flash_bytes=weight_memory(model, weight_bytes),
@@ -217,6 +272,8 @@ def deployment_report(
         mflops=complexity.mflops,
         host_latency_ms=host_latency_ms,
         host_latency_backend=host_latency_backend,
+        planned_peak_int8_bytes=planned_peak,
+        planner_backend=planner_backend,
     )
 
 
@@ -226,4 +283,4 @@ def fits_device(
     device: DeviceProfile = STM32F746,
 ) -> bool:
     """True when the model's weights and activations fit the device."""
-    return deployment_report(model, input_shape, device).fits
+    return deployment_report(model, input_shape, device, plan_memory=False).fits

@@ -123,9 +123,9 @@ def measure_latency(
     used_compiled = False
     if compiled:
         try:
-            from ..runtime import compile_net
+            from ..runtime import compile_model
 
-            net = compile_net(model)
+            net = compile_model(model, mode="infer")
             forward = lambda: net.numpy_forward(probe_data)  # noqa: E731
             used_compiled = True
         except Exception:

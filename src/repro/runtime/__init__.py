@@ -1,70 +1,101 @@
-"""Fused inference and training runtime.
+"""Compiled runtimes: one graph IR, declared passes, three lowering backends.
 
-Turn a trained eager :class:`~repro.nn.module.Module` into a
-:class:`CompiledNet` executing fused NumPy kernels::
+Every engine starts from the same traced :class:`~repro.runtime.ir.Graph`
+(one shared tracer in :mod:`repro.runtime.ir`) transformed by declared
+compiler passes (:mod:`repro.runtime.passes`); the single frontend —
+exported at the top level as :func:`repro.compile` — picks the backend::
 
-    from repro.runtime import compile
+    import repro
 
-    net = compile(model)          # folds BN, fuses conv+bias+act
-    logits = net(images)          # Tensor in, detached Tensor out
-    raw = net.numpy_forward(arr)  # ndarray in, ndarray out
+    net = repro.compile(model)             # fused float inference (CompiledNet)
+    logits = net(images)                   # Tensor in, detached Tensor out
+    raw = net.numpy_forward(arr)           # ndarray in, ndarray out
+    print(net.describe())                  # trace -> passes -> backend report
+    print(net.memory_plan((1, 3, 32, 32)).summary())
 
-``compile`` snapshots the weights — recompile after further training.  The
-:func:`~repro.train.trainer.evaluate` helper and the latency tooling in
-:mod:`repro.eval` use this path by default.
-
-A model quantized and calibrated with :mod:`repro.compress` can instead be
-lowered to the **true-integer engine** — int8 weights, activations on their
-calibrated integer grids end to end, and a statically planned buffer arena::
-
-    from repro.runtime import compile_quantized
+A model quantized and calibrated with :mod:`repro.compress` lowers to the
+**true-integer engine** — int8 weights, activations on their calibrated
+integer grids end to end, and a statically planned buffer arena::
 
     quantize_model(model)
     calibrate(model, batches)
-    net = compile_quantized(model)        # int8 kernels + memory planner
-    logits = net.numpy_forward(images)    # matches fake-quant within dequant tol
+    qnet = repro.compile(model, mode="int8")
+    logits = qnet.numpy_forward(images)    # matches fake-quant within dequant tol
 
-See :mod:`repro.runtime.quantized` for the integer dataflow and
-:mod:`repro.runtime.planner` for the arena planner; ``repro.serve`` builds a
-dynamic-batching model server on top of either engine.
-
-For training, :func:`compile_training_step` lowers model + loss into a fused
+For training, ``mode="train"`` lowers model + loss into a fused
 forward+backward :class:`TrainStep` that skips per-step tape construction and
 writes gradients straight into the optimiser's flat buffer::
 
-    from repro.runtime import compile_training_step
-
-    step = compile_training_step(model, loss_computer, optimizer)
-    loss, logits = step(images, labels)   # grads are now in param.grad
+    step = repro.compile(model, mode="train", loss=loss_computer, optimizer=optimizer)
+    loss, logits = step(images, labels)    # grads are now in param.grad
     optimizer.step()
 
 :class:`~repro.train.trainer.Trainer` routes ``train_step`` through this path
 automatically and falls back to the eager tape when a model or loss cannot be
-lowered.
+lowered; ``repro.serve`` resolves its ``--engine {float,int8}`` backends
+through the :func:`resolve_engine` registry here.
+
+``compile`` snapshots weights for the inference modes — recompile after
+further training.  The legacy entry points ``compile_net`` /
+``compile_quantized`` / ``compile_training_step`` remain importable as thin
+deprecated wrappers over the frontend (each warns once); the old
+builtin-shadowing ``repro.runtime.compile`` alias is gone — use
+``repro.compile`` or :func:`compile_model`.
 """
 
-from .compiler import CompiledNet, QuantConvOp, QuantLinearOp, activation_spec, compile_net, fold_conv_bn
+from .compiler import (
+    CompiledNet,
+    QuantConvOp,
+    QuantLinearOp,
+    activation_spec,
+    compile_net,
+    fold_conv_bn,
+)
+from .frontend import (
+    CompileOptions,
+    EngineSpec,
+    available_engines,
+    compile_model,
+    register_engine,
+    resolve_engine,
+)
+from .ir import CompileError, Graph, OpNode, trace
+from .passes import PassManager, PassOrderError
 from .planner import ArenaPlanner, MemoryPlan
 from .quantized import QuantCompileError, QuantizedNet, compile_quantized
 from .training import TrainStep, compile_training_step
 from . import kernels
 
-# torch.compile-style alias; shadows the builtin only inside this namespace.
-compile = compile_net
-
 __all__ = [
-    "compile",
-    "compile_net",
+    # the unified frontend (exported at the top level as repro.compile)
+    "compile_model",
+    "CompileOptions",
+    "CompileError",
+    # shared IR + passes
+    "Graph",
+    "OpNode",
+    "trace",
+    "PassManager",
+    "PassOrderError",
+    # engine registry (repro.serve --engine resolves through it)
+    "EngineSpec",
+    "register_engine",
+    "resolve_engine",
+    "available_engines",
+    # executors
     "CompiledNet",
-    "compile_quantized",
     "QuantizedNet",
+    "TrainStep",
+    # deprecated legacy entry points (thin wrappers over repro.compile)
+    "compile_net",
+    "compile_quantized",
+    "compile_training_step",
+    # backend building blocks
     "QuantCompileError",
     "QuantConvOp",
     "QuantLinearOp",
     "ArenaPlanner",
     "MemoryPlan",
-    "compile_training_step",
-    "TrainStep",
     "fold_conv_bn",
     "activation_spec",
     "kernels",

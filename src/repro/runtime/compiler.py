@@ -1,14 +1,14 @@
-"""Compile trained modules into fused inference programs.
+"""Float inference backend: fused NumPy programs from the shared graph IR.
 
-:func:`compile_net` walks an eager :class:`~repro.nn.module.Module` tree and
-lowers it to a flat chain of op nodes over raw NumPy arrays:
+This module is the ``mode="infer"`` lowering target of :func:`repro.compile`.
+The frontend traces the model once (:func:`repro.runtime.ir.trace`) and runs
+the inference pass pipeline (dropout elimination, BN folding, conv+bias+act
+fusion, layout assignment); :func:`build_inference_program` then turns the
+annotated graph into a flat chain of op nodes over raw NumPy arrays:
 
 * eval-mode **BatchNorm is folded** into the preceding convolution / linear
   weights (``w' = w * gamma / sqrt(var + eps)``), disappearing entirely;
 * **conv + bias + activation** become a single fused kernel call;
-* known composite blocks (``ConvBNAct``, ``InvertedResidual``, ``BasicBlock``,
-  ``Bottleneck``) and classifier heads (``MobileNetV2``, ``MCUNet``) lower
-  structurally;
 * calibrated :class:`~repro.compress.QuantizedConv2d` /
   :class:`~repro.compress.QuantizedLinear` wrappers lower to **real integer
   ops** (:class:`QuantConvOp` / :class:`QuantLinearOp`) executing from the
@@ -18,12 +18,13 @@ lowers it to a flat chain of op nodes over raw NumPy arrays:
 * anything unrecognised falls back to the eager module under ``no_grad`` — a
   compiled net is therefore always *correct*, merely less fused.
 
-For a whole-network integer pipeline with a static memory plan, use
-:func:`repro.runtime.compile_quantized` instead — the per-op routing here
-keeps mixed float/quantized models compilable with the same entry point.
+For a whole-network integer pipeline with a static memory plan, compile with
+``mode="int8"`` instead — the per-op routing here keeps mixed float/quantized
+models compilable with the same entry point.
 
-Compilation snapshots the weights: after further training, call
-:func:`compile_net` again to pick up the new parameters.
+Compilation snapshots the weights: after further training, compile again to
+pick up the new parameters.  The legacy :func:`compile_net` entry point
+remains as a deprecated wrapper over :func:`repro.compile`.
 """
 
 from __future__ import annotations
@@ -34,38 +35,27 @@ import numpy as np
 
 from .. import nn
 from ..compress.quantization import QuantizedConv2d, QuantizedLinear
-from ..models.blocks import BasicBlock, Bottleneck, ConvBNAct, InvertedResidual
-from ..models.mcunet import MCUNet
-from ..models.mobilenetv2 import MobileNetV2
-from ..nn.norm import FrozenBatchNorm2d
 from . import kernels
+from .ir import Graph, OpNode, UnsupportedModule, activation_spec, bn_scale_shift
 
 __all__ = [
     "CompiledNet",
     "compile_net",
+    "build_inference_program",
     "fold_conv_bn",
     "activation_spec",
     "QuantConvOp",
     "QuantLinearOp",
 ]
 
-
-class _Unsupported(Exception):
-    """Raised by lowering helpers when a module has no fused equivalent."""
+# Backwards-compatible aliases for the pre-IR private helpers.
+_Unsupported = UnsupportedModule
+_bn_scale_shift = bn_scale_shift
 
 
 # --------------------------------------------------------------------------- #
 # folding helpers
 # --------------------------------------------------------------------------- #
-def _bn_scale_shift(bn) -> tuple[np.ndarray, np.ndarray]:
-    """Eval-mode scale/shift of a (frozen) batch-norm layer."""
-    if isinstance(bn, FrozenBatchNorm2d):
-        return bn.scale_and_shift()
-    scale = bn.weight.data / np.sqrt(bn.running_var + bn.eps)
-    shift = bn.bias.data - bn.running_mean * scale
-    return scale.astype(np.float32), shift.astype(np.float32)
-
-
 def fold_conv_bn(
     weight: np.ndarray,
     bias: np.ndarray | None,
@@ -93,61 +83,6 @@ def fold_conv_bn(
     folded_w = weight * scale.reshape((-1,) + (1,) * (weight.ndim - 1))
     folded_b = shift if bias is None else bias * scale + shift
     return folded_w.astype(weight.dtype), np.asarray(folded_b, dtype=weight.dtype)
-
-
-def activation_spec(module: nn.Module) -> tuple | None:
-    """Lower an activation module to a kernel spec tuple.
-
-    Parameters
-    ----------
-    module:
-        An eager activation module (``ReLU``, ``ReLU6``, ``LeakyReLU``,
-        ``Identity``, or a decayable PLT activation).
-
-    Returns
-    -------
-    tuple or None
-        A ``(kind, *params)`` spec consumed by
-        :func:`repro.runtime.kernels.apply_activation`, or ``None`` when the
-        activation is (or has decayed to) the identity.
-
-    Raises
-    ------
-    _Unsupported
-        If the module is not a recognised activation (the caller then falls
-        back to eager execution).
-    """
-    if isinstance(module, nn.Identity):
-        return None
-    if isinstance(module, nn.DecayableReLU6):  # before DecayableReLU (subclass)
-        if module.alpha >= 1.0:
-            return None
-        if module.alpha <= 0.0:
-            return ("relu6",)
-        return ("relu6_interp", module.alpha)
-    if isinstance(module, nn.DecayableReLU):
-        if module.alpha >= 1.0:
-            return None
-        if module.alpha <= 0.0:
-            return ("relu",)
-        return ("leaky", module.alpha)
-    if isinstance(module, nn.ReLU):
-        return ("relu",)
-    if isinstance(module, nn.ReLU6):
-        return ("relu6",)
-    if isinstance(module, nn.LeakyReLU):
-        return ("leaky", module.slope)
-    if isinstance(module, nn.Sigmoid):
-        return ("sigmoid",)
-    if isinstance(module, nn.Tanh):
-        return ("tanh",)
-    if isinstance(module, nn.Swish):
-        return ("swish",)
-    if isinstance(module, nn.HardSigmoid):
-        return ("hardsigmoid",)
-    if isinstance(module, nn.HardSwish):
-        return ("hardswish",)
-    raise _Unsupported(type(module).__name__)
 
 
 # --------------------------------------------------------------------------- #
@@ -193,14 +128,14 @@ class _QuantOpBase:
     Executes from the wrapper's stored ``weight_q`` int8 array; the fused
     requantization constants (``multiplier = in_scale * weight_scale`` and the
     float bias) absorb any following BatchNorm via :meth:`fold_affine`, so the
-    peephole fusion pass treats these exactly like :class:`ConvOp`.
+    BN-folding pass treats these exactly like :class:`ConvOp`.
     """
 
     def __init__(self, wrapper):
         layer = wrapper.wrapped
         qparams = wrapper.input_qparams()
         if wrapper.observing or qparams is None:
-            raise _Unsupported("uncalibrated quantized wrapper")
+            raise UnsupportedModule("uncalibrated quantized wrapper")
         self.in_scale, self.in_zp = qparams
         self.bits = wrapper.spec.bits
         self.weight_q = wrapper.weight_q
@@ -352,87 +287,54 @@ class EagerOp:
 
 
 # --------------------------------------------------------------------------- #
-# lowering
+# graph -> ops
 # --------------------------------------------------------------------------- #
-def _fuse(ops: list) -> list:
-    """Peephole pass: fold affines into conv/linear, attach activations."""
-    foldable = (ConvOp, LinearOp, _QuantOpBase)
-    fused: list = []
-    for op in ops:
-        prev = fused[-1] if fused else None
-        if isinstance(op, AffineOp) and isinstance(prev, foldable) and prev.activation is None:
-            prev.fold_affine(op.scale, op.shift)
-        elif isinstance(op, ActivationOp) and isinstance(prev, foldable + (AffineOp,)) and prev.activation is None:
-            prev.activation = op.act
-        else:
-            fused.append(op)
-    return fused
-
-
-def _lower_sequence(modules: list[nn.Module]) -> ChainOp:
-    ops: list = []
-    for module in modules:
-        op = _lower(module)
-        if op is None:
-            continue
-        if isinstance(op, ChainOp):
-            ops.extend(op.ops)
-        else:
-            ops.append(op)
-    return ChainOp(_fuse(ops))
-
-
-def _lower(module: nn.Module):
-    """Lower one module to an op node (``None`` elides identity ops)."""
-    if isinstance(module, (nn.Identity, nn.Dropout)):
-        return None  # dropout is the identity at inference time
-    if isinstance(module, (QuantizedConv2d, QuantizedLinear)):
+def _op_from_node(node: OpNode):
+    """Build the executable op for one annotated graph node."""
+    kind = node.kind
+    if kind in ("qconv", "qlinear"):
         # Calibrated wrappers route through real integer ops; a wrapper still
         # observing activation ranges must keep running eagerly so calibration
-        # continues to record extrema.
+        # continues to record extrema (the passes left it unannotated).
         try:
-            op_cls = QuantConvOp if isinstance(module, QuantizedConv2d) else QuantLinearOp
-            return op_cls(module)
-        except _Unsupported:
-            return EagerOp(module)
-    if isinstance(module, nn.Conv2d):
-        return ConvOp(module)
-    if isinstance(module, nn.Linear):
-        return LinearOp(module)
-    if isinstance(module, (nn.BatchNorm2d, FrozenBatchNorm2d)):
-        return AffineOp(*_bn_scale_shift(module))
-    if isinstance(module, nn.MaxPool2d):
-        return MaxPoolOp(module)
-    if isinstance(module, nn.AvgPool2d):
-        return AvgPoolOp(module)
-    if isinstance(module, nn.GlobalAvgPool2d):
+            op = (QuantConvOp if kind == "qconv" else QuantLinearOp)(node.module)
+        except UnsupportedModule:
+            return EagerOp(node.module)
+    elif kind == "conv":
+        op = ConvOp(node.module)
+    elif kind == "linear":
+        op = LinearOp(node.module)
+    elif kind == "bn":
+        op = AffineOp(*bn_scale_shift(node.module))
+    elif kind == "act":
+        return ActivationOp(node.meta["spec"])
+    elif kind == "pool":
+        return MaxPoolOp(node.module) if node.attrs["op"] == "max" else AvgPoolOp(node.module)
+    elif kind == "gap":
         return GlobalAvgPoolOp()
-    if isinstance(module, nn.Flatten):
+    elif kind == "flatten":
         return FlattenOp()
-    if isinstance(module, nn.Sequential):
-        return _lower_sequence(list(module._modules.values()))
-    if isinstance(module, ConvBNAct):
-        return _lower_sequence([module.conv, module.bn, module.act])
-    if isinstance(module, InvertedResidual):
-        body = _lower_sequence([module.expand, module.depthwise, module.project])
-        return ResidualOp(body) if module.use_residual else body
-    if isinstance(module, BasicBlock):
-        body = _lower_sequence([module.conv1, module.conv2])
-        return ResidualOp(body) if module.use_residual else body
-    if isinstance(module, Bottleneck):
-        body = _lower_sequence([module.reduce, module.spatial, module.expand])
-        return ResidualOp(body) if module.use_residual else body
-    if isinstance(module, MobileNetV2):
-        return _lower_sequence(
-            [module.features, module.pool, module.flatten, module.dropout, module.classifier]
-        )
-    if isinstance(module, MCUNet):
-        return _lower_sequence([module.features, module.pool, module.flatten, module.classifier])
-    try:
-        spec = activation_spec(module)
-    except _Unsupported:
-        return EagerOp(module)
-    return ActivationOp(spec) if spec is not None else None
+    elif kind == "residual":
+        return ResidualOp(ChainOp(_ops_from_graph(node.body)))
+    else:
+        return EagerOp(node.module)
+    for scale, shift in node.meta.get("bn_folds", ()):
+        op.fold_affine(scale, shift)
+    act = node.meta.get("act")
+    if act is not None:
+        op.activation = act
+    return op
+
+
+def _ops_from_graph(graph: Graph) -> list:
+    return [_op_from_node(node) for node in graph.nodes]
+
+
+def build_inference_program(graph: Graph) -> "CompiledNet":
+    """Lower an annotated graph to a :class:`CompiledNet` (frontend backend hook)."""
+    ops = _ops_from_graph(graph)
+    program = ops[0] if len(ops) == 1 else ChainOp(ops)
+    return CompiledNet(program, graph.source, graph=graph)
 
 
 # --------------------------------------------------------------------------- #
@@ -450,11 +352,20 @@ class CompiledNet:
     source:
         The eager module this program was compiled from (weights are
         snapshotted — mutating ``source`` does not affect the program).
+    graph:
+        The annotated :class:`~repro.runtime.ir.Graph` the program was built
+        from (``None`` when constructed from a raw program).
     """
 
-    def __init__(self, program: Callable[[np.ndarray], np.ndarray], source: nn.Module):
+    def __init__(
+        self,
+        program: Callable[[np.ndarray], np.ndarray],
+        source: nn.Module,
+        graph: Graph | None = None,
+    ):
         self._program = program
         self.source = source
+        self.graph = graph
 
     def numpy_forward(self, x: np.ndarray) -> np.ndarray:
         """Run the fused program on a raw batch.
@@ -476,29 +387,45 @@ class CompiledNet:
         data = x.data if isinstance(x, nn.Tensor) else np.asarray(x, dtype=np.float32)
         return nn.Tensor(self.numpy_forward(data))
 
+    def memory_plan(self, input_shape: tuple[int, ...]):
+        """Arena-planner accounting for an ``(N, C, H, W)`` input shape.
+
+        Runs the shared shape-inference + arena-planning passes over the
+        compiled graph and returns the
+        :class:`~repro.runtime.planner.MemoryPlan` an arena-backed execution
+        of this program would need — the float twin of
+        :meth:`~repro.runtime.QuantizedNet.memory_plan`, with the same
+        one-logical-byte-per-activation accounting.
+        """
+        if self.graph is None:
+            raise RuntimeError("this CompiledNet was built without a graph; no plan available")
+        from .passes import plan_graph_memory
+
+        return plan_graph_memory(self.graph, tuple(input_shape))
+
+    def describe(self) -> str:
+        """Printable lowering report (passes applied + annotated node table)."""
+        from .frontend import describe_graph
+
+        return describe_graph(self.graph, self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledNet(source={type(self.source).__name__})"
 
 
 def compile_net(model: nn.Module) -> CompiledNet:
-    """Compile ``model`` into a :class:`CompiledNet` for fused inference.
+    """Deprecated alias of ``repro.compile(model, mode="infer")``.
 
     BatchNorm layers are folded using their *current* running statistics and
     weights — recompile after any further training.  Unrecognised submodules
     run eagerly, so compilation never changes semantics beyond eval-mode
     float reassociation (differences are at round-off level).
 
-    Parameters
-    ----------
-    model:
-        A trained eager :class:`~repro.nn.module.Module` tree.
-
-    Returns
-    -------
-    CompiledNet
-        A flat chain of fused kernels over raw arrays.
+    .. deprecated::
+        Use :func:`repro.compile` — this wrapper emits a
+        :class:`DeprecationWarning` (once) and forwards to it.
     """
-    op = _lower(model)
-    if op is None:
-        op = ChainOp([])
-    return CompiledNet(op, model)
+    from .frontend import compile_model, warn_legacy_once
+
+    warn_legacy_once("compile_net", "repro.compile(model, mode='infer')")
+    return compile_model(model, mode="infer")

@@ -1,0 +1,258 @@
+"""One compilation frontend over every runtime engine.
+
+:func:`compile_model` — exported as :func:`repro.compile` — is the single
+entry point into the compiled runtimes.  It traces the model once
+(:func:`repro.runtime.ir.trace`), schedules the mode's declared pass pipeline
+(:mod:`repro.runtime.passes`) and hands the annotated graph to the matching
+backend::
+
+    import repro
+
+    net  = repro.compile(model)                       # fused float inference
+    qnet = repro.compile(model, mode="int8")          # true-integer engine
+    step = repro.compile(model, mode="train",         # fused fwd+bwd step
+                         loss=loss_computer, optimizer=optimizer)
+
+Every executor shares a uniform surface: ``__call__`` (Tensor in / detached
+Tensor out), ``numpy_forward`` (ndarray in / out; training steps take
+``(images, labels)``), ``memory_plan(input_shape)`` (the arena planner's
+:class:`~repro.runtime.planner.MemoryPlan`) and ``describe()`` (a printable
+lowering report).
+
+The serving layer resolves engines by *name* through the registry here
+(``repro.serve --engine {float,int8}``); :func:`register_engine` lets
+downstream code add aliases without touching the serving CLI.
+
+The legacy entry points — ``compile_net``, ``compile_quantized``,
+``compile_training_step`` — remain importable as thin deprecated wrappers
+over this frontend.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+from .. import nn
+from .ir import CompileError, Graph, UnsupportedModule, trace
+from .passes import PassManager, inference_pipeline, int8_pipeline, training_pipeline
+
+__all__ = [
+    "CompileOptions",
+    "CompileError",
+    "compile_model",
+    "EngineSpec",
+    "register_engine",
+    "resolve_engine",
+    "available_engines",
+]
+
+MODES = ("infer", "int8", "train")
+
+_MODE_ALIASES = {
+    "infer": "infer",
+    "inference": "infer",
+    "float": "infer",
+    "int8": "int8",
+    "quantized": "int8",
+    "train": "train",
+    "training": "train",
+}
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Tunable knobs of :func:`repro.compile`, shared across modes.
+
+    Parameters
+    ----------
+    dw_kernel:
+        Depthwise kernel strategy of the int8 engine (``"auto"`` times the
+        candidates at plan time; see
+        :func:`~repro.runtime.quantized.compile_quantized`).  Ignored by the
+        other modes.
+    """
+
+    dw_kernel: str = "auto"
+
+
+# --------------------------------------------------------------------------- #
+# mode builders
+# --------------------------------------------------------------------------- #
+def _build_infer(model: nn.Module, loss, optimizer, options: CompileOptions):
+    from .compiler import build_inference_program
+
+    graph = trace(model)
+    graph.meta["mode"] = "infer"
+    PassManager(inference_pipeline()).run(graph)
+    return build_inference_program(graph)
+
+
+def _build_int8(model: nn.Module, loss, optimizer, options: CompileOptions):
+    from ..compress.quantization import _QuantizedWrapper
+    from .ir import QuantCompileError
+    from .quantized import build_quantized_program
+
+    wrappers = [m for _, m in model.named_modules() if isinstance(m, _QuantizedWrapper)]
+    if not wrappers:
+        raise QuantCompileError(
+            "model has no quantized layers; run repro.compress.quantize_model first"
+        )
+    graph = trace(model)
+    graph.meta["mode"] = "int8"
+    PassManager(int8_pipeline()).run(graph)
+    return build_quantized_program(graph, dw_kernel=options.dw_kernel)
+
+
+def _build_train(model: nn.Module, loss, optimizer, options: CompileOptions):
+    from .training import build_training_program
+
+    label_smoothing = 0.0
+    if loss is not None:
+        # Exactly StandardLoss — subclasses may override __call__ arbitrarily.
+        from ..train.trainer import StandardLoss
+
+        if type(loss) is not StandardLoss:
+            raise CompileError(
+                f"loss {type(loss).__name__} cannot be lowered to the fused training step"
+            )
+        label_smoothing = loss.label_smoothing
+    graph = trace(model)
+    graph.meta["mode"] = "train"
+    PassManager(training_pipeline(label_smoothing)).run(graph)
+    try:
+        return build_training_program(graph)
+    except UnsupportedModule as error:
+        raise CompileError(f"model cannot be lowered to the fused training step: {error}") from error
+
+
+_MODE_BUILDERS = {"infer": _build_infer, "int8": _build_int8, "train": _build_train}
+
+
+def compile_model(
+    model: nn.Module,
+    mode: str = "infer",
+    *,
+    loss=None,
+    optimizer=None,
+    options: CompileOptions | None = None,
+    **overrides,
+):
+    """Compile ``model`` for one of the runtime engines.
+
+    Parameters
+    ----------
+    model:
+        The eager :class:`~repro.nn.module.Module` tree to lower.
+    mode:
+        ``"infer"`` (default) for the fused float program
+        (:class:`~repro.runtime.CompiledNet`), ``"int8"`` for the planned
+        true-integer engine (:class:`~repro.runtime.QuantizedNet`; the model
+        must be quantized and calibrated first), or ``"train"`` for the fused
+        forward+backward step (:class:`~repro.runtime.TrainStep`).
+        ``"float"``/``"quantized"``/``"training"`` are accepted aliases.
+    loss:
+        Training mode only: the loss computer to lower
+        (a :class:`~repro.train.trainer.StandardLoss` or ``None`` for plain
+        cross-entropy).
+    optimizer:
+        Training mode only; accepted for future lowering (gradients already
+        flow through ``param.grad``, which a flat optimizer aliases).
+    options:
+        A :class:`CompileOptions`; individual fields may instead be passed as
+        keyword overrides (``dw_kernel=...``).
+
+    Returns
+    -------
+    CompiledNet | QuantizedNet | TrainStep
+        An executor with the uniform ``__call__`` / ``numpy_forward`` /
+        ``memory_plan`` / ``describe`` surface.
+
+    Raises
+    ------
+    CompileError
+        Unknown mode, a training model/loss that cannot be lowered, or — as
+        the :class:`~repro.runtime.QuantCompileError` subclass — an int8
+        request on an unquantized or uncalibrated model.
+    """
+    if options is None:
+        options = CompileOptions(**overrides)
+    elif overrides:
+        raise ValueError("pass either a CompileOptions or keyword overrides, not both")
+    key = _MODE_ALIASES.get(str(mode).lower())
+    if key is None:
+        raise CompileError(f"unknown compile mode {mode!r}; expected one of {MODES}")
+    return _MODE_BUILDERS[key](model, loss, optimizer, options)
+
+
+# --------------------------------------------------------------------------- #
+# engine registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EngineSpec:
+    """A named, servable inference engine resolving to a compile mode."""
+
+    name: str
+    mode: str
+    description: str = ""
+
+    def compile(self, model: nn.Module, **kwargs):
+        """Compile ``model`` for this engine via :func:`compile_model`."""
+        return compile_model(model, mode=self.mode, **kwargs)
+
+
+_ENGINES: dict[str, EngineSpec] = {}
+
+
+def register_engine(name: str, mode: str, description: str = "") -> EngineSpec:
+    """Register (or replace) a named engine resolving to ``mode``."""
+    if _MODE_ALIASES.get(str(mode).lower()) is None:
+        raise CompileError(f"unknown compile mode {mode!r} for engine {name!r}")
+    spec = EngineSpec(name=name, mode=mode, description=description)
+    _ENGINES[name] = spec
+    return spec
+
+
+def resolve_engine(name: str) -> EngineSpec:
+    """Look up a registered engine by name (used by ``repro.serve --engine``)."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {name!r}; available: {available_engines()}"
+        ) from None
+
+
+def available_engines() -> list[str]:
+    """Names accepted by :func:`resolve_engine`."""
+    return sorted(_ENGINES)
+
+
+register_engine("float", "infer", "fused float32 inference (CompiledNet)")
+register_engine("int8", "int8", "planned true-integer engine (QuantizedNet)")
+
+
+# --------------------------------------------------------------------------- #
+# deprecation plumbing for the legacy entry points
+# --------------------------------------------------------------------------- #
+_DEPRECATION_SEEN: set[str] = set()
+
+
+def warn_legacy_once(name: str, replacement: str) -> None:
+    """Emit the deprecation warning for a legacy entry point exactly once."""
+    if name in _DEPRECATION_SEEN:
+        return
+    _DEPRECATION_SEEN.add(name)
+    warnings.warn(
+        f"repro.runtime.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def describe_graph(graph: Graph | None, executor) -> str:
+    """Shared ``describe()`` body: graph report plus the executor banner."""
+    banner = f"{type(executor).__name__} — compiled by repro.compile"
+    if graph is None:
+        return banner + " (no graph attached; compiled from a pre-built program)"
+    return banner + "\n" + graph.describe()

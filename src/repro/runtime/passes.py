@@ -1,0 +1,532 @@
+"""Declared compiler passes over the shared :mod:`repro.runtime.ir` graph.
+
+A :class:`PassManager` runs an ordered list of :class:`Pass` instances over a
+traced :class:`~repro.runtime.ir.Graph` and enforces the pipeline's ordering
+invariants (BN folding before activation fusion, shape inference and layout
+assignment before arena planning).  The mode pipelines —
+:func:`inference_pipeline`, :func:`int8_pipeline`, :func:`training_pipeline` —
+are what the :func:`repro.compile` frontend schedules; backends only consume
+the annotations the passes leave in ``node.meta`` / ``graph.meta``:
+
+=====================  =====================================================
+pass                   annotation
+=====================  =====================================================
+``eliminate_dropout``  removes inference-time identity nodes
+``fold_batchnorm``     ``node.meta["bn_folds"] = [(scale, shift), ...]``
+``fuse_activations``   ``node.meta["act"]`` (fused) / ``node.meta["spec"]``
+``lower_int8``         ``node.meta["grid"]`` (+ calibration validation)
+``fuse_gap_flatten``   merges ``gap`` + ``flatten`` into ``gap_flatten``
+``attach_loss``        appends the training ``loss`` node
+``assign_layout``      ``graph.meta["layout"] = "NCHW" | "CNHW"``
+``infer_shapes``       ``node.meta["out_shape"]`` for a concrete input shape
+``plan_memory``        ``graph.meta["memory_plan"]`` — liveness-packed
+                       :class:`~repro.runtime.planner.MemoryPlan`
+=====================  =====================================================
+
+Arena planning is deliberately a *pass* (not an int8-engine private): the
+float inference program gets the same deployment-style peak-working-set
+accounting through :func:`plan_graph_memory` /
+:meth:`repro.runtime.CompiledNet.memory_plan`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.functional import conv_output_size
+from .ir import (
+    CompileError,
+    Graph,
+    OpNode,
+    QuantCompileError,
+    activation_spec,
+    bn_scale_shift,
+)
+from .planner import ArenaPlanner, MemoryPlan
+
+__all__ = [
+    "Pass",
+    "PassManager",
+    "PassOrderError",
+    "EliminateDropout",
+    "FoldBatchNorm",
+    "FuseActivations",
+    "LowerInt8",
+    "FuseGapFlatten",
+    "AttachLoss",
+    "AssignLayout",
+    "InferShapes",
+    "PlanMemory",
+    "inference_pipeline",
+    "int8_pipeline",
+    "training_pipeline",
+    "plan_graph_memory",
+]
+
+
+class PassOrderError(CompileError):
+    """A pass pipeline violates a declared ordering invariant."""
+
+
+class Pass:
+    """One graph transformation with declared ordering constraints.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier recorded in ``graph.meta["passes"]``.
+    requires:
+        Pass names that must be scheduled *earlier in the same pipeline*.
+    after:
+        Pass names that, *when present* in the pipeline, must come earlier.
+    """
+
+    name: str = "pass"
+    requires: tuple[str, ...] = ()
+    after: tuple[str, ...] = ()
+
+    def run(self, graph: Graph) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class PassManager:
+    """Validates ordering invariants, then runs the passes in sequence.
+
+    Raises
+    ------
+    PassOrderError
+        At *construction* time when a pass's ``requires`` is missing or
+        scheduled late, or an ``after`` constraint is violated — a bad
+        pipeline never runs half-way.
+    """
+
+    def __init__(self, passes: list[Pass]):
+        self.passes = list(passes)
+        names = [p.name for p in self.passes]
+        for index, p in enumerate(self.passes):
+            earlier = set(names[:index])
+            for required in p.requires:
+                if required not in earlier:
+                    raise PassOrderError(
+                        f"pass {p.name!r} requires {required!r} to run earlier in the pipeline"
+                    )
+            for predecessor in p.after:
+                if predecessor in names and predecessor not in earlier:
+                    raise PassOrderError(
+                        f"pass {p.name!r} must run after {predecessor!r}"
+                    )
+
+    def run(self, graph: Graph, record: bool = True) -> Graph:
+        """Run the pipeline; ``record=False`` keeps ``graph.meta["passes"]``
+        untouched (used for the deferred per-shape planning passes, which may
+        run many times on one compiled graph)."""
+        applied = graph.meta.setdefault("passes", []) if record else None
+        for p in self.passes:
+            p.run(graph)
+            if applied is not None:
+                applied.append(p.describe())
+        return graph
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+def _quant_lowerable(module) -> bool:
+    """True when a quantized wrapper is calibrated (lowerable to integer ops)."""
+    return not module.observing and module.input_qparams() is not None
+
+
+def _rewrite(graph: Graph, rewrite_list) -> None:
+    """Apply ``rewrite_list`` to the graph's node list and every residual body."""
+    graph.nodes = rewrite_list(graph.nodes)
+    for node in graph.nodes:
+        if node.body is not None:
+            _rewrite(node.body, rewrite_list)
+
+
+# --------------------------------------------------------------------------- #
+# passes
+# --------------------------------------------------------------------------- #
+class EliminateDropout(Pass):
+    """Remove dropout nodes that are the identity for the compile mode.
+
+    Inference modes drop every dropout node; the training pipeline
+    (``keep_active=True``) keeps stochastically active ones (``rate > 0``),
+    which the training backend runs on the eager tape to preserve the
+    module's own RNG stream.
+    """
+
+    name = "eliminate_dropout"
+
+    def __init__(self, keep_active: bool = False):
+        self.keep_active = keep_active
+
+    def run(self, graph: Graph) -> None:
+        def rewrite(nodes):
+            kept = []
+            for node in nodes:
+                if node.kind == "dropout":
+                    if self.keep_active and node.attrs.get("rate", 0.0) > 0.0:
+                        kept.append(node)
+                    continue
+                kept.append(node)
+            return kept
+
+        _rewrite(graph, rewrite)
+
+
+class FoldBatchNorm(Pass):
+    """Fold eval-mode BN affines into the preceding conv/linear node.
+
+    Records ``(scale, shift)`` pairs in ``node.meta["bn_folds"]`` (applied in
+    order by the backends) and removes the folded ``bn`` node.  Quantized
+    targets must be calibrated — an uncalibrated wrapper falls back to eager
+    execution in the float backend, where folding would corrupt results.
+
+    Parameters
+    ----------
+    targets:
+        Node kinds BN may fold into (the int8 pipeline restricts this to
+        quantized ops; unquantized convs run eagerly there).
+    repeat:
+        Allow several consecutive BNs to fold into one op (float behaviour);
+        the int8 engine folds at most one BN into its requant constants.
+    """
+
+    name = "fold_batchnorm"
+
+    def __init__(
+        self,
+        targets: tuple[str, ...] = ("conv", "linear", "qconv", "qlinear"),
+        repeat: bool = True,
+    ):
+        self.targets = targets
+        self.repeat = repeat
+
+    def _foldable(self, node: OpNode) -> bool:
+        if node.kind not in self.targets:
+            return False
+        if node.kind in ("qconv", "qlinear") and not _quant_lowerable(node.module):
+            return False
+        if node.meta.get("act") is not None:
+            return False
+        return self.repeat or "bn_folds" not in node.meta
+
+    def run(self, graph: Graph) -> None:
+        def rewrite(nodes):
+            kept: list[OpNode] = []
+            for node in nodes:
+                prev = kept[-1] if kept else None
+                if node.kind == "bn" and prev is not None and self._foldable(prev):
+                    prev.meta.setdefault("bn_folds", []).append(bn_scale_shift(node.module))
+                    continue
+                kept.append(node)
+            return kept
+
+        _rewrite(graph, rewrite)
+
+
+class FuseActivations(Pass):
+    """Attach activation specs to the preceding fused op.
+
+    Resolves each ``act`` node to a kernel spec (reading decayable ``alpha``
+    at compile time, like both legacy paths did), elides identity-decayed
+    activations, and fuses the spec into the previous node's ``meta["act"]``
+    when that node can execute it — conv/linear/standalone-BN in float mode;
+    calibrated quantized ops (ReLU/ReLU6 only, which become integer clamps)
+    in int8 mode.  Unfusable activations stay as standalone nodes with
+    ``meta["spec"]`` resolved.
+    """
+
+    name = "fuse_activations"
+    after = ("fold_batchnorm",)
+
+    def __init__(self, int8: bool = False):
+        self.int8 = int8
+
+    def _fusable_into(self, prev: OpNode, spec: tuple) -> bool:
+        if prev is None or prev.meta.get("act") is not None:
+            return False
+        if self.int8:
+            return prev.kind in ("qconv", "qlinear") and spec[0] in ("relu", "relu6")
+        if prev.kind in ("qconv", "qlinear"):
+            return _quant_lowerable(prev.module)
+        return prev.kind in ("conv", "linear", "bn")
+
+    def run(self, graph: Graph) -> None:
+        def rewrite(nodes):
+            kept: list[OpNode] = []
+            for node in nodes:
+                if node.kind != "act":
+                    kept.append(node)
+                    continue
+                spec = activation_spec(node.module)
+                if spec is None:  # decayed to identity
+                    continue
+                prev = kept[-1] if kept else None
+                if self._fusable_into(prev, spec):
+                    prev.meta["act"] = spec
+                else:
+                    node.meta["spec"] = spec
+                    kept.append(node)
+            return kept
+
+        _rewrite(graph, rewrite)
+
+
+class LowerInt8(Pass):
+    """Validate calibration and annotate each quantized node's integer grid.
+
+    Every quantized node gains its input grid ``(scale, zero_point, bits)``
+    — the annotation ``describe()`` renders and the emitter's contract rests
+    on — and an uncalibrated wrapper fails the whole pipeline here with an
+    actionable error instead of deep inside the emitter.  The derived
+    requantization constants (BN folds, consumer output scale, exact-f32
+    bound) stay an emission-time concern: they depend on the consumer grid,
+    which only the backend's dataflow walk knows.
+    """
+
+    name = "lower_int8"
+    after = ("fold_batchnorm", "fuse_activations")
+
+    def run(self, graph: Graph) -> None:
+        for node, _ in graph.walk():
+            if node.kind not in ("qconv", "qlinear"):
+                continue
+            wrapper = node.module
+            qparams = wrapper.input_qparams() if not wrapper.observing else None
+            if qparams is None:
+                raise QuantCompileError(
+                    f"quantized layer {node.name or node.kind!r} has no frozen activation "
+                    "range; run repro.compress.calibrate first"
+                )
+            in_scale, in_zp = qparams
+            node.meta["grid"] = (in_scale, in_zp, wrapper.spec.bits)
+
+
+class FuseGapFlatten(Pass):
+    """Merge the pooled-head idiom ``gap -> flatten`` into one node.
+
+    The training backend implements the pair as a single
+    ``(N, C, H, W) -> (N, C)`` node with a matched backward.
+    """
+
+    name = "fuse_gap_flatten"
+
+    def run(self, graph: Graph) -> None:
+        def rewrite(nodes):
+            kept: list[OpNode] = []
+            for node in nodes:
+                if node.kind == "flatten" and kept and kept[-1].kind == "gap":
+                    gap = kept.pop()
+                    kept.append(OpNode("gap_flatten", gap.name, gap.module))
+                    continue
+                kept.append(node)
+            return kept
+
+        _rewrite(graph, rewrite)
+
+
+class AttachLoss(Pass):
+    """Append the training ``loss`` node (fused softmax cross-entropy)."""
+
+    name = "attach_loss"
+
+    def __init__(self, label_smoothing: float = 0.0):
+        self.label_smoothing = float(label_smoothing)
+
+    def run(self, graph: Graph) -> None:
+        graph.nodes.append(
+            OpNode("loss", "loss", None, {"label_smoothing": self.label_smoothing})
+        )
+
+
+class AssignLayout(Pass):
+    """Record the backend buffer layout (``NCHW`` float/train, ``CNHW`` int8)."""
+
+    name = "assign_layout"
+
+    def __init__(self, layout: str):
+        if layout not in ("NCHW", "CNHW"):
+            raise ValueError(f"unknown layout {layout!r}")
+        self.layout = layout
+
+    def run(self, graph: Graph) -> None:
+        graph.meta["layout"] = self.layout
+
+    def describe(self) -> str:
+        return f"assign_layout({self.layout})"
+
+
+class InferShapes(Pass):
+    """Annotate every node with its output shape for a concrete input shape.
+
+    Shapes are logical ``NCHW`` regardless of the assigned buffer layout.
+    Opaque ``eager`` nodes are probed with a zero batch (eval mode, no grad),
+    exactly like the int8 emitter does.
+    """
+
+    name = "infer_shapes"
+
+    def __init__(self, input_shape: tuple[int, ...]):
+        self.input_shape = tuple(int(s) for s in input_shape)
+
+    def run(self, graph: Graph) -> None:
+        graph.meta["input_shape"] = self.input_shape
+        self._walk(graph, self.input_shape)
+
+    def _walk(self, graph: Graph, shape: tuple[int, ...]) -> tuple[int, ...]:
+        for node in graph.nodes:
+            shape = self._node_shape(node, shape)
+            node.meta["out_shape"] = shape
+        return shape
+
+    def _node_shape(self, node: OpNode, shape: tuple[int, ...]) -> tuple[int, ...]:
+        kind = node.kind
+        if kind in ("conv", "qconv"):
+            n, _, h, w = shape
+            kh, kw = node.attrs["kernel"]
+            stride, padding = node.attrs["stride"], node.attrs["padding"]
+            return (
+                n,
+                node.attrs["out_channels"],
+                conv_output_size(h, kh, stride, padding),
+                conv_output_size(w, kw, stride, padding),
+            )
+        if kind in ("linear", "qlinear"):
+            return (shape[0], node.attrs["out_channels"])
+        if kind == "pool":
+            n, c, h, w = shape
+            k, stride, padding = node.attrs["kernel"], node.attrs["stride"], node.attrs["padding"]
+            return (n, c, conv_output_size(h, k, stride, padding), conv_output_size(w, k, stride, padding))
+        if kind == "gap":
+            return (shape[0], shape[1], 1, 1)
+        if kind == "flatten":
+            return (shape[0], int(np.prod(shape[1:])))
+        if kind == "gap_flatten":
+            return (shape[0], shape[1])
+        if kind == "residual":
+            return self._walk(node.body, shape)
+        if kind == "loss":
+            return ()
+        if kind == "eager":
+            probe = nn.Tensor(np.zeros(shape, dtype=np.float32))
+            module = node.module
+            was_training = module.training
+            module.eval()
+            try:
+                with nn.no_grad():
+                    out = module(probe)
+            finally:
+                module.train(was_training)
+            data = out.data if isinstance(out, nn.Tensor) else np.asarray(out)
+            return tuple(int(s) for s in data.shape)
+        # bn / act / dropout and other elementwise nodes preserve the shape.
+        return shape
+
+
+class PlanMemory(Pass):
+    """Liveness-based arena planning over the graph's value buffers.
+
+    Promotes the int8 engine's :class:`~repro.runtime.planner.ArenaPlanner`
+    to a generic pass: one step per executed op, the input and output of each
+    step live simultaneously, residual identities pinned until their add.
+    The resulting :class:`~repro.runtime.planner.MemoryPlan` (stored in
+    ``graph.meta["memory_plan"]``) is the deployment-style accounting an
+    arena-backed execution of the program would need — the float engine
+    reports it via :meth:`~repro.runtime.CompiledNet.memory_plan`, directly
+    comparable to the int8 planner's peak working set and to
+    :func:`repro.eval.deployment.peak_activation_memory`.
+    """
+
+    name = "plan_memory"
+    requires = ("infer_shapes",)
+    after = ("assign_layout",)
+
+    def run(self, graph: Graph) -> None:
+        if "layout" not in graph.meta:
+            raise PassOrderError("assign_layout must run before plan_memory")
+        planner = ArenaPlanner()
+        in_shape = graph.meta.get("input_shape")
+        buf = planner.alloc(in_shape, "value", "input")
+        buf.touch(planner.advance())
+        self._plan(graph, planner, buf)
+        _, plan = planner.solve(materialize=False)
+        graph.meta["memory_plan"] = plan
+
+    def _plan(self, graph: Graph, planner: ArenaPlanner, buf):
+        for node in graph.nodes:
+            if node.kind == "loss":
+                continue
+            if node.kind == "flatten":
+                continue  # a reshape view: no new buffer, no step
+            if node.kind == "residual":
+                identity = buf
+                buf = self._plan(node.body, planner, buf)
+                step = planner.advance()  # the residual add
+                identity.touch(step)
+                buf.touch(step)
+                continue
+            out = planner.alloc(node.meta["out_shape"], "value", node.name or node.kind)
+            step = planner.advance()
+            buf.touch(step)
+            out.touch(step)
+            buf = out
+        return buf
+
+
+# --------------------------------------------------------------------------- #
+# mode pipelines
+# --------------------------------------------------------------------------- #
+def inference_pipeline() -> list[Pass]:
+    """Passes for ``mode="infer"`` (the fused float engine)."""
+    return [
+        EliminateDropout(),
+        FoldBatchNorm(),
+        FuseActivations(),
+        AssignLayout("NCHW"),
+    ]
+
+
+def int8_pipeline() -> list[Pass]:
+    """Passes for ``mode="int8"`` (the true-integer engine)."""
+    return [
+        EliminateDropout(),
+        FoldBatchNorm(targets=("qconv", "qlinear"), repeat=False),
+        FuseActivations(int8=True),
+        LowerInt8(),
+        AssignLayout("CNHW"),
+    ]
+
+
+def training_pipeline(label_smoothing: float = 0.0) -> list[Pass]:
+    """Passes for ``mode="train"`` (the fused forward+backward step).
+
+    Training keeps BatchNorm in batch-statistics mode and activations as
+    matched forward/backward pairs, so neither folding nor fusion runs here.
+    """
+    return [
+        EliminateDropout(keep_active=True),
+        FuseGapFlatten(),
+        AttachLoss(label_smoothing),
+        AssignLayout("NCHW"),
+    ]
+
+
+def plan_graph_memory(graph: Graph, input_shape: tuple[int, ...]) -> MemoryPlan:
+    """Run shape inference + arena planning for a concrete input shape.
+
+    The compile pipelines defer these two passes because a compiled program
+    is input-shape agnostic; executors call this from ``memory_plan()``.
+    Repeated calls re-annotate ``out_shape`` for the *latest* shape (what
+    ``describe()`` then renders) without growing the recorded pass trail.
+    """
+    PassManager([InferShapes(input_shape), PlanMemory()]).run(graph, record=False)
+    return graph.meta["memory_plan"]

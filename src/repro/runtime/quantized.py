@@ -1,10 +1,12 @@
 """True-integer (int8) inference engine.
 
-:func:`compile_quantized` consumes a model processed by
-:func:`repro.compress.quantize_model` + :func:`repro.compress.calibrate` and
-lowers it to a statically planned program that *actually executes on the
-integer grid*, instead of round-tripping through float like the fake-quant
-eager path:
+This module is the ``mode="int8"`` lowering target of :func:`repro.compile`.
+It consumes a model processed by :func:`repro.compress.quantize_model` +
+:func:`repro.compress.calibrate` — traced by the shared
+:mod:`repro.runtime.ir` tracer and annotated by the int8 pass pipeline
+(BN-fold, integer clamp fusion, grid annotation, CNHW layout) — and lowers it
+to a statically planned program that *actually executes on the integer grid*,
+instead of round-tripping through float like the fake-quant eager path:
 
 * **Weights stay int8.**  Each op reads the wrapper's ``weight_q`` /
   ``weight_scale`` buffers; the float weights are never touched.
@@ -51,26 +53,18 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from .. import nn
-from ..compress.quantization import QuantizedConv2d, QuantizedLinear, _QuantizedWrapper
-from ..models.blocks import BasicBlock, Bottleneck, ConvBNAct, InvertedResidual
-from ..models.mcunet import MCUNet
-from ..models.mobilenetv2 import MobileNetV2
-from ..nn.norm import FrozenBatchNorm2d
+from ..compress.quantization import _QuantizedWrapper
 from ..nn.functional import conv_output_size
 from . import kernels
-from .compiler import _bn_scale_shift, _Unsupported, activation_spec
+from .ir import Graph, OpNode, QuantCompileError, bn_scale_shift
 from .planner import ArenaPlanner, MemoryPlan
 
-__all__ = ["QuantCompileError", "QuantizedNet", "compile_quantized"]
+__all__ = ["QuantCompileError", "QuantizedNet", "compile_quantized", "build_quantized_program"]
 
 # float32 mantissa capacity: integer sums below this are exact.
 _EXACT_F32_BOUND = float(2**24)
 
 _DW_KERNELS = ("auto", "flat", "flat_einsum", "stacked", "einsum", "offsets")
-
-
-class QuantCompileError(Exception):
-    """Raised when a model cannot be lowered to the integer engine."""
 
 
 # --------------------------------------------------------------------------- #
@@ -176,111 +170,47 @@ class _EagerIR:
 
 
 # --------------------------------------------------------------------------- #
-# lowering: module tree -> flat IR list
+# lowering: annotated shared graph -> flat internal IR list
 # --------------------------------------------------------------------------- #
-def _lower_q(module: nn.Module, name: str = "") -> list:
-    if isinstance(module, (nn.Identity, nn.Dropout)):
-        return []
-    if isinstance(module, QuantizedLinear):
-        return [_QLinearIR(module, name)]
-    if isinstance(module, QuantizedConv2d):
-        return [_QConvIR(module, name)]
-    if isinstance(module, _QuantizedWrapper):  # pragma: no cover - future wrappers
-        raise QuantCompileError(f"unsupported quantized wrapper {type(module).__name__}")
-    if isinstance(module, (nn.BatchNorm2d, FrozenBatchNorm2d)):
-        return [_AffineIR(*_bn_scale_shift(module))]
-    if isinstance(module, nn.MaxPool2d):
-        return [_PoolIR("max", module.kernel_size, module.stride, module.padding)]
-    if isinstance(module, nn.AvgPool2d):
-        return [_PoolIR("avg", module.kernel_size, module.stride, module.padding)]
-    if isinstance(module, nn.GlobalAvgPool2d):
+def _ir_from_node(node: OpNode) -> list:
+    """Convert one annotated graph node into the emitter's internal IR.
+
+    The int8 pass pipeline already made every fusion decision —
+    ``meta["bn_folds"]`` and ``meta["act"]`` are simply applied here; plain
+    (unquantized) convs/linears and unknown modules run eagerly in the float
+    domain — correct, merely unfused.
+    """
+    kind = node.kind
+    if kind in ("qconv", "qlinear"):
+        ir = (_QConvIR if kind == "qconv" else _QLinearIR)(node.module, node.name)
+        for scale, shift in node.meta.get("bn_folds", ()):
+            ir.fold_bn(scale, shift)
+        act = node.meta.get("act")
+        if act is not None:
+            ir.act = act
+        return [ir]
+    if kind == "bn":
+        return [_AffineIR(*bn_scale_shift(node.module))]
+    if kind == "act":
+        return [_ActIR(node.meta["spec"])]
+    if kind == "pool":
+        return [_PoolIR(node.attrs["op"], node.attrs["kernel"], node.attrs["stride"], node.attrs["padding"])]
+    if kind == "gap":
         return [_GapIR()]
-    if isinstance(module, nn.Flatten):
+    if kind == "flatten":
         return [_FlattenIR()]
-    if isinstance(module, nn.Sequential):
-        return _lower_q_sequence(module._modules.items(), name)
-    if isinstance(module, ConvBNAct):
-        return _lower_q_sequence(
-            [("conv", module.conv), ("bn", module.bn), ("act", module.act)], name
-        )
-    if isinstance(module, InvertedResidual):
-        body = _lower_q_sequence(
-            [("expand", module.expand), ("depthwise", module.depthwise), ("project", module.project)],
-            name,
-        )
-        return [_ResidualIR(body)] if module.use_residual else body
-    if isinstance(module, BasicBlock):
-        body = _lower_q_sequence([("conv1", module.conv1), ("conv2", module.conv2)], name)
-        return [_ResidualIR(body)] if module.use_residual else body
-    if isinstance(module, Bottleneck):
-        body = _lower_q_sequence(
-            [("reduce", module.reduce), ("spatial", module.spatial), ("expand", module.expand)], name
-        )
-        return [_ResidualIR(body)] if module.use_residual else body
-    if isinstance(module, MobileNetV2):
-        return _lower_q_sequence(
-            [
-                ("features", module.features),
-                ("pool", module.pool),
-                ("flatten", module.flatten),
-                ("dropout", module.dropout),
-                ("classifier", module.classifier),
-            ],
-            name,
-        )
-    if isinstance(module, MCUNet):
-        return _lower_q_sequence(
-            [
-                ("features", module.features),
-                ("pool", module.pool),
-                ("flatten", module.flatten),
-                ("classifier", module.classifier),
-            ],
-            name,
-        )
-    try:
-        spec = activation_spec(module)
-    except _Unsupported:
-        # Unquantized layers (skip-prefixed convs, custom blocks) run eagerly
-        # in the float domain — correct, merely unfused.
-        return [_EagerIR(module)]
-    return [_ActIR(spec)] if spec is not None else []
+    if kind == "residual":
+        return [_ResidualIR(_ir_from_graph(node.body))]
+    if isinstance(node.module, _QuantizedWrapper):  # pragma: no cover - future wrappers
+        raise QuantCompileError(f"unsupported quantized wrapper {type(node.module).__name__}")
+    return [_EagerIR(node.module)]
 
 
-def _lower_q_sequence(named_children, prefix: str) -> list:
+def _ir_from_graph(graph: Graph) -> list:
     nodes: list = []
-    for child_name, child in named_children:
-        path = f"{prefix}.{child_name}" if prefix else str(child_name)
-        nodes.extend(_lower_q(child, path))
+    for node in graph.nodes:
+        nodes.extend(_ir_from_node(node))
     return nodes
-
-
-def _fuse_q(nodes: list) -> list:
-    """Fold BN affines into the preceding integer op; attach ReLU/ReLU6 clamps."""
-    fused: list = []
-    for node in nodes:
-        if isinstance(node, _ResidualIR):
-            node.body = _fuse_q(node.body)
-            fused.append(node)
-            continue
-        prev = fused[-1] if fused else None
-        if (
-            isinstance(node, _AffineIR)
-            and isinstance(prev, _QConvIR)
-            and prev.act is None
-            and prev.bn_scale is None
-        ):
-            prev.fold_bn(node.scale, node.shift)
-        elif (
-            isinstance(node, _ActIR)
-            and node.spec[0] in ("relu", "relu6")
-            and isinstance(prev, _QConvIR)
-            and prev.act is None
-        ):
-            prev.act = node.spec
-        else:
-            fused.append(node)
-    return fused
 
 
 # --------------------------------------------------------------------------- #
@@ -1158,13 +1088,17 @@ class QuantizedNet:
         The calibrated fake-quant model this engine was compiled from
         (integer weights are snapshotted — recalibrate/retrain requires
         recompiling).
+    graph:
+        The annotated :class:`~repro.runtime.ir.Graph` the engine was built
+        from (``None`` when constructed from a raw IR list).
     """
 
-    def __init__(self, ir: list, source: nn.Module, dw_kernel: str = "auto"):
+    def __init__(self, ir: list, source: nn.Module, dw_kernel: str = "auto", graph: Graph | None = None):
         if dw_kernel not in _DW_KERNELS:
             raise ValueError(f"dw_kernel must be one of {_DW_KERNELS}")
         self._ir = ir
         self.source = source
+        self.graph = graph
         self._dw_kernel = dw_kernel
         self._local = threading.local()
         self._op_log: list[str] | None = None
@@ -1232,6 +1166,20 @@ class QuantizedNet:
         """The arena plan (peak working set, buffer table) for a shape."""
         return self.plan(tuple(input_shape)).memory
 
+    def memory_plan(self, input_shape: tuple[int, int, int, int]) -> MemoryPlan:
+        """Uniform-frontend alias of :meth:`memory_report`.
+
+        Unlike the float engine's pass-computed accounting, this is the
+        *executable* plan — the exact arena the engine runs in.
+        """
+        return self.memory_report(input_shape)
+
+    def describe(self) -> str:
+        """Printable lowering report (passes applied + annotated node table)."""
+        from .frontend import describe_graph
+
+        return describe_graph(self.graph, self)
+
     def numpy_forward(self, x: np.ndarray) -> np.ndarray:
         """Run the integer program on a raw ``(N, C, H, W)`` batch."""
         x = np.ascontiguousarray(x, dtype=np.float32)
@@ -1245,8 +1193,13 @@ class QuantizedNet:
         return f"QuantizedNet(source={type(self.source).__name__})"
 
 
+def build_quantized_program(graph: Graph, dw_kernel: str = "auto") -> QuantizedNet:
+    """Lower an annotated graph to a :class:`QuantizedNet` (frontend backend hook)."""
+    return QuantizedNet(_ir_from_graph(graph), graph.source, dw_kernel=dw_kernel, graph=graph)
+
+
 def compile_quantized(model: nn.Module, dw_kernel: str = "auto") -> QuantizedNet:
-    """Lower a calibrated fake-quant model to the true-integer engine.
+    """Deprecated alias of ``repro.compile(model, mode="int8")``.
 
     Parameters
     ----------
@@ -1270,11 +1223,12 @@ def compile_quantized(model: nn.Module, dw_kernel: str = "auto") -> QuantizedNet
     QuantCompileError
         If the model contains no quantized layers, or a quantized layer has
         not been calibrated.
+
+    .. deprecated::
+        Use :func:`repro.compile` — this wrapper emits a
+        :class:`DeprecationWarning` (once) and forwards to it.
     """
-    wrappers = [m for _, m in model.named_modules() if isinstance(m, _QuantizedWrapper)]
-    if not wrappers:
-        raise QuantCompileError(
-            "model has no quantized layers; run repro.compress.quantize_model first"
-        )
-    ir = _fuse_q(_lower_q(model))
-    return QuantizedNet(ir, model, dw_kernel=dw_kernel)
+    from .frontend import compile_model, warn_legacy_once
+
+    warn_legacy_once("compile_quantized", "repro.compile(model, mode='int8')")
+    return compile_model(model, mode="int8", dw_kernel=dw_kernel)

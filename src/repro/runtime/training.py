@@ -1,10 +1,13 @@
-"""Compile modules into fused forward+backward training programs.
+"""Training backend: fused forward+backward programs from the shared graph IR.
 
-:func:`compile_training_step` extends the inference compiler
-(:mod:`repro.runtime.compiler`) to *training*: it walks an eager
-:class:`~repro.nn.module.Module` tree and lowers it to a flat chain of train
-nodes over raw NumPy arrays, each implementing a matched ``forward`` /
-``backward`` pair:
+This module is the ``mode="train"`` lowering target of :func:`repro.compile`.
+The frontend traces the model with the same :mod:`repro.runtime.ir` tracer as
+the inference engines and runs the training pass pipeline (inactive-dropout
+elimination, GAP+Flatten fusion, loss attachment — BN folding and activation
+fusion deliberately do *not* run: training keeps batch statistics and matched
+backward pairs); :func:`build_training_program` then turns the graph into a
+flat chain of train nodes over raw NumPy arrays, each implementing a matched
+``forward`` / ``backward`` pair:
 
 * convolution / linear / batch-norm / activation nodes call the **same raw
   kernels** as the autograd ops (``repro.nn.functional``), so a compiled step
@@ -37,13 +40,14 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from .. import nn
-from ..models.blocks import BasicBlock, Bottleneck, ConvBNAct, InvertedResidual
-from ..models.mcunet import MCUNet
-from ..models.mobilenetv2 import MobileNetV2
 from ..nn import functional as F
 from ..nn.tensor import Tensor
+from .ir import Graph, OpNode, UnsupportedModule
 
-__all__ = ["TrainStep", "compile_training_step"]
+__all__ = ["TrainStep", "compile_training_step", "build_training_program"]
+
+# Backwards-compatible alias for the pre-IR private exception.
+_Unsupported = UnsupportedModule
 
 
 # --------------------------------------------------------------------------- #
@@ -469,58 +473,48 @@ class CrossEntropyTrainNode:
         return grad
 
 
-class _Unsupported(Exception):
-    """Raised during lowering when a module needs the eager fallback."""
-
-
 # --------------------------------------------------------------------------- #
-# lowering
+# lowering: annotated shared graph -> train nodes
 # --------------------------------------------------------------------------- #
-def _lower_train(module: nn.Module):
-    """Lower one module to a train node (``None`` elides identity ops)."""
-    if isinstance(module, nn.Identity):
-        return None
-    if isinstance(module, nn.Dropout):
-        if module.rate <= 0.0:
-            return None
-        return EagerNode(module)  # stochastic: keep the module's own RNG
-    if isinstance(module, nn.Conv2d):
+def _train_node_from(node: OpNode):
+    """Build the matched forward/backward node for one graph node.
+
+    Anything without a fused training implementation — grouped non-depthwise
+    convs, frozen/quantized layers, pools, active dropout (stochastic: keeps
+    the module's own RNG), unknown modules — becomes an :class:`EagerNode`
+    running on the autograd tape inside the program.
+    """
+    kind = node.kind
+    module = node.module
+    if kind == "conv":
         if module.groups > 1 and module.groups != module.in_channels:
             return EagerNode(module)
         return ConvTrainNode(module)
-    if isinstance(module, nn.BatchNorm2d):
-        return BNTrainNode(module)
-    if isinstance(module, nn.Linear):
+    if kind == "bn":
+        if isinstance(module, nn.BatchNorm2d):
+            return BNTrainNode(module)
+        return EagerNode(module)  # FrozenBatchNorm2d has no batch statistics
+    if kind == "linear":
         return LinearTrainNode(module)
-    if isinstance(module, nn.GlobalAvgPool2d):
-        return _GapMarker()
-    if isinstance(module, nn.Flatten):
-        return _FlattenMarker()
-    if isinstance(module, nn.Sequential):
-        return _lower_train_sequence(list(module._modules.values()))
-    if isinstance(module, ConvBNAct):
-        return _lower_train_sequence([module.conv, module.bn, module.act])
-    if isinstance(module, InvertedResidual):
-        body = _lower_train_sequence([module.expand, module.depthwise, module.project])
-        return ResidualTrainNode(body) if module.use_residual else body
-    if isinstance(module, BasicBlock):
-        body = _lower_train_sequence([module.conv1, module.conv2])
-        return ResidualTrainNode(body) if module.use_residual else body
-    if isinstance(module, Bottleneck):
-        body = _lower_train_sequence([module.reduce, module.spatial, module.expand])
-        return ResidualTrainNode(body) if module.use_residual else body
-    if isinstance(module, MobileNetV2):
-        return _lower_train_sequence(
-            [module.features, module.pool, module.flatten, module.dropout, module.classifier]
-        )
-    if isinstance(module, MCUNet):
-        return _lower_train_sequence(
-            [module.features, module.pool, module.flatten, module.classifier]
-        )
-    try:
-        return ActTrainNode(module)
-    except _Unsupported:
-        return EagerNode(module)
+    if kind == "act":
+        try:
+            return ActTrainNode(module)
+        except UnsupportedModule:
+            return EagerNode(module)
+    if kind == "gap_flatten":
+        return GapFlattenNode()
+    if kind in ("gap", "flatten"):
+        # A stray GAP/Flatten (not part of the pooled-head idiom the
+        # fuse_gap_flatten pass merges) has no matched backward; in practice
+        # the model zoo always pairs them.
+        raise UnsupportedModule("unpaired GlobalAvgPool2d/Flatten")
+    if kind == "residual":
+        return ResidualTrainNode(_chain_from_graph(node.body))
+    return EagerNode(module)  # dropout / pool / quantized wrappers / unknown
+
+
+def _chain_from_graph(graph: Graph) -> "ChainTrainNode":
+    return ChainTrainNode([_train_node_from(node) for node in graph.nodes if node.kind != "loss"])
 
 
 def structure_signature(model: nn.Module) -> tuple:
@@ -542,39 +536,6 @@ def structure_signature(model: nn.Module) -> tuple:
     return tuple(ids)
 
 
-class _GapMarker:
-    """Placeholder merged with a following Flatten into :class:`GapFlattenNode`."""
-
-
-class _FlattenMarker:
-    """Placeholder for Flatten (merged into the preceding GAP)."""
-
-
-def _lower_train_sequence(modules: list[nn.Module]) -> ChainTrainNode:
-    ops: list = []
-    for module in modules:
-        op = _lower_train(module)
-        if op is None:
-            continue
-        if isinstance(op, ChainTrainNode):
-            ops.extend(op.nodes)
-        else:
-            ops.append(op)
-    fused: list = []
-    for op in ops:
-        if isinstance(op, _FlattenMarker) and fused and isinstance(fused[-1], _GapMarker):
-            fused[-1] = GapFlattenNode()
-        else:
-            fused.append(op)
-    # A stray GAP/Flatten marker (not part of the pooled-head idiom) runs
-    # eagerly via the containing model's fallback; in practice the model zoo
-    # always pairs them.
-    for index, op in enumerate(fused):
-        if isinstance(op, (_GapMarker, _FlattenMarker)):
-            raise _Unsupported("unpaired GlobalAvgPool2d/Flatten")
-    return ChainTrainNode(fused)
-
-
 # --------------------------------------------------------------------------- #
 # public API
 # --------------------------------------------------------------------------- #
@@ -593,12 +554,22 @@ class TrainStep:
     model:
         The eager module the program was compiled from.  Weights are *not*
         snapshotted: nodes read the live parameter arrays every call.
+    graph:
+        The annotated :class:`~repro.runtime.ir.Graph` the program was built
+        from (``None`` when constructed from pre-built nodes).
     """
 
-    def __init__(self, model: nn.Module, chain: ChainTrainNode, loss: CrossEntropyTrainNode):
+    def __init__(
+        self,
+        model: nn.Module,
+        chain: ChainTrainNode,
+        loss: CrossEntropyTrainNode,
+        graph: Graph | None = None,
+    ):
         self.model = model
         self.chain = chain
         self.loss = loss
+        self.graph = graph
         if chain.nodes and isinstance(chain.nodes[0], (ConvTrainNode, BNTrainNode)):
             chain.nodes[0].skip_input_grad = True
         self._signature = structure_signature(model)
@@ -634,13 +605,48 @@ class TrainStep:
         self.chain.backward(grad)
         return loss, logits.copy()
 
+    def numpy_forward(self, images: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        """Uniform-frontend alias of :meth:`__call__` (raw arrays in/out)."""
+        return self(images, labels)
+
+    def memory_plan(self, input_shape: tuple[int, ...]):
+        """Arena-planner accounting of the *forward* value buffers.
+
+        Gradients and per-node workspaces are excluded — the number reported
+        is the forward working set under layer-by-layer execution, comparable
+        to the inference engines' plans for the same model.
+        """
+        if self.graph is None:
+            raise RuntimeError("this TrainStep was built without a graph; no plan available")
+        from .passes import plan_graph_memory
+
+        return plan_graph_memory(self.graph, tuple(input_shape))
+
+    def describe(self) -> str:
+        """Printable lowering report (passes applied + annotated node table)."""
+        from .frontend import describe_graph
+
+        return describe_graph(self.graph, self)
+
+
+def build_training_program(graph: Graph) -> TrainStep:
+    """Lower an annotated graph to a :class:`TrainStep` (frontend backend hook)."""
+    chain = _chain_from_graph(graph)
+    if not chain.nodes:
+        raise UnsupportedModule("model lowered to an empty training program")
+    label_smoothing = 0.0
+    for node in graph.nodes:
+        if node.kind == "loss":
+            label_smoothing = node.attrs.get("label_smoothing", 0.0)
+    return TrainStep(graph.source, chain, CrossEntropyTrainNode(label_smoothing), graph=graph)
+
 
 def compile_training_step(
     model: nn.Module,
     loss=None,
     optimizer=None,
 ) -> TrainStep | None:
-    """Compile ``model`` + loss into a fused :class:`TrainStep`.
+    """Deprecated alias of ``repro.compile(model, mode="train", loss=...)``.
 
     Parameters
     ----------
@@ -659,21 +665,22 @@ def compile_training_step(
     Returns
     -------
     TrainStep or None
-        The compiled step, or ``None`` when the loss cannot be lowered.
-    """
-    label_smoothing = 0.0
-    if loss is not None:
-        # Exactly StandardLoss — subclasses may override __call__ arbitrarily.
-        from ..train.trainer import StandardLoss
+        The compiled step, or ``None`` when the loss cannot be lowered
+        (where :func:`repro.compile` raises
+        :class:`~repro.runtime.ir.CompileError`, this legacy wrapper keeps
+        the historical ``None`` contract).
 
-        if type(loss) is not StandardLoss:
-            return None
-        label_smoothing = loss.label_smoothing
+    .. deprecated::
+        Use :func:`repro.compile` — this wrapper emits a
+        :class:`DeprecationWarning` (once) and forwards to it.
+    """
+    from .frontend import compile_model, warn_legacy_once
+    from .ir import CompileError
+
+    warn_legacy_once(
+        "compile_training_step", "repro.compile(model, mode='train', loss=..., optimizer=...)"
+    )
     try:
-        node = _lower_train(model)
-    except _Unsupported:
+        return compile_model(model, mode="train", loss=loss, optimizer=optimizer)
+    except CompileError:
         return None
-    if node is None:
-        return None
-    chain = node if isinstance(node, ChainTrainNode) else ChainTrainNode([node])
-    return TrainStep(model, chain, CrossEntropyTrainNode(label_smoothing))

@@ -15,6 +15,11 @@ with padded batch assembly over a multi-worker executor;
 :func:`repro.serve.loadgen.run_load` is the closed-loop load harness, and
 ``python -m repro.serve --model mobilenetv2-tiny --workers 4`` runs a
 self-contained load test from the command line.
+
+Inference backends are resolved by name through the
+:func:`repro.runtime.resolve_engine` registry (``--engine {float,int8}``) and
+compiled with the unified :func:`repro.compile` frontend; ``"eager"`` serves
+the uncompiled module.
 """
 
 from __future__ import annotations
@@ -31,7 +36,15 @@ __all__ = [
     "LoadReport",
     "run_load",
     "build_server",
+    "available_backends",
 ]
+
+
+def available_backends() -> list[str]:
+    """Engine names :func:`build_server` accepts (registry engines + eager)."""
+    from ..runtime import available_engines
+
+    return sorted(available_engines() + ["eager"])
 
 
 def build_server(
@@ -42,40 +55,32 @@ def build_server(
     calibration_batches: int = 2,
     calibration_method: str = "minmax",
     seed: int = 0,
+    engine: str | None = None,
     **engine_kwargs,
 ) -> Engine:
     """Build a ready-to-serve :class:`Engine` for a registry model.
 
-    The model is created from :mod:`repro.models`, quantized and calibrated on
-    synthetic data (``backend="int8"``, the default) and compiled with
-    :func:`repro.runtime.compile_quantized`; ``backend="float"`` serves the
-    fused float runtime instead, and ``backend="eager"`` the plain module.
-    Extra keyword arguments configure the engine's batching policy
-    (``max_batch``, ``max_wait_ms``, ``workers``...).
+    The inference backend is resolved by name through the
+    :func:`repro.runtime.resolve_engine` registry and compiled with the
+    unified :func:`repro.compile` frontend: ``"int8"`` (the default)
+    quantizes and calibrates the model on synthetic data first, ``"float"``
+    serves the fused float runtime, and the special name ``"eager"`` serves
+    the plain module.  ``engine`` is an alias for ``backend`` (matching the
+    ``repro.serve --engine`` CLI flag) and wins when both are given.  Extra
+    keyword arguments configure the engine's batching policy (``max_batch``,
+    ``max_wait_ms``, ``workers``...).
     """
     from ..compress import calibrate, quantize_model
     from ..models import create_model
-    from ..runtime import compile_net, compile_quantized
+    from ..runtime import compile_model, resolve_engine
     from ..utils import seed_everything
 
-    if backend not in ("int8", "float", "eager"):
-        raise ValueError(f"unknown backend {backend!r}")
+    name = engine if engine is not None else backend
     seed_everything(seed)
     model = create_model(model_name, num_classes=num_classes)
     model.eval()
     input_shape = (3, resolution, resolution)
-    if backend == "int8":
-        rng = np.random.default_rng(seed)
-        quantize_model(model)
-        batches = [
-            rng.normal(0.2, 0.8, size=(8,) + input_shape).astype(np.float32)
-            for _ in range(calibration_batches)
-        ]
-        calibrate(model, batches, method=calibration_method)
-        net = compile_quantized(model)
-    elif backend == "float":
-        net = compile_net(model)
-    else:
+    if name == "eager":
         from .. import nn
 
         def eager_forward(batch, _model=model):
@@ -83,4 +88,20 @@ def build_server(
                 return _model(nn.Tensor(batch)).numpy()
 
         net = eager_forward
+    else:
+        try:
+            spec = resolve_engine(name)
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {name!r}; available: {available_backends()}"
+            ) from None
+        if spec.mode == "int8":
+            rng = np.random.default_rng(seed)
+            quantize_model(model)
+            batches = [
+                rng.normal(0.2, 0.8, size=(8,) + input_shape).astype(np.float32)
+                for _ in range(calibration_batches)
+            ]
+            calibrate(model, batches, method=calibration_method)
+        net = compile_model(model, mode=spec.mode)
     return Engine(net, input_shape, **engine_kwargs)

@@ -4,10 +4,12 @@ Builds a registry model, compiles it (int8 by default), serves it through the
 dynamic-batching engine and drives it with a closed-loop load generator::
 
     PYTHONPATH=src python -m repro.serve --model mobilenetv2-tiny --workers 4
-    PYTHONPATH=src python -m repro.serve --backend float --concurrency 64
+    PYTHONPATH=src python -m repro.serve --engine float --concurrency 64
     PYTHONPATH=src python -m repro.serve --requests 5000 --json /tmp/serve.json
 
-Prints sustained req/s, latency percentiles and the batch-size mix.
+``--engine`` names resolve through the :func:`repro.runtime.resolve_engine`
+registry (plus the special ``eager`` backend); prints sustained req/s,
+latency percentiles and the batch-size mix.
 """
 
 from __future__ import annotations
@@ -21,9 +23,23 @@ from .loadgen import run_load
 
 
 def main(argv=None) -> int:
+    from . import available_backends
+
+    backends = tuple(available_backends())
     parser = argparse.ArgumentParser(prog="python -m repro.serve", description=__doc__)
     parser.add_argument("--model", default="mobilenetv2-tiny", help="registry model name")
-    parser.add_argument("--backend", default="int8", choices=("int8", "float", "eager"))
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=backends,
+        help="inference engine, resolved through the repro.runtime engine registry",
+    )
+    parser.add_argument(
+        "--backend",
+        default="int8",
+        choices=backends,
+        help="deprecated alias of --engine",
+    )
     parser.add_argument("--resolution", type=int, default=16, help="input resolution")
     parser.add_argument("--workers", type=int, default=2, help="batching worker threads")
     parser.add_argument("--max-batch", type=int, default=16, help="dynamic batch cap")
@@ -33,12 +49,13 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", type=Path, default=None, help="write the report as JSON")
     args = parser.parse_args(argv)
+    engine_name = args.engine if args.engine is not None else args.backend
 
-    print(f"building {args.model} [{args.backend}] at {args.resolution}x{args.resolution} ...")
+    print(f"building {args.model} [{engine_name}] at {args.resolution}x{args.resolution} ...")
     engine = build_server(
         args.model,
         resolution=args.resolution,
-        backend=args.backend,
+        backend=engine_name,
         seed=args.seed,
         workers=args.workers,
         max_batch=args.max_batch,
@@ -55,7 +72,7 @@ def main(argv=None) -> int:
     if args.json is not None:
         payload = {
             "model": args.model,
-            "backend": args.backend,
+            "backend": engine_name,
             "resolution": args.resolution,
             "workers": args.workers,
             "max_batch": args.max_batch,

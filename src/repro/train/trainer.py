@@ -115,9 +115,9 @@ def evaluate(
     forward = None
     if compiled:
         try:
-            from ..runtime import compile_net
+            from ..runtime import compile_model
 
-            net = compile_net(model)
+            net = compile_model(model, mode="infer")
             forward = net.numpy_forward
         except Exception:
             forward = None
@@ -155,10 +155,10 @@ class Trainer:
         epoch.
     compile:
         Route ``train_step`` through the fused training runtime
-        (:func:`repro.runtime.compile_training_step`) when the model and loss
-        can be lowered; the eager tape remains as automatic fallback and the
-        two paths are bit-identical.  Disable to force the eager path (used
-        by the parity tests and benchmarks).
+        (``repro.compile(model, mode="train")``) when the model and loss can
+        be lowered; the eager tape remains as automatic fallback and the two
+        paths are bit-identical.  Disable to force the eager path (used by
+        the parity tests and benchmarks).
     """
 
     def __init__(
@@ -239,7 +239,7 @@ class Trainer:
         step = self._compiled_step
         if step is not None and step.matches(self.model):
             return step
-        from ..runtime import compile_training_step
+        from ..runtime import CompileError, compile_model
         from ..runtime.training import structure_signature
 
         if step is None and self._compile_attempted:
@@ -249,14 +249,18 @@ class Trainer:
                 return None
         self._compile_attempted = True
         try:
-            self._compiled_step = compile_training_step(
-                self.model, self.loss_computer, self.optimizer
+            self._compiled_step = compile_model(
+                self.model, mode="train", loss=self.loss_computer, optimizer=self.optimizer
             )
+        except CompileError:
+            # Expected for unlowerable losses/models (KD, detection heads...):
+            # the eager tape is the documented, bit-identical fallback.
+            self._compiled_step = None
         except Exception:
             self._compiled_step = None
             warnings.warn(
-                "compile_training_step raised; training continues on the eager "
-                "path (results are identical, throughput is lower)",
+                "repro.compile(mode='train') raised; training continues on the "
+                "eager path (results are identical, throughput is lower)",
                 RuntimeWarning,
                 stacklevel=2,
             )

@@ -1,0 +1,304 @@
+"""Tests for the unified graph IR, the pass pipelines and the repro.compile frontend."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+from repro.compress import calibrate, quantize_model
+from repro.models import create_model
+from repro.models.blocks import ConvBNAct, InvertedResidual
+from repro.runtime import (
+    CompiledNet,
+    QuantizedNet,
+    TrainStep,
+    available_engines,
+    compile_model,
+    resolve_engine,
+    trace,
+)
+from repro.runtime.ir import CompileError, Graph, OpNode
+from repro.runtime.passes import (
+    AssignLayout,
+    EliminateDropout,
+    FoldBatchNorm,
+    FuseActivations,
+    InferShapes,
+    PassManager,
+    PassOrderError,
+    PlanMemory,
+    inference_pipeline,
+    int8_pipeline,
+    training_pipeline,
+)
+from repro.utils import seed_everything
+
+
+def _randomize_bn_stats(model: nn.Module, rng) -> None:
+    for _, module in model.named_modules():
+        if isinstance(module, nn.BatchNorm2d):
+            module.running_mean[...] = rng.normal(0.0, 0.2, size=module.num_features)
+            module.running_var[...] = rng.uniform(0.5, 1.5, size=module.num_features)
+
+
+def _quantized_model(name: str, rng, res: int = 16):
+    model = create_model(name, num_classes=8)
+    _randomize_bn_stats(model, rng)
+    model.eval()
+    quantize_model(model)
+    batches = [rng.normal(0.2, 0.8, size=(8, 3, res, res)).astype(np.float32) for _ in range(2)]
+    calibrate(model, batches)
+    return model
+
+
+class TestTracer:
+    @pytest.mark.parametrize("name", ["mobilenetv2-tiny", "mcunet"])
+    def test_round_trip_covers_every_leaf(self, name):
+        """Every conv/linear/bn leaf of the model appears exactly once in the graph."""
+        model = create_model(name, num_classes=8)
+        graph = trace(model)
+        traced = [node.module for node, _ in graph.walk() if node.kind in ("conv", "linear", "bn")]
+        leaves = [
+            m
+            for _, m in model.named_modules()
+            if isinstance(m, (nn.Conv2d, nn.Linear, nn.BatchNorm2d))
+        ]
+        assert len(traced) == len(leaves)
+        assert set(map(id, traced)) == set(map(id, leaves))
+
+    @pytest.mark.parametrize("name", ["mobilenetv2-tiny", "mcunet"])
+    def test_round_trip_compiles_to_eager_parity(self, rng, name):
+        """Trace -> passes -> backend reproduces the eager forward."""
+        model = create_model(name, num_classes=8)
+        _randomize_bn_stats(model, rng)
+        model.eval()
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        with nn.no_grad():
+            eager = model(nn.Tensor(x)).numpy()
+        out = repro.compile(model).numpy_forward(x)
+        np.testing.assert_allclose(out, eager, rtol=1e-4, atol=1e-4)
+
+    def test_residual_blocks_become_residual_nodes(self):
+        block = InvertedResidual(6, 6, stride=1, expand_ratio=2)
+        graph = trace(block)
+        assert [n.kind for n in graph.nodes] == ["residual"]
+        body_kinds = graph.nodes[0].body.kinds()
+        assert body_kinds.count("conv") == 3 and body_kinds.count("bn") == 3
+
+    def test_unknown_module_becomes_eager_node(self):
+        class Odd(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.linear = nn.Linear(4, 2)
+
+            def forward(self, x):
+                return self.linear(x).tanh()
+
+        assert trace(Odd()).kinds() == ["eager"]
+
+    def test_node_names_follow_module_paths(self):
+        model = create_model("mobilenetv2-tiny", num_classes=4)
+        graph = trace(model)
+        names = [node.name for node, _ in graph.walk()]
+        assert any(name.startswith("features.0") for name in names)
+        assert "classifier" in names
+
+
+class TestPassOrdering:
+    def test_fusion_requires_fold_first(self):
+        with pytest.raises(PassOrderError):
+            PassManager([FuseActivations(), FoldBatchNorm()])
+
+    def test_fold_then_fuse_is_valid(self):
+        PassManager([FoldBatchNorm(), FuseActivations()])  # must not raise
+
+    def test_plan_memory_requires_shapes(self):
+        with pytest.raises(PassOrderError):
+            PassManager([PlanMemory()])
+
+    def test_plan_memory_requires_layout_on_graph(self):
+        graph = trace(ConvBNAct(3, 4, kernel_size=3))
+        with pytest.raises(PassOrderError):
+            PassManager([InferShapes((1, 3, 8, 8)), PlanMemory()]).run(graph)
+
+    def test_layout_before_plan_is_valid(self):
+        graph = trace(ConvBNAct(3, 4, kernel_size=3))
+        PassManager([AssignLayout("NCHW"), InferShapes((1, 3, 8, 8)), PlanMemory()]).run(graph)
+        assert graph.meta["memory_plan"].peak_value_int8_bytes > 0
+
+    def test_declared_pipelines_are_valid(self):
+        for pipeline in (inference_pipeline(), int8_pipeline(), training_pipeline(0.1)):
+            PassManager(pipeline)  # must not raise
+
+    def test_bn_folds_recorded_before_fusion(self):
+        block = ConvBNAct(3, 4, kernel_size=3)  # conv -> bn -> relu6
+        graph = trace(block)
+        PassManager([EliminateDropout(), FoldBatchNorm(), FuseActivations()]).run(graph)
+        assert graph.kinds() == ["conv"]
+        conv = graph.nodes[0]
+        assert len(conv.meta["bn_folds"]) == 1
+        assert conv.meta["act"] == ("relu6",)
+
+
+class TestFrontend:
+    def test_mode_dispatch_types(self, rng):
+        model = create_model("mobilenetv2-tiny", num_classes=4)
+        model.eval()
+        assert isinstance(repro.compile(model), CompiledNet)
+        assert isinstance(repro.compile(model, mode="train"), TrainStep)
+        qmodel = _quantized_model("mobilenetv2-tiny", rng)
+        assert isinstance(repro.compile(qmodel, mode="int8"), QuantizedNet)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(CompileError):
+            repro.compile(create_model("mobilenetv2-tiny", num_classes=4), mode="jit")
+
+    def test_unlowerable_loss_raises_compile_error(self):
+        class WeirdLoss:
+            def __call__(self, model, x, y):  # pragma: no cover - never run
+                raise NotImplementedError
+
+        with pytest.raises(CompileError):
+            repro.compile(create_model("mcunet", num_classes=4), mode="train", loss=WeirdLoss())
+
+    def test_infer_bit_identical_to_legacy_compile_net(self, rng):
+        """The redesign preserves the pre-IR engines bit for bit."""
+        from repro.runtime import compile_net
+
+        model = create_model("mobilenetv2-tiny", num_classes=8)
+        _randomize_bn_stats(model, rng)
+        model.eval()
+        x = rng.normal(size=(3, 3, 16, 16)).astype(np.float32)
+        new = repro.compile(model).numpy_forward(x)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = compile_net(model).numpy_forward(x)
+        np.testing.assert_array_equal(new, legacy)
+
+    def test_int8_bit_identical_to_legacy_compile_quantized(self, rng):
+        from repro.runtime import compile_quantized
+
+        model = _quantized_model("mcunet", rng)
+        x = rng.normal(0.2, 0.8, size=(2, 3, 16, 16)).astype(np.float32)
+        new = repro.compile(model, mode="int8", dw_kernel="einsum").numpy_forward(x)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = compile_quantized(model, dw_kernel="einsum").numpy_forward(x)
+        np.testing.assert_array_equal(new, legacy)
+
+    def test_train_bit_identical_to_legacy_compile_training_step(self, rng):
+        from repro.runtime import compile_training_step
+
+        def one_step(use_frontend: bool):
+            seed_everything(7)
+            model = create_model("mobilenetv2-tiny", num_classes=8)
+            model.train()
+            if use_frontend:
+                step = repro.compile(model, mode="train")
+            else:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    step = compile_training_step(model)
+            gen = np.random.default_rng(3)
+            x = gen.normal(size=(4, 3, 16, 16)).astype(np.float32)
+            y = gen.integers(0, 8, size=4)
+            loss, logits = step(x, y)
+            return loss, logits, [p.grad.copy() for p in model.parameters() if p.grad is not None]
+
+        loss_a, logits_a, grads_a = one_step(True)
+        loss_b, logits_b, grads_b = one_step(False)
+        assert loss_a == loss_b
+        np.testing.assert_array_equal(logits_a, logits_b)
+        for ga, gb in zip(grads_a, grads_b):
+            np.testing.assert_array_equal(ga, gb)
+
+    def test_describe_reports_passes_and_nodes(self, rng):
+        model = create_model("mobilenetv2-tiny", num_classes=4)
+        model.eval()
+        report = repro.compile(model).describe()
+        assert "fold_batchnorm" in report and "fuse_activations" in report
+        assert "features.0.conv" in report
+        qreport = repro.compile(_quantized_model("mobilenetv2-tiny", rng), mode="int8").describe()
+        assert "lower_int8" in qreport and "grid=" in qreport
+
+    def test_legacy_wrappers_warn_exactly_once(self):
+        from repro.runtime import compile_net, frontend
+
+        model = create_model("mobilenetv2-tiny", num_classes=4)
+        model.eval()
+        frontend._DEPRECATION_SEEN.discard("compile_net")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            compile_net(model)
+            compile_net(model)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "repro.compile" in str(deprecations[0].message)
+
+    def test_engine_registry_resolves_serving_backends(self):
+        assert {"float", "int8"} <= set(available_engines())
+        assert resolve_engine("float").mode == "infer"
+        assert resolve_engine("int8").mode == "int8"
+        with pytest.raises(KeyError):
+            resolve_engine("tpu")
+
+    def test_options_and_overrides_are_exclusive(self):
+        model = create_model("mobilenetv2-tiny", num_classes=4)
+        with pytest.raises(ValueError):
+            compile_model(model, options=repro.CompileOptions(), dw_kernel="einsum")
+
+
+class TestMemoryPlans:
+    def test_float_compiled_net_reports_arena_plan(self, rng):
+        model = create_model("mobilenetv2-tiny", num_classes=8)
+        model.eval()
+        plan = repro.compile(model).memory_plan((1, 3, 16, 16))
+        assert plan.peak_value_int8_bytes > 0
+        assert plan.arena_elements > 0
+        assert "peak working set" in plan.summary()
+
+    def test_float_plan_matches_analytic_peak_on_plain_chain(self, rng):
+        """On a fusion-free sequential chain the liveness plan equals
+        max(input + output) — the analytic deployment approximation.  (With a
+        fusable activation in the chain the plan comes out *tighter*, because
+        the compiled program runs conv+act as one step.)"""
+        from repro.eval.deployment import peak_activation_memory
+
+        model = nn.Sequential(
+            nn.Conv2d(3, 8, 3, stride=1, padding=0),
+            nn.Conv2d(8, 4, 3, stride=1, padding=0),
+            nn.Conv2d(4, 4, 3, stride=1, padding=0),
+        )
+        model.eval()
+        plan = repro.compile(model).memory_plan((1, 3, 12, 12))
+        assert plan.peak_value_int8_bytes == peak_activation_memory(model, (3, 12, 12))
+
+    def test_train_step_reports_forward_plan(self):
+        model = create_model("mcunet", num_classes=4)
+        step = repro.compile(model, mode="train")
+        assert step.memory_plan((2, 3, 16, 16)).peak_value_int8_bytes > 0
+
+    def test_quantized_net_memory_plan_alias(self, rng):
+        engine = repro.compile(_quantized_model("mobilenetv2-tiny", rng), mode="int8")
+        shape = (1, 3, 16, 16)
+        assert (
+            engine.memory_plan(shape).peak_value_int8_bytes
+            == engine.memory_report(shape).peak_value_int8_bytes
+        )
+
+    def test_deployment_report_surfaces_planner_peaks(self, rng):
+        from repro.eval.deployment import deployment_report
+
+        model = create_model("mobilenetv2-tiny", num_classes=8)
+        model.eval()
+        report = deployment_report(model, (3, 16, 16))
+        assert report.planner_backend == "float"
+        assert report.planned_peak_int8_bytes > 0
+        assert "planned peak SRAM" in report.summary()
+
+        qmodel = _quantized_model("mobilenetv2-tiny", rng)
+        qreport = deployment_report(qmodel, (3, 16, 16))
+        assert qreport.planner_backend == "int8"
+        assert qreport.planned_peak_int8_bytes > 0

@@ -190,9 +190,14 @@ class TestIntegerLowering:
         np.testing.assert_allclose(out, eager, rtol=1e-4, atol=1e-5)
 
     def test_uncalibrated_wrapper_stays_eager_in_compile_net(self, rng):
+        from repro.runtime import trace
+        from repro.runtime.compiler import _op_from_node
+
         conv = nn.Conv2d(3, 4, 3, padding=1)
         wrapper = QuantizedConv2d(conv, QuantizationSpec())
-        op = compiler_mod._lower(wrapper)
+        graph = trace(wrapper)
+        assert graph.kinds() == ["qconv"]  # still observing, but typed at trace
+        op = _op_from_node(graph.nodes[0])
         assert isinstance(op, compiler_mod.EagerOp)
 
     def test_uncalibrated_model_rejected_by_compile_quantized(self):
