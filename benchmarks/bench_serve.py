@@ -1,6 +1,6 @@
-"""Serving benchmarks: int8 vs float compiled throughput, batched vs serial.
+"""Serving benchmarks: int8 vs float throughput, batching, and the fleet.
 
-Two lanes, written to ``BENCH_serve.json`` so the perf trajectory is tracked
+Four lanes, written to ``BENCH_serve.json`` so the perf trajectory is tracked
 across PRs and gated by ``scripts/check_bench.py``:
 
 1. **Engine lane** — single-stream throughput (imgs/sec) of the int8 integer
@@ -11,6 +11,17 @@ across PRs and gated by ``scripts/check_bench.py``:
    (max-batch window, padded assembly) vs serial batch-1 serving, both driven
    by the closed-loop load generator.  The acceptance floor is batched >= 2x
    serial.
+3. **Fleet lane** — the supervised multi-process fleet (4 replicas over
+   shared memory + loopback sockets) vs the threaded in-process engine with
+   the same worker count.  The 1.5x fleet-over-threaded floor only applies
+   on machines with >= 4 CPU cores — on fewer cores the replicas time-share
+   one core and the IPC overhead cannot be amortized, so the gate drops to a
+   sanity floor.  ``cpu_count`` is recorded in the report so the gate can
+   tell which regime produced it.
+4. **Chaos lane** — the same fleet under fault injection (replica SIGKILLs,
+   corrupt replies, slow batches).  Gates: zero lost requests, at least one
+   supervised restart actually exercised, all replicas serving again at the
+   end of the run, and chaos p99 within a small multiple of the clean p99.
 
 Also records the int8-vs-fake-quant parity error (max |logit delta|), so a
 perf win can never silently trade away correctness.
@@ -25,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -35,9 +47,13 @@ import repro
 from repro import nn
 from repro.compress import calibrate, quantize_model
 from repro.models import create_model
-from repro.serve import Engine
+from repro.serve import Engine, build_server
+from repro.serve.fleet import Fleet, FleetConfig
 from repro.serve.loadgen import run_load
 from repro.utils import seed_everything
+
+FLEET_REPLICAS = 4
+FLEET_CHAOS = "kill:prob=0.02,max=2;corrupt:prob=0.01,max=5;slow:prob=0.05,ms=2"
 
 
 def interleaved_median_ms(fn_a, fn_b, repeats: int, warmup: int = 5) -> tuple[float, float]:
@@ -121,9 +137,87 @@ def serving_lane(int8_net, resolution: int, n_requests: int) -> dict:
     }
 
 
+def _fleet_run(resolution: int, n_requests: int, chaos: str | None):
+    """One closed-loop load run against a fresh replica fleet."""
+    config = FleetConfig(
+        replicas=FLEET_REPLICAS,
+        max_batch=16,
+        max_wait_ms=2.0,
+        max_pending=256,
+        max_attempts=6,
+        builder_kwargs={
+            "model_name": "mobilenetv2-tiny",
+            "resolution": resolution,
+            "engine": "int8",
+        },
+        chaos=chaos,
+    )
+    with Fleet(config) as fleet:
+        fleet.wait_ready(replicas=FLEET_REPLICAS, timeout=120.0)
+        with fleet.client(timeout=60.0, retries=6) as client:
+            report = run_load(client, n_requests=n_requests, concurrency=32, warmup=16, timeout=60.0)
+        # "serving again within the run": give restarts in flight a moment to
+        # finish, then count ready replicas BEFORE the drain stops everything
+        deadline = time.monotonic() + 10.0
+        while fleet.stats().ready < FLEET_REPLICAS and time.monotonic() < deadline:
+            time.sleep(0.05)
+        ready_at_end = fleet.stats().ready
+        fleet.close()  # drain before reading the final counters
+        stats = fleet.stats()
+        stats.ready = ready_at_end
+    return report, stats
+
+
+def fleet_lane(resolution: int, n_requests: int) -> dict:
+    """Multi-process fleet vs the threaded engine, clean and under chaos."""
+    threaded = build_server(
+        "mobilenetv2-tiny",
+        resolution=resolution,
+        workers=FLEET_REPLICAS,
+        max_batch=16,
+        max_wait_ms=2.0,
+    )
+    with threaded:
+        threaded_report = run_load(threaded, n_requests=n_requests, concurrency=32, warmup=16)
+
+    clean_report, clean_stats = _fleet_run(resolution, n_requests, chaos=None)
+    chaos_report, chaos_stats = _fleet_run(resolution, n_requests, chaos=FLEET_CHAOS)
+
+    clean_p99 = clean_report.latency_ms_p99
+    return {
+        "replicas": FLEET_REPLICAS,
+        "cpu_count": os.cpu_count(),
+        "threaded_req_per_sec": threaded_report.requests_per_sec,
+        "threaded_p99_ms": threaded_report.latency_ms_p99,
+        "fleet_req_per_sec": clean_report.requests_per_sec,
+        "fleet_p50_ms": clean_report.latency_ms_p50,
+        "fleet_p99_ms": clean_p99,
+        "speedup_fleet_vs_threaded": clean_report.requests_per_sec
+        / max(threaded_report.requests_per_sec, 1e-9),
+        "clean_lost": clean_stats.lost,
+        "clean_errors": clean_report.errors,
+        "chaos": {
+            "spec": FLEET_CHAOS,
+            "req_per_sec": chaos_report.requests_per_sec,
+            "p99_ms": chaos_report.latency_ms_p99,
+            "p99_ratio_vs_clean": chaos_report.latency_ms_p99 / max(clean_p99, 1e-9),
+            "lost": chaos_stats.lost,
+            "load_errors": chaos_report.errors,
+            "load_timeouts": chaos_report.timeouts,
+            "typed_errors": chaos_stats.errors,
+            "restarts": chaos_stats.restarts,
+            "crashes_detected": chaos_stats.crashes_detected,
+            "corrupt_detected": chaos_stats.corrupt_detected,
+            "requeued": chaos_stats.requeued,
+            "ready_at_end": chaos_stats.ready,
+        },
+    }
+
+
 def run_benchmarks(smoke: bool, repeats: int) -> dict:
     resolution = 12  # the MCU-scale substrate: experiments run 12-16 px inputs
     n_requests = 1500 if smoke else 3000
+    fleet_requests = 1200 if smoke else 2500
     float_net, int8_net, model = build_engines("mobilenetv2-tiny", resolution)
     rng = np.random.default_rng(1)
     return {
@@ -131,6 +225,7 @@ def run_benchmarks(smoke: bool, repeats: int) -> dict:
         "resolution": resolution,
         "engine": engine_lane(float_net, int8_net, model, resolution, repeats, rng),
         "serving": serving_lane(int8_net, resolution, n_requests),
+        "fleet": fleet_lane(resolution, fleet_requests),
     }
 
 
@@ -175,6 +270,21 @@ def main() -> None:
         f"batched {serving['batched_req_per_sec']:.0f} req/s "
         f"({serving['speedup_batched_vs_serial']:.2f}x, "
         f"mean batch {serving['batched_mean_batch_size']:.1f})"
+    )
+    fleet = results["fleet"]
+    chaos = fleet["chaos"]
+    print(
+        f"fleet ({fleet['replicas']} replicas, {fleet['cpu_count']} cpus): "
+        f"threaded {fleet['threaded_req_per_sec']:.0f} req/s, "
+        f"fleet {fleet['fleet_req_per_sec']:.0f} req/s "
+        f"({fleet['speedup_fleet_vs_threaded']:.2f}x), p99 {fleet['fleet_p99_ms']:.1f} ms"
+    )
+    print(
+        f"chaos: {chaos['req_per_sec']:.0f} req/s, p99 {chaos['p99_ms']:.1f} ms "
+        f"({chaos['p99_ratio_vs_clean']:.2f}x clean), lost {chaos['lost']}, "
+        f"restarts {chaos['restarts']} ({chaos['crashes_detected']} crashes, "
+        f"{chaos['corrupt_detected']} corrupt caught), "
+        f"ready at end {chaos['ready_at_end']}/{fleet['replicas']}"
     )
     print(f"\nwrote {args.output}")
 

@@ -8,7 +8,10 @@ Dispatches on the report's ``suite`` field:
 * ``bench_serve`` (``BENCH_serve.json``) — the int8 integer engine must reach
   the configured speedup over the float compiled engine at batches 1-8, and
   dynamic batching must sustain the configured multiple of serial batch-1
-  serving req/s.
+  serving req/s.  The multi-process fleet lane must beat the threaded engine
+  on machines with enough cores (CPU-count-aware floor), and the chaos lane
+  must show zero lost requests, exercised-and-recovered restarts, and a
+  bounded chaos-vs-clean p99 ratio.
 * ``bench_ops`` (``BENCH_ops.json``) — the compiled inference program must
   stay above the seed-speedup floor, and a program built through
   ``repro.compile`` must match one built through the legacy ``compile_net``
@@ -84,6 +87,7 @@ def check_serve(report: dict, args) -> list[str]:
         failures.append(
             f"int8 parity drifted: max |logit delta| {parity:.4f} > {args.max_parity_delta}"
         )
+    failures.extend(check_fleet(bench.get("fleet"), args))
     speedups = " ".join(
         f"b{batch}={engine[f'batch{batch}']['speedup_int8_vs_float']:.2f}x"
         for batch in (1, 8, 64)
@@ -93,6 +97,57 @@ def check_serve(report: dict, args) -> list[str]:
         f"serving {serving['serial_req_per_sec']:.0f} -> "
         f"{serving['batched_req_per_sec']:.0f} req/s ({batching:.2f}x batched); "
         f"parity {parity:.4f}"
+    )
+    return failures
+
+
+def check_fleet(fleet: dict | None, args) -> list[str]:
+    """Gate the multi-process fleet and chaos lanes of a serving report.
+
+    The fleet-vs-threaded speedup floor is CPU-count aware: process-level
+    parallelism needs cores to run on, so the full ``--min-fleet-speedup``
+    floor only applies when the report was produced on >= 4 cores; on
+    smaller machines (1-2 core CI runners) the replicas time-share and only
+    a sanity floor is enforced.  The robustness gates — zero lost requests,
+    restarts exercised and recovered from, bounded chaos tail latency —
+    apply everywhere.
+    """
+    if fleet is None:
+        return ["report missing the multi-process fleet lane"]
+    failures = []
+    chaos = fleet["chaos"]
+    cpus = fleet.get("cpu_count") or 1
+    if cpus >= 4:
+        floor, regime = args.min_fleet_speedup, f"{cpus} cpus"
+    else:
+        floor, regime = args.min_fleet_speedup_scarce, f"only {cpus} cpu(s), degraded floor"
+    speedup = fleet["speedup_fleet_vs_threaded"]
+    if speedup < floor:
+        failures.append(
+            f"fleet throughput below floor: {speedup:.2f}x < {floor:.2f}x "
+            f"vs threaded engine ({regime})"
+        )
+    if fleet["clean_lost"] != 0:
+        failures.append(f"clean fleet run lost {fleet['clean_lost']} requests")
+    if chaos["lost"] != 0:
+        failures.append(f"chaos fleet run lost {chaos['lost']} requests")
+    if chaos["restarts"] < 1:
+        failures.append("chaos run exercised no supervised restart (kill fault never fired?)")
+    if chaos["ready_at_end"] < fleet["replicas"]:
+        failures.append(
+            f"crashed replicas not all serving again at end of chaos run: "
+            f"{chaos['ready_at_end']}/{fleet['replicas']} ready"
+        )
+    ratio = chaos["p99_ratio_vs_clean"]
+    if ratio > args.max_chaos_p99_ratio:
+        failures.append(
+            f"chaos tail latency blew up: p99 {ratio:.2f}x clean > "
+            f"{args.max_chaos_p99_ratio:.2f}x"
+        )
+    print(
+        f"fleet: {speedup:.2f}x vs threaded ({regime}); chaos p99 {ratio:.2f}x clean, "
+        f"lost {chaos['lost']}, restarts {chaos['restarts']}, "
+        f"ready {chaos['ready_at_end']}/{fleet['replicas']}"
     )
     return failures
 
@@ -162,6 +217,24 @@ def main() -> int:
         type=float,
         default=1.0,
         help="[serve] maximum int8-vs-fake-quant |logit delta|",
+    )
+    parser.add_argument(
+        "--min-fleet-speedup",
+        type=float,
+        default=1.5,
+        help="[serve] minimum fleet-vs-threaded req/s ratio on machines with >= 4 cpus",
+    )
+    parser.add_argument(
+        "--min-fleet-speedup-scarce",
+        type=float,
+        default=0.2,
+        help="[serve] sanity floor for the fleet ratio on < 4 cpus (replicas time-share)",
+    )
+    parser.add_argument(
+        "--max-chaos-p99-ratio",
+        type=float,
+        default=3.0,
+        help="[serve] maximum chaos-vs-clean p99 latency ratio for the fleet",
     )
     parser.add_argument(
         "--min-ops-seed-ratio",

@@ -61,7 +61,7 @@ from .frontend import (
 )
 from .ir import CompileError, Graph, OpNode, trace
 from .passes import PassManager, PassOrderError
-from .planner import ArenaPlanner, MemoryPlan
+from .planner import ArenaPlanner, IOPlan, MemoryPlan, plan_io
 from .quantized import QuantCompileError, QuantizedNet, compile_quantized
 from .training import TrainStep, compile_training_step
 from . import kernels
@@ -96,6 +96,8 @@ __all__ = [
     "QuantLinearOp",
     "ArenaPlanner",
     "MemoryPlan",
+    "IOPlan",
+    "plan_io",
     "fold_conv_bn",
     "activation_spec",
     "kernels",

@@ -413,6 +413,10 @@ class CompiledNet:
         return f"CompiledNet(source={type(self.source).__name__})"
 
 
+from .frontend import _deprecated
+
+
+@_deprecated("repro.compile(model, mode='infer')")
 def compile_net(model: nn.Module) -> CompiledNet:
     """Deprecated alias of ``repro.compile(model, mode="infer")``.
 
@@ -425,7 +429,6 @@ def compile_net(model: nn.Module) -> CompiledNet:
         Use :func:`repro.compile` — this wrapper emits a
         :class:`DeprecationWarning` (once) and forwards to it.
     """
-    from .frontend import compile_model, warn_legacy_once
+    from .frontend import compile_model
 
-    warn_legacy_once("compile_net", "repro.compile(model, mode='infer')")
     return compile_model(model, mode="infer")

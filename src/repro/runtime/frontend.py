@@ -30,6 +30,7 @@ over this frontend.
 
 from __future__ import annotations
 
+import functools
 import warnings
 from dataclasses import dataclass
 
@@ -238,16 +239,30 @@ register_engine("int8", "int8", "planned true-integer engine (QuantizedNet)")
 _DEPRECATION_SEEN: set[str] = set()
 
 
-def warn_legacy_once(name: str, replacement: str) -> None:
-    """Emit the deprecation warning for a legacy entry point exactly once."""
-    if name in _DEPRECATION_SEEN:
-        return
-    _DEPRECATION_SEEN.add(name)
-    warnings.warn(
-        f"repro.runtime.{name} is deprecated; use {replacement}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+def _deprecated(replacement: str):
+    """Mark a legacy entry point: warn once (per process), then forward.
+
+    The single home of the legacy-shim warning plumbing —
+    ``compile_net`` / ``compile_quantized`` / ``compile_training_step`` are
+    all plain functions decorated with this, so the once-only bookkeeping,
+    message format and warning category cannot drift apart per shim.
+    """
+
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if func.__name__ not in _DEPRECATION_SEEN:
+                _DEPRECATION_SEEN.add(func.__name__)
+                warnings.warn(
+                    f"repro.runtime.{func.__name__} is deprecated; use {replacement}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 def describe_graph(graph: Graph | None, executor) -> str:

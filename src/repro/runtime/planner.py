@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Buffer", "ArenaPlanner", "MemoryPlan"]
+__all__ = ["Buffer", "ArenaPlanner", "MemoryPlan", "IOPlan", "plan_io"]
 
 
 class Buffer:
@@ -93,6 +93,79 @@ class MemoryPlan:
             f"buffers           : {len(self.buffers)}",
         ]
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class IOPlan:
+    """Per-request serving buffer sizes derived from a compiled executor.
+
+    The serving fleet moves request/response tensors through fixed-size
+    ``multiprocessing.shared_memory`` slots; this is the planner-backed sizing
+    contract for one slot.  A slot holds the request's input tensor and its
+    output tensor side by side (``slot_elements = input + output``) so the
+    input survives the reply — a redispatch after a replica crash or a corrupt
+    reply re-reads the original bytes instead of asking the client again.
+
+    ``peak_value_int8_bytes`` carries the executor's arena-planner working-set
+    accounting (``None`` for backends without a memory plan, e.g. eager
+    callables), so fleet capacity math can sit next to the per-replica SRAM
+    numbers the deployment reports use.
+    """
+
+    input_shape: tuple[int, ...]
+    input_elements: int
+    output_shape: tuple[int, ...]
+    output_elements: int
+    peak_value_int8_bytes: int | None = None
+
+    @property
+    def slot_elements(self) -> int:
+        return self.input_elements + self.output_elements
+
+    @property
+    def slot_bytes(self) -> int:
+        """Bytes per shared-memory slot (float32 wire format)."""
+        return self.slot_elements * 4
+
+    def summary(self) -> str:
+        peak = (
+            f"{self.peak_value_int8_bytes / 1024:.2f} kB planned peak"
+            if self.peak_value_int8_bytes is not None
+            else "no memory plan"
+        )
+        return (
+            f"slot: {self.input_elements} in + {self.output_elements} out elements "
+            f"({self.slot_bytes} B); replica working set: {peak}"
+        )
+
+
+def plan_io(net, input_shape: tuple[int, ...]) -> IOPlan:
+    """Derive a serving :class:`IOPlan` from an executor and per-sample shape.
+
+    ``net`` is anything servable — a compiled executor with ``numpy_forward``
+    (:class:`~repro.runtime.CompiledNet` / :class:`~repro.runtime.QuantizedNet`)
+    or a bare callable.  The output shape comes from one batch-1 probe
+    forward; when the executor exposes ``memory_plan`` the arena planner's
+    peak working set is attached as well.
+    """
+    input_shape = tuple(int(s) for s in input_shape)
+    forward = net.numpy_forward if hasattr(net, "numpy_forward") else net
+    probe = np.zeros((1,) + input_shape, dtype=np.float32)
+    out = np.asarray(forward(probe))
+    output_shape = tuple(int(s) for s in out.shape[1:])
+    peak = None
+    if hasattr(net, "memory_plan"):
+        try:
+            peak = int(net.memory_plan((1,) + input_shape).peak_value_int8_bytes)
+        except Exception:
+            peak = None
+    return IOPlan(
+        input_shape=input_shape,
+        input_elements=int(np.prod(input_shape)) if input_shape else 1,
+        output_shape=output_shape,
+        output_elements=int(np.prod(output_shape)) if output_shape else 1,
+        peak_value_int8_bytes=peak,
+    )
 
 
 class ArenaPlanner:

@@ -1198,6 +1198,10 @@ def build_quantized_program(graph: Graph, dw_kernel: str = "auto") -> QuantizedN
     return QuantizedNet(_ir_from_graph(graph), graph.source, dw_kernel=dw_kernel, graph=graph)
 
 
+from .frontend import _deprecated
+
+
+@_deprecated("repro.compile(model, mode='int8')")
 def compile_quantized(model: nn.Module, dw_kernel: str = "auto") -> QuantizedNet:
     """Deprecated alias of ``repro.compile(model, mode="int8")``.
 
@@ -1228,7 +1232,6 @@ def compile_quantized(model: nn.Module, dw_kernel: str = "auto") -> QuantizedNet
         Use :func:`repro.compile` — this wrapper emits a
         :class:`DeprecationWarning` (once) and forwards to it.
     """
-    from .frontend import compile_model, warn_legacy_once
+    from .frontend import compile_model
 
-    warn_legacy_once("compile_quantized", "repro.compile(model, mode='int8')")
     return compile_model(model, mode="int8", dw_kernel=dw_kernel)

@@ -641,6 +641,10 @@ def build_training_program(graph: Graph) -> TrainStep:
     return TrainStep(graph.source, chain, CrossEntropyTrainNode(label_smoothing), graph=graph)
 
 
+from .frontend import _deprecated
+
+
+@_deprecated("repro.compile(model, mode='train', loss=..., optimizer=...)")
 def compile_training_step(
     model: nn.Module,
     loss=None,
@@ -674,12 +678,9 @@ def compile_training_step(
         Use :func:`repro.compile` — this wrapper emits a
         :class:`DeprecationWarning` (once) and forwards to it.
     """
-    from .frontend import compile_model, warn_legacy_once
+    from .frontend import compile_model
     from .ir import CompileError
 
-    warn_legacy_once(
-        "compile_training_step", "repro.compile(model, mode='train', loss=..., optimizer=...)"
-    )
     try:
         return compile_model(model, mode="train", loss=loss, optimizer=optimizer)
     except CompileError:

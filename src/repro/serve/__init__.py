@@ -1,7 +1,8 @@
 """Throughput-oriented model serving on top of the compiled runtimes.
 
-The serving layer turns the repo's compiled inference engines into a
-dynamic-batching model server::
+Two serving tiers share one request model (submit a sample, get a future):
+
+**In-process engine** — dynamic micro-batching over worker threads::
 
     from repro.serve import Engine, build_server
 
@@ -10,11 +11,23 @@ dynamic-batching model server::
     logits = future.result()
     print(engine.stats().summary())
 
-:class:`Engine` implements the max-batch / max-wait dynamic batching policy
-with padded batch assembly over a multi-worker executor;
-:func:`repro.serve.loadgen.run_load` is the closed-loop load harness, and
-``python -m repro.serve --model mobilenetv2-tiny --workers 4`` runs a
-self-contained load test from the command line.
+**Supervised fleet** — N replica processes behind an asyncio front door,
+with shared-memory tensor transport, heartbeat watchdog, crash/hang recovery
+and typed-error semantics (every admitted request resolves to a result or a
+typed error — never silence)::
+
+    from repro.serve import Fleet
+
+    with Fleet(replicas=4, builder_kwargs={"engine": "int8"}) as fleet:
+        with fleet.client() as client:
+            logits = client.predict(image)
+        print(fleet.stats().summary())
+
+:class:`Engine` implements the max-batch / max-wait dynamic batching policy;
+:func:`repro.serve.loadgen.run_load` is the closed-loop load harness and
+drives either tier; ``python -m repro.serve --replicas 4`` runs a
+self-contained fleet load test (with optional ``--chaos`` fault injection)
+from the command line.
 
 Inference backends are resolved by name through the
 :func:`repro.runtime.resolve_engine` registry (``--engine {float,int8}``) and
@@ -24,10 +37,28 @@ the uncompiled module.
 
 from __future__ import annotations
 
-import numpy as np
-
+from .chaos import ChaosConfig, ChaosMonkey, parse_chaos
 from .engine import Engine, EngineConfig, ServeStats
+from .fleet import (
+    Fleet,
+    FleetConfig,
+    FleetStats,
+    ServingBackend,
+    echo_backend,
+    model_backend,
+    resolve_net,
+)
 from .loadgen import LoadReport, run_load
+from .transport import (
+    BadRequest,
+    CorruptReply,
+    DeadlineExceeded,
+    FleetClient,
+    FleetError,
+    Overloaded,
+    ReplicaFailed,
+    ServerClosed,
+)
 
 __all__ = [
     "Engine",
@@ -37,6 +68,27 @@ __all__ = [
     "run_load",
     "build_server",
     "available_backends",
+    # fleet tier
+    "Fleet",
+    "FleetConfig",
+    "FleetStats",
+    "FleetClient",
+    "ServingBackend",
+    "model_backend",
+    "echo_backend",
+    "resolve_net",
+    # chaos / fault injection
+    "ChaosConfig",
+    "ChaosMonkey",
+    "parse_chaos",
+    # typed serving errors
+    "FleetError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "ReplicaFailed",
+    "CorruptReply",
+    "ServerClosed",
+    "BadRequest",
 ]
 
 
@@ -69,39 +121,19 @@ def build_server(
     ``repro.serve --engine`` CLI flag) and wins when both are given.  Extra
     keyword arguments configure the engine's batching policy (``max_batch``,
     ``max_wait_ms``, ``workers``...).
+
+    The model construction is shared with the fleet's
+    :func:`~repro.serve.fleet.model_backend` builder, so both serving tiers
+    serve bit-identical backends.
     """
-    from ..compress import calibrate, quantize_model
-    from ..models import create_model
-    from ..runtime import compile_model, resolve_engine
-    from ..utils import seed_everything
-
     name = engine if engine is not None else backend
-    seed_everything(seed)
-    model = create_model(model_name, num_classes=num_classes)
-    model.eval()
-    input_shape = (3, resolution, resolution)
-    if name == "eager":
-        from .. import nn
-
-        def eager_forward(batch, _model=model):
-            with nn.no_grad():
-                return _model(nn.Tensor(batch)).numpy()
-
-        net = eager_forward
-    else:
-        try:
-            spec = resolve_engine(name)
-        except KeyError:
-            raise ValueError(
-                f"unknown backend {name!r}; available: {available_backends()}"
-            ) from None
-        if spec.mode == "int8":
-            rng = np.random.default_rng(seed)
-            quantize_model(model)
-            batches = [
-                rng.normal(0.2, 0.8, size=(8,) + input_shape).astype(np.float32)
-                for _ in range(calibration_batches)
-            ]
-            calibrate(model, batches, method=calibration_method)
-        net = compile_model(model, mode=spec.mode)
+    net, input_shape = resolve_net(
+        model_name=model_name,
+        resolution=resolution,
+        num_classes=num_classes,
+        engine=name,
+        calibration_batches=calibration_batches,
+        calibration_method=calibration_method,
+        seed=seed,
+    )
     return Engine(net, input_shape, **engine_kwargs)

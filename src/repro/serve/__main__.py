@@ -1,11 +1,19 @@
-"""Command-line load test for the serving engine.
+"""Command-line load test for the serving engine and the replica fleet.
 
-Builds a registry model, compiles it (int8 by default), serves it through the
-dynamic-batching engine and drives it with a closed-loop load generator::
+Builds a registry model, compiles it (int8 by default), serves it and drives
+it with a closed-loop load generator::
 
     PYTHONPATH=src python -m repro.serve --model mobilenetv2-tiny --workers 4
     PYTHONPATH=src python -m repro.serve --engine float --concurrency 64
-    PYTHONPATH=src python -m repro.serve --requests 5000 --json /tmp/serve.json
+    PYTHONPATH=src python -m repro.serve --replicas 4 --requests 5000
+    PYTHONPATH=src python -m repro.serve --replicas 2 --chaos "kill:prob=1,warmup=50,max=1"
+
+Without ``--replicas`` the in-process dynamic-batching :class:`Engine`
+serves; with ``--replicas N`` a supervised multi-process
+:class:`~repro.serve.Fleet` serves over shared memory and loopback sockets,
+optionally under ``--chaos`` fault injection (kill/hang/slow/corrupt/drop).
+In fleet mode the exit code is nonzero if any request was lost — admitted
+but never answered with a result or typed error.
 
 ``--engine`` names resolve through the :func:`repro.runtime.resolve_engine`
 registry (plus the special ``eager`` backend); prints sustained req/s,
@@ -18,38 +26,66 @@ import argparse
 import json
 from pathlib import Path
 
-from . import build_server
+from . import available_backends, build_server
 from .loadgen import run_load
 
 
 def main(argv=None) -> int:
-    from . import available_backends
-
-    backends = tuple(available_backends())
     parser = argparse.ArgumentParser(prog="python -m repro.serve", description=__doc__)
     parser.add_argument("--model", default="mobilenetv2-tiny", help="registry model name")
     parser.add_argument(
         "--engine",
         default=None,
-        choices=backends,
         help="inference engine, resolved through the repro.runtime engine registry",
     )
-    parser.add_argument(
-        "--backend",
-        default="int8",
-        choices=backends,
-        help="deprecated alias of --engine",
-    )
+    parser.add_argument("--backend", default="int8", help="deprecated alias of --engine")
     parser.add_argument("--resolution", type=int, default=16, help="input resolution")
     parser.add_argument("--workers", type=int, default=2, help="batching worker threads")
     parser.add_argument("--max-batch", type=int, default=16, help="dynamic batch cap")
     parser.add_argument("--max-wait-ms", type=float, default=2.0, help="batch window")
     parser.add_argument("--requests", type=int, default=2000, help="measured requests")
     parser.add_argument("--concurrency", type=int, default=32, help="closed-loop clients")
+    parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="per-request client wait; timed-out requests are counted, not fatal",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", type=Path, default=None, help="write the report as JSON")
+    fleet_group = parser.add_argument_group("fleet mode (multi-process serving)")
+    fleet_group.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="serve from N supervised replica processes instead of in-process threads",
+    )
+    fleet_group.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="server-side deadline per request (fleet mode)",
+    )
+    fleet_group.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="admission bound; excess requests are shed with Overloaded (fleet mode)",
+    )
+    fleet_group.add_argument(
+        "--chaos",
+        default=None,
+        help="fault-injection spec, e.g. 'kill:prob=1,warmup=50,max=1;slow:prob=0.05,ms=5'",
+    )
     args = parser.parse_args(argv)
     engine_name = args.engine if args.engine is not None else args.backend
+    known = available_backends()
+    if engine_name not in known:
+        parser.error(f"unknown engine {engine_name!r}; available: {known}")
+    timeout_s = args.timeout_ms / 1e3 if args.timeout_ms is not None else None
+
+    if args.replicas > 0:
+        return _run_fleet(args, engine_name, timeout_s)
 
     print(f"building {args.model} [{engine_name}] at {args.resolution}x{args.resolution} ...")
     engine = build_server(
@@ -63,7 +99,11 @@ def main(argv=None) -> int:
     )
     with engine:
         report = run_load(
-            engine, n_requests=args.requests, concurrency=args.concurrency, seed=args.seed
+            engine,
+            n_requests=args.requests,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            timeout=timeout_s,
         )
         stats = engine.stats()
     print(report.summary())
@@ -71,6 +111,7 @@ def main(argv=None) -> int:
     print(f"batch-size mix    : {stats.batch_size_counts}")
     if args.json is not None:
         payload = {
+            "mode": "engine",
             "model": args.model,
             "backend": engine_name,
             "resolution": args.resolution,
@@ -90,6 +131,64 @@ def main(argv=None) -> int:
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
     return 0
+
+
+def _run_fleet(args, engine_name: str, timeout_s: float | None) -> int:
+    from .fleet import Fleet, FleetConfig
+
+    config = FleetConfig(
+        replicas=args.replicas,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        builder_kwargs={
+            "model_name": args.model,
+            "resolution": args.resolution,
+            "engine": engine_name,
+            "seed": args.seed,
+        },
+        chaos=args.chaos,
+        **({"default_deadline_ms": args.deadline_ms} if args.deadline_ms is not None else {}),
+    )
+    print(
+        f"starting fleet: {args.replicas} replicas of {args.model} [{engine_name}] "
+        f"at {args.resolution}x{args.resolution}"
+        + (f", chaos '{args.chaos}'" if args.chaos else "")
+        + " ..."
+    )
+    with Fleet(config) as fleet:
+        fleet.wait_ready(timeout=config.start_timeout, replicas=args.replicas)
+        with fleet.client(deadline_ms=args.deadline_ms) as client:
+            report = run_load(
+                client,
+                n_requests=args.requests,
+                concurrency=args.concurrency,
+                seed=args.seed,
+                timeout=timeout_s,
+            )
+        fleet.close()  # drain before reading the final stats
+        stats = fleet.stats()
+    print(report.summary())
+    print(stats.summary())
+    lost = stats.lost
+    if lost:
+        print(f"ERROR: {lost} requests lost (admitted but never answered)")
+    if args.json is not None:
+        payload = {
+            "mode": "fleet",
+            "model": args.model,
+            "backend": engine_name,
+            "resolution": args.resolution,
+            "replicas": args.replicas,
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "chaos": args.chaos,
+            "load": report.__dict__,
+            "fleet": stats.to_dict(),
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 1 if lost else 0
 
 
 if __name__ == "__main__":

@@ -273,21 +273,30 @@ class Engine:
                 buffer[i] = request.sample
             if padded > count:
                 buffer[count:padded] = 0.0
+            # The whole per-batch handling is exception-safe: whatever the
+            # backend does — raise mid-forward, return a malformed output that
+            # breaks result splitting — every future in the batch resolves
+            # (result or exception) and the worker survives to serve the next
+            # batch.  A dead worker thread would strand queued requests forever.
+            delivered = 0
             try:
                 outputs = self._forward(buffer[:padded])
-            except Exception as error:  # propagate to every waiting client
+                done = time.perf_counter()
+                latencies = [(done - request.enqueued_at) * 1e3 for request in batch]
+                for i, request in enumerate(batch):
+                    result = np.array(outputs[i], copy=True)
+                    request.future.set_result(result)
+                    delivered += 1
+            except Exception as error:  # propagate to every still-waiting client
                 with self._lock:
-                    self._failed += len(batch)
+                    self._failed += count - delivered
+                    self._completed += delivered
                     self._batches += 1
-                for request in batch:
+                for request in batch[delivered:]:
                     request.future.set_exception(error)
                 continue
-            done = time.perf_counter()
-            latencies = [(done - request.enqueued_at) * 1e3 for request in batch]
-            for i, request in enumerate(batch):
-                request.future.set_result(np.array(outputs[i], copy=True))
             with self._lock:
-                self._completed += len(batch)
+                self._completed += count
                 self._batches += 1
                 self._batch_sizes[count] = self._batch_sizes.get(count, 0) + 1
                 self._latencies.extend(latencies)

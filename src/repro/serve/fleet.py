@@ -1,0 +1,860 @@
+"""Supervised multi-process serving fleet with an asyncio front door.
+
+The in-process :class:`~repro.serve.Engine` tops out at one GIL and has no
+recovery story.  :class:`Fleet` is the production-shaped tier above it:
+
+* **N replica processes**, each holding a compiled engine resolved through
+  the :func:`repro.runtime.resolve_engine` registry (``engine="int8"`` /
+  ``"float"``), supervised by :class:`~repro.serve.supervisor.Supervisor`
+  (heartbeat watchdog, crash/hang detection, capped-exponential-backoff
+  restart, graceful drain).
+* **Shared-memory slots** for tensor traffic: request and response tensors
+  live side by side in fixed ``multiprocessing.shared_memory`` ring slots
+  sized by the arena planner's :func:`repro.runtime.plan_io` hook, so a
+  request's input bytes survive a crashed replica and can be redispatched
+  without asking the client again.
+* **An asyncio front door** speaking the length-prefixed protocol of
+  :mod:`repro.serve.transport`: per-request deadlines (every admitted request
+  resolves within its deadline — result or typed error), bounded admission
+  (no free slot ⇒ an explicit ``Overloaded`` reply instead of an unbounded
+  queue), CRC-validated replies, and automatic redispatch of failed attempts
+  up to ``max_attempts``.
+* **Fault injection** via :mod:`repro.serve.chaos` — kill/hang/slow/corrupt
+  faults in replicas and connection drops at the front door — so every
+  recovery path above is exercised by tests and ``benchmarks/bench_serve.py``
+  rather than trusted.
+
+Quickstart::
+
+    from repro.serve import Fleet, FleetClient
+
+    with Fleet(replicas=4, builder_kwargs={"engine": "int8"}) as fleet:
+        with fleet.client() as client:
+            logits = client.predict(image)       # (C, H, W) -> (classes,)
+        print(fleet.stats().summary())
+
+The "zero lost requests" invariant: every request admitted by the front door
+is eventually answered with a result or a typed error, across replica
+crashes, hangs, corrupt replies, overload and drain.  ``FleetStats.lost``
+counts violations and is asserted zero by the test suite and the chaos
+benchmark gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, shared_memory
+
+import numpy as np
+
+from . import transport
+from .chaos import ChaosConfig, parse_chaos
+from .supervisor import ReplicaSpec, Supervisor, resolve_builder
+from .transport import (
+    KIND_ERROR,
+    KIND_PING,
+    KIND_PONG,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    KIND_STATS,
+    KIND_STATS_REPLY,
+    FleetClient,
+    pack_frame,
+    split_frame,
+)
+
+__all__ = [
+    "FleetConfig",
+    "Fleet",
+    "FleetStats",
+    "ServingBackend",
+    "model_backend",
+    "echo_backend",
+    "resolve_net",
+]
+
+
+# --------------------------------------------------------------------------- #
+# backends
+# --------------------------------------------------------------------------- #
+class ServingBackend:
+    """A servable forward function plus its IO contract.
+
+    Builders (``model_backend``, ``echo_backend``, or any
+    ``"module:callable"`` path in :class:`FleetConfig.builder`) return one of
+    these; replicas call ``forward(batch) -> outputs``.
+    """
+
+    def __init__(self, forward, input_shape: tuple[int, ...], net=None, name: str = "backend"):
+        self.forward = forward
+        self.input_shape = tuple(int(s) for s in input_shape)
+        self.net = net
+        self.name = name
+
+    def io_plan(self):
+        """Plan-derived slot sizing (:func:`repro.runtime.plan_io`)."""
+        from ..runtime import plan_io
+
+        return plan_io(self.net if self.net is not None else self.forward, self.input_shape)
+
+
+def resolve_net(
+    model_name: str = "mobilenetv2-tiny",
+    resolution: int = 16,
+    num_classes: int = 16,
+    engine: str = "int8",
+    calibration_batches: int = 2,
+    calibration_method: str = "minmax",
+    seed: int = 0,
+):
+    """Build and compile a registry model for serving.
+
+    Engines resolve by name through :func:`repro.runtime.resolve_engine`
+    (plus the special ``"eager"`` backend); unknown names raise ``ValueError``
+    listing the registry's known names.  Returns ``(net, input_shape)``.
+    """
+    from ..compress import calibrate, quantize_model
+    from ..models import create_model
+    from ..runtime import available_engines, compile_model, resolve_engine
+    from ..utils import seed_everything
+
+    seed_everything(seed)
+    model = create_model(model_name, num_classes=num_classes)
+    model.eval()
+    input_shape = (3, int(resolution), int(resolution))
+    if engine == "eager":
+        from .. import nn
+
+        def eager_forward(batch, _model=model):
+            with nn.no_grad():
+                return _model(nn.Tensor(batch)).numpy()
+
+        return eager_forward, input_shape
+    try:
+        spec = resolve_engine(engine)
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {sorted(available_engines() + ['eager'])}"
+        ) from None
+    if spec.mode == "int8":
+        rng = np.random.default_rng(seed)
+        quantize_model(model)
+        batches = [
+            rng.normal(0.2, 0.8, size=(8,) + input_shape).astype(np.float32)
+            for _ in range(calibration_batches)
+        ]
+        calibrate(model, batches, method=calibration_method)
+    return compile_model(model, mode=spec.mode), input_shape
+
+
+def model_backend(
+    model_name: str = "mobilenetv2-tiny",
+    resolution: int = 16,
+    num_classes: int = 16,
+    engine: str = "int8",
+    calibration_batches: int = 2,
+    calibration_method: str = "minmax",
+    seed: int = 0,
+) -> ServingBackend:
+    """Default fleet builder: a compiled registry model (int8 by default)."""
+    net, input_shape = resolve_net(
+        model_name=model_name,
+        resolution=resolution,
+        num_classes=num_classes,
+        engine=engine,
+        calibration_batches=calibration_batches,
+        calibration_method=calibration_method,
+        seed=seed,
+    )
+    forward = net.numpy_forward if hasattr(net, "numpy_forward") else net
+    return ServingBackend(forward, input_shape, net=net, name=f"{model_name}[{engine}]")
+
+
+def echo_backend(
+    resolution: int = 8, channels: int = 3, classes: int = 4, delay_ms: float = 0.0
+) -> ServingBackend:
+    """Deterministic model-free builder for fleet tests and chaos drills.
+
+    The output is a cheap, exactly-reproducible function of the input (the
+    per-sample features are split into ``classes`` contiguous chunks and each
+    chunk summed), so correctness through crashes and redispatches can be
+    asserted bit-for-bit without compiling a model.  ``delay_ms`` makes the
+    backend artificially slow for overload and deadline tests.
+    """
+    input_shape = (int(channels), int(resolution), int(resolution))
+
+    def forward(batch):
+        if delay_ms:
+            time.sleep(delay_ms / 1e3)
+        flat = np.asarray(batch, dtype=np.float32).reshape(len(batch), -1)
+        chunks = np.array_split(flat, classes, axis=1)
+        return np.stack([chunk.sum(axis=1) for chunk in chunks], axis=1)
+
+    return ServingBackend(forward, input_shape, name="echo")
+
+
+# --------------------------------------------------------------------------- #
+# config and stats
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FleetConfig:
+    """Policy of a serving :class:`Fleet`.
+
+    Parameters
+    ----------
+    replicas:
+        Number of supervised replica processes.
+    max_batch, max_wait_ms:
+        Per-replica micro-batching policy (same semantics as
+        :class:`~repro.serve.EngineConfig`).
+    max_pending:
+        Bound on admitted-but-unfinished requests; this is also the number of
+        shared-memory slots.  When full, new requests are shed with a typed
+        ``Overloaded`` reply — the queue never grows without bound.
+    default_deadline_ms:
+        Server-side deadline for requests that do not carry their own; every
+        admitted request resolves (result or typed error) within it.
+    max_attempts:
+        Dispatch attempts per request across crashed replicas, replica
+        errors and corrupt replies before a typed error is returned.
+    heartbeat_interval, miss_threshold:
+        Replicas heartbeat from their serving loop every ``interval``
+        seconds; ``miss_threshold`` missed beats mark a replica hung, which
+        SIGKILLs and restarts it.
+    start_timeout:
+        Budget for a replica to build its backend and report ready.
+    restart_backoff_base, restart_backoff_cap, restart_reset_after, max_restarts:
+        Capped exponential restart backoff
+        (``min(cap, base * 2**(failures-1))``); the failure count resets
+        after ``restart_reset_after`` healthy seconds.  ``max_restarts=None``
+        retries forever.
+    builder, builder_kwargs:
+        ``"module:callable"`` returning a :class:`ServingBackend`; defaults
+        to the compiled registry model builder (:func:`model_backend`).
+    chaos:
+        A :class:`~repro.serve.chaos.ChaosConfig`, a spec string, or ``None``
+        to read ``$REPRO_CHAOS``.
+    start_method:
+        ``"fork"`` (fast spawn + restart; replicas inherit the parent-built
+        backend) or ``"spawn"`` (replicas rebuild from the spec).  ``None``
+        picks fork when the platform offers it.
+    """
+
+    replicas: int = 2
+    max_batch: int = 8
+    max_wait_ms: float = 1.0
+    max_pending: int = 128
+    default_deadline_ms: float = 10_000.0
+    max_attempts: int = 3
+    heartbeat_interval: float = 0.1
+    miss_threshold: int = 5
+    start_timeout: float = 60.0
+    restart_backoff_base: float = 0.05
+    restart_backoff_cap: float = 2.0
+    restart_reset_after: float = 5.0
+    max_restarts: int | None = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    builder: str = "repro.serve.fleet:model_backend"
+    builder_kwargs: dict = field(default_factory=dict)
+    chaos: "ChaosConfig | str | None" = None
+    start_method: str | None = None
+    drain_timeout: float = 15.0
+
+    def __post_init__(self):
+        if self.replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.heartbeat_interval <= 0 or self.miss_threshold < 1:
+            raise ValueError("heartbeat_interval must be > 0 and miss_threshold >= 1")
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(f"unknown start_method {self.start_method!r}")
+
+    def resolved_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        return "fork" if "fork" in get_all_start_methods() else "spawn"
+
+    def resolved_chaos(self) -> ChaosConfig:
+        if self.chaos is None:
+            return ChaosConfig.from_env()
+        return parse_chaos(self.chaos)
+
+
+@dataclass
+class FleetStats:
+    """Snapshot of fleet counters; ``lost`` must be zero at all times."""
+
+    replicas: int = 0
+    ready: int = 0
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    errors: dict = field(default_factory=dict)
+    requeued: int = 0
+    corrupt_detected: int = 0
+    deadline_expired: int = 0
+    restarts: int = 0
+    hangs_detected: int = 0
+    crashes_detected: int = 0
+    inflight: int = 0
+    per_replica: list = field(default_factory=list)
+
+    @property
+    def error_total(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def lost(self) -> int:
+        """Admitted requests unaccounted for — the invariant is zero."""
+        return self.submitted - self.completed - self.error_total - self.inflight
+
+    def summary(self) -> str:
+        lines = [
+            f"fleet             : {self.ready}/{self.replicas} replicas ready, "
+            f"{self.restarts} restarts ({self.crashes_detected} crashes, "
+            f"{self.hangs_detected} hangs detected)",
+            f"requests          : {self.completed}/{self.submitted} completed, "
+            f"{self.error_total} typed errors {dict(sorted(self.errors.items()))}, "
+            f"{self.shed} shed, {self.inflight} in flight, {self.lost} lost",
+            f"recovery          : {self.requeued} requeued, {self.corrupt_detected} corrupt "
+            f"replies caught, {self.deadline_expired} deadlines expired",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "ready": self.ready,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": dict(self.errors),
+            "requeued": self.requeued,
+            "corrupt_detected": self.corrupt_detected,
+            "deadline_expired": self.deadline_expired,
+            "restarts": self.restarts,
+            "hangs_detected": self.hangs_detected,
+            "crashes_detected": self.crashes_detected,
+            "inflight": self.inflight,
+            "lost": self.lost,
+            "per_replica": list(self.per_replica),
+        }
+
+
+class _Entry:
+    """Front-door bookkeeping for one admitted request."""
+
+    __slots__ = (
+        "gid", "writer", "request_id", "slot", "attempts",
+        "dispatched", "done", "released", "timer",
+    )
+
+    def __init__(self, gid, writer, request_id, slot):
+        self.gid = gid
+        self.writer = writer
+        self.request_id = request_id
+        self.slot = slot
+        self.attempts = 0
+        self.dispatched = None  # (replica_index, generation) while on a replica
+        self.done = False  # client has its final answer
+        self.released = False  # slot returned to the free pool
+        self.timer = None
+
+
+# --------------------------------------------------------------------------- #
+# the fleet
+# --------------------------------------------------------------------------- #
+class Fleet:
+    """Supervised multi-process serving fleet (see module docstring).
+
+    All routing state lives on the event-loop thread; public methods are safe
+    to call from any thread.  Use as a context manager or call :meth:`close`
+    (graceful drain by default).
+    """
+
+    def __init__(self, config: FleetConfig | None = None, **overrides):
+        if config is None:
+            config = FleetConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config
+        self.address: tuple[str, int] | None = None
+        self.io = None
+        self._chaos = config.resolved_chaos()
+        self._front_monkey = self._chaos.monkey(-2) if self._chaos.faults else None
+        self._backend = None
+        self._slots_shm = None
+        self._hb_shm = None
+        self._slots = None
+        self._hb = None
+        self._loop = None
+        self._thread = None
+        self._supervisor = None
+        self._started = threading.Event()
+        self._start_error = None
+        self._shutdown = None
+        self._closed = False
+        self._draining = False
+        # routing state (event-loop thread only)
+        self._free_slots: list[int] = []
+        self._inflight: dict[int, _Entry] = {}
+        self._undispatched: deque = deque()
+        self._next_gid = 0
+        # counters (event-loop thread only)
+        self._submitted = 0
+        self._completed = 0
+        self._shed = 0
+        self._errors: dict[str, int] = {}
+        self._requeued = 0
+        self._corrupt_detected = 0
+        self._deadline_expired = 0
+        self._final_stats: FleetStats | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self, wait_ready: bool = True) -> "Fleet":
+        """Build the backend, map the slots, spawn replicas, open the door."""
+        if self._thread is not None:
+            raise RuntimeError("fleet already started")
+        cfg = self.config
+        self._backend = resolve_builder(cfg.builder)(**cfg.builder_kwargs)
+        self.io = self._backend.io_plan()
+        n_slots = cfg.max_pending
+        self._slots_shm = shared_memory.SharedMemory(
+            create=True, size=max(n_slots * self.io.slot_bytes, 1)
+        )
+        self._hb_shm = shared_memory.SharedMemory(create=True, size=cfg.replicas * 8)
+        self._slots = np.ndarray(
+            (n_slots, self.io.slot_elements), dtype=np.float32, buffer=self._slots_shm.buf
+        )
+        self._hb = np.ndarray((cfg.replicas,), dtype=np.float64, buffer=self._hb_shm.buf)
+        self._free_slots = list(range(n_slots))
+        use_fork = cfg.resolved_start_method() == "fork"
+        spec = ReplicaSpec(
+            index=0,
+            replicas=cfg.replicas,
+            builder=cfg.builder,
+            builder_kwargs=dict(cfg.builder_kwargs),
+            input_shape=self.io.input_shape,
+            input_elements=self.io.input_elements,
+            output_elements=self.io.output_elements,
+            slot_elements=self.io.slot_elements,
+            n_slots=n_slots,
+            slots_name=self._slots_shm.name,
+            hb_name=self._hb_shm.name,
+            max_batch=cfg.max_batch,
+            max_wait_ms=cfg.max_wait_ms,
+            heartbeat_interval=cfg.heartbeat_interval,
+            chaos=self._chaos if self._chaos.faults else None,
+            prebuilt=self._backend if use_fork else None,
+        )
+        self._spec = spec
+        self._thread = threading.Thread(target=self._run_loop, name="fleet-front-door", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._start_error is not None:
+            raise self._start_error
+        if self.address is None:
+            raise RuntimeError("fleet front door failed to start")
+        if wait_ready:
+            self.wait_ready(timeout=cfg.start_timeout)
+        return self
+
+    def wait_ready(self, timeout: float = 60.0, replicas: int = 1) -> None:
+        """Block until at least ``replicas`` replicas report ready."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.stats().ready >= replicas:
+                return
+            time.sleep(0.01)
+        raise TimeoutError(f"no {replicas} ready replicas within {timeout:.1f}s")
+
+    def client(self, **kwargs) -> FleetClient:
+        """A connected :class:`~repro.serve.transport.FleetClient`."""
+        if self.address is None:
+            raise RuntimeError("fleet is not started")
+        return FleetClient(self.address, **kwargs)
+
+    def stats(self) -> FleetStats:
+        """A consistent snapshot of the fleet counters (any thread)."""
+        if self._final_stats is not None or self._loop is None:
+            return self._final_stats or FleetStats(replicas=self.config.replicas)
+        from concurrent.futures import Future
+
+        fut: Future = Future()
+
+        def grab():
+            try:
+                fut.set_result(self._stats_snapshot())
+            except Exception as error:  # pragma: no cover - defensive
+                fut.set_exception(error)
+
+        self._post(grab)
+        try:
+            return fut.result(timeout=5.0)
+        except Exception:
+            return self._final_stats or FleetStats(replicas=self.config.replicas)
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop admitting, finish in-flight (when draining), stop replicas."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is None:
+            self._cleanup_shm()
+            return
+        if timeout is None:
+            timeout = self.config.drain_timeout + 15.0
+        self._post(self._begin_shutdown, drain)
+        self._thread.join(timeout=timeout)
+        self._cleanup_shm()
+
+    def __enter__(self) -> "Fleet":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _cleanup_shm(self) -> None:
+        self._slots = None
+        self._hb = None
+        if self._supervisor is not None:
+            self._supervisor.hb = None
+        for shm_attr in ("_slots_shm", "_hb_shm"):
+            shm = getattr(self, shm_attr)
+            if shm is None:
+                continue
+            setattr(self, shm_attr, None)
+            try:
+                shm.close()
+                shm.unlink()
+            except (BufferError, FileNotFoundError, OSError):
+                pass
+
+    # ------------------------------------------------------------------ #
+    # event loop
+    # ------------------------------------------------------------------ #
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve_main())
+        except Exception as error:  # pragma: no cover - defensive
+            self._start_error = error
+            self._started.set()
+
+    def _post(self, fn, *args) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:
+            pass  # loop shut down between the check and the call
+
+    async def _serve_main(self) -> None:
+        cfg = self.config
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._drain_requested = True
+        self._supervisor = Supervisor(
+            cfg,
+            self._spec,
+            self._hb,
+            post=self._post,
+            on_msg=self._on_replica_msg,
+            on_down=self._on_replica_down,
+        )
+        server = await asyncio.start_server(self._handle_conn, cfg.host, cfg.port)
+        self.address = server.sockets[0].getsockname()[:2]
+        self._supervisor.spawn_all()
+        watchdog = asyncio.create_task(self._watchdog())
+        self._started.set()
+        await self._shutdown.wait()
+        # ---- graceful drain: stop admitting, finish in-flight, stop fleet
+        self._draining = True
+        server.close()
+        await server.wait_closed()
+        if self._drain_requested:
+            deadline = time.monotonic() + cfg.drain_timeout
+            while any(not e.done for e in self._inflight.values()) and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+        for entry in list(self._inflight.values()):
+            if not entry.done:
+                self._finish_error(entry, transport.ServerClosed("fleet shut down"))
+            entry.dispatched = None
+            self._release(entry)
+        watchdog.cancel()
+        self._supervisor.stop_all(timeout=5.0)
+        self._final_stats = self._stats_snapshot()
+
+    def _begin_shutdown(self, drain: bool) -> None:
+        self._drain_requested = drain
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def _watchdog(self) -> None:
+        interval = max(self.config.heartbeat_interval / 2, 0.01)
+        while True:
+            await asyncio.sleep(interval)
+            self._supervisor.poll()
+            self._flush_undispatched()
+
+    # ------------------------------------------------------------------ #
+    # client connections
+    # ------------------------------------------------------------------ #
+    async def _handle_conn(self, reader, writer) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                length = int.from_bytes(header, "little")
+                if not 9 <= length <= transport.MAX_FRAME_BYTES:
+                    break
+                body = await reader.readexactly(length)
+                kind, request_id, meta, payload = split_frame(body)
+                if kind == KIND_REQUEST:
+                    if self._front_monkey is not None and self._front_monkey.drop_connection():
+                        writer.transport.abort()  # chaos: sever the connection mid-request
+                        return
+                    self._admit(writer, request_id, meta, payload)
+                elif kind == KIND_PING:
+                    self._send_frame(
+                        writer,
+                        pack_frame(
+                            KIND_PONG,
+                            request_id,
+                            {
+                                "input_shape": list(self.io.input_shape),
+                                "output_shape": list(self.io.output_shape),
+                                "replicas": self.config.replicas,
+                            },
+                        ),
+                    )
+                elif kind == KIND_STATS:
+                    self._send_frame(
+                        writer,
+                        pack_frame(KIND_STATS_REPLY, request_id, self._stats_snapshot().to_dict()),
+                    )
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass  # loop teardown after drain; the connection is going away anyway
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def _send_frame(self, writer, frame: bytes) -> None:
+        try:
+            if not writer.is_closing():
+                writer.write(frame)
+        except Exception:
+            pass  # client went away; the request still counts as resolved
+
+    def _reply_error(self, writer, request_id: int, code: str, message: str) -> None:
+        self._send_frame(writer, pack_frame(KIND_ERROR, request_id, {"code": code, "message": message}))
+
+    # ------------------------------------------------------------------ #
+    # admission and dispatch (event-loop thread)
+    # ------------------------------------------------------------------ #
+    def _admit(self, writer, request_id: int, meta: dict, payload: bytes) -> None:
+        if self._draining:
+            self._reply_error(writer, request_id, "shutdown", "fleet is draining")
+            return
+        if len(payload) != self.io.input_elements * 4:
+            self._reply_error(
+                writer,
+                request_id,
+                "bad_request",
+                f"expected {self.io.input_elements * 4} payload bytes, got {len(payload)}",
+            )
+            return
+        if not self._supervisor.alive():
+            self._reply_error(writer, request_id, "replica_failed", "all replicas failed permanently")
+            return
+        if not self._free_slots:
+            self._shed += 1
+            self._reply_error(
+                writer, request_id, "overloaded",
+                f"admission queue full ({self.config.max_pending} pending)",
+            )
+            return
+        slot = self._free_slots.pop()
+        self._slots[slot, : self.io.input_elements] = np.frombuffer(payload, dtype=np.float32)
+        self._next_gid += 1
+        entry = _Entry(self._next_gid, writer, request_id, slot)
+        deadline_ms = float(meta.get("deadline_ms") or self.config.default_deadline_ms)
+        entry.timer = self._loop.call_later(deadline_ms / 1e3, self._expire, entry)
+        self._inflight[entry.gid] = entry
+        self._submitted += 1
+        self._dispatch(entry)
+
+    def _dispatch(self, entry: _Entry) -> None:
+        ready = self._supervisor.ready_handles()
+        if not ready:
+            self._undispatched.append(entry)
+            return
+        handle = min(ready, key=lambda h: len(h.assigned))
+        entry.dispatched = (handle.index, handle.generation)
+        handle.assigned[entry.gid] = entry
+        try:
+            handle.work.send(("run", entry.gid, entry.slot))
+        except (OSError, ValueError):
+            # the pipe just broke under us: this replica is dead; mark_down
+            # requeues everything assigned to it (including this entry)
+            self._supervisor.crashes_detected += 1
+            self._supervisor.mark_down(handle, "dispatch pipe error")
+
+    def _flush_undispatched(self) -> None:
+        while self._undispatched and self._supervisor.ready_handles():
+            entry = self._undispatched.popleft()
+            if entry.done or entry.dispatched is not None:
+                continue
+            self._dispatch(entry)
+
+    # ------------------------------------------------------------------ #
+    # replica events (event-loop thread, via supervisor)
+    # ------------------------------------------------------------------ #
+    def _on_replica_msg(self, handle, msg) -> None:
+        kind = msg[0]
+        if kind == "ready":
+            self._flush_undispatched()
+            return
+        if kind == "done":
+            _, gid, crc = msg
+            entry = handle.assigned.pop(gid, None)
+            if entry is None:
+                return
+            entry.dispatched = None
+            if entry.done:  # deadline already answered the client; reclaim the slot
+                self._release(entry)
+                return
+            data = self._slots[entry.slot, self.io.input_elements : self.io.slot_elements]
+            if zlib.crc32(data.tobytes()) != crc:
+                self._corrupt_detected += 1
+                self._retry(entry, transport.CorruptReply("reply failed checksum validation"))
+                return
+            handle.served += 1
+            self._send_frame(
+                entry.writer,
+                pack_frame(
+                    KIND_RESPONSE,
+                    entry.request_id,
+                    {"shape": list(self.io.output_shape)},
+                    data.tobytes(),
+                ),
+            )
+            self._completed += 1
+            self._finish(entry)
+            self._release(entry)
+        elif kind == "err":
+            _, gid, message = msg
+            entry = handle.assigned.pop(gid, None)
+            if entry is None:
+                return
+            entry.dispatched = None
+            if entry.done:
+                self._release(entry)
+                return
+            self._retry(entry, transport.ReplicaFailed(message))
+
+    def _on_replica_down(self, handle, reason: str, assigned: dict) -> None:
+        for entry in assigned.values():
+            entry.dispatched = None
+            if entry.done:
+                self._release(entry)
+            else:
+                self._retry(entry, transport.ReplicaFailed(f"replica {handle.index} down: {reason}"))
+
+    # ------------------------------------------------------------------ #
+    # completion paths
+    # ------------------------------------------------------------------ #
+    def _retry(self, entry: _Entry, error: "transport.FleetError") -> None:
+        entry.attempts += 1
+        if entry.attempts >= self.config.max_attempts:
+            self._finish_error(entry, error)
+            self._release(entry)
+            return
+        self._requeued += 1
+        self._dispatch(entry)
+
+    def _expire(self, entry: _Entry) -> None:
+        if entry.done:
+            return
+        self._deadline_expired += 1
+        self._finish_error(
+            entry, transport.DeadlineExceeded("request deadline expired"), cancel_timer=False
+        )
+        if entry.dispatched is None:
+            # never on a replica right now: the slot can be reclaimed at once;
+            # if it sits in the undispatched queue the flush skips done entries
+            self._release(entry)
+        # else: a replica is still writing this slot — it is released when the
+        # late ack arrives or the replica dies (zombie slot accounting)
+
+    def _finish(self, entry: _Entry, cancel_timer: bool = True) -> None:
+        entry.done = True
+        if cancel_timer and entry.timer is not None:
+            entry.timer.cancel()
+
+    def _finish_error(self, entry: _Entry, error, cancel_timer: bool = True) -> None:
+        code = getattr(error, "code", "error")
+        self._errors[code] = self._errors.get(code, 0) + 1
+        self._reply_error(entry.writer, entry.request_id, code, str(error))
+        self._finish(entry, cancel_timer=cancel_timer)
+
+    def _release(self, entry: _Entry) -> None:
+        if entry.released or entry.dispatched is not None:
+            return
+        entry.released = True
+        self._inflight.pop(entry.gid, None)
+        self._free_slots.append(entry.slot)
+
+    # ------------------------------------------------------------------ #
+    # stats
+    # ------------------------------------------------------------------ #
+    def _stats_snapshot(self) -> FleetStats:
+        sup = self._supervisor
+        per_replica = []
+        ready = 0
+        if sup is not None:
+            for handle in sup.handles:
+                per_replica.append(
+                    {
+                        "index": handle.index,
+                        "state": handle.state,
+                        "served": handle.served,
+                        "restarts": handle.restarts,
+                        "pid": handle.pid,
+                    }
+                )
+            ready = len(sup.ready_handles())
+        return FleetStats(
+            replicas=self.config.replicas,
+            ready=ready,
+            submitted=self._submitted,
+            completed=self._completed,
+            shed=self._shed,
+            errors=dict(self._errors),
+            requeued=self._requeued,
+            corrupt_detected=self._corrupt_detected,
+            deadline_expired=self._deadline_expired,
+            restarts=sup.restarts if sup is not None else 0,
+            hangs_detected=sup.hangs_detected if sup is not None else 0,
+            crashes_detected=sup.crashes_detected if sup is not None else 0,
+            inflight=sum(1 for e in self._inflight.values() if not e.done),
+            per_replica=per_replica,
+        )

@@ -1,16 +1,19 @@
-"""Closed-loop load generator for the serving engine.
+"""Closed-loop load generator for the serving engine and fleet.
 
-Drives an :class:`~repro.serve.Engine` with ``concurrency`` synchronous
-clients (each submits a request, waits for its result, submits the next —
-the standard closed-loop model) and reports sustained request throughput and
-end-to-end latency percentiles.  Used by ``python -m repro.serve`` and
-``benchmarks/bench_serve.py``.
+Drives anything with an ``Engine``-shaped ``submit`` — the in-process
+:class:`~repro.serve.Engine` or a fleet
+:class:`~repro.serve.transport.FleetClient` — with ``concurrency``
+synchronous clients (each submits a request, waits for its result, submits
+the next — the standard closed-loop model) and reports sustained request
+throughput and end-to-end latency percentiles.  Used by
+``python -m repro.serve`` and ``benchmarks/bench_serve.py``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,6 +34,7 @@ class LoadReport:
     latency_ms_p99: float
     latency_ms_mean: float
     errors: int = 0
+    timeouts: int = 0
 
     def summary(self) -> str:
         return (
@@ -39,6 +43,7 @@ class LoadReport:
             f"latency p50 {self.latency_ms_p50:.2f} ms / "
             f"p95 {self.latency_ms_p95:.2f} ms / p99 {self.latency_ms_p99:.2f} ms"
             + (f", {self.errors} errors" if self.errors else "")
+            + (f", {self.timeouts} timeouts" if self.timeouts else "")
         )
 
 
@@ -49,13 +54,16 @@ def run_load(
     input_shape: tuple[int, int, int] | None = None,
     seed: int = 0,
     warmup: int = 8,
+    timeout: float | None = None,
 ) -> LoadReport:
     """Drive ``engine`` with a closed loop of synchronous clients.
 
     Parameters
     ----------
     engine:
-        An :class:`~repro.serve.Engine` (or anything with ``submit``).
+        An :class:`~repro.serve.Engine` or
+        :class:`~repro.serve.transport.FleetClient` (anything with
+        ``submit``).
     n_requests:
         Total measured requests across all clients.
     concurrency:
@@ -66,6 +74,11 @@ def run_load(
         Seed for the synthetic request payloads.
     warmup:
         Unmeasured requests issued first (plan building, kernel auto-tuning).
+    timeout:
+        Per-request wait in seconds; a request that does not resolve in time
+        counts in ``LoadReport.timeouts`` (separately from ``errors``) and
+        the client moves on instead of blocking the whole run on one stuck
+        future.  ``None`` waits forever (the historical behavior).
     """
     shape = tuple(input_shape or engine.input_shape)
     rng = np.random.default_rng(seed)
@@ -73,16 +86,21 @@ def run_load(
     pool = [rng.normal(0.2, 0.8, size=shape).astype(np.float32) for _ in range(16)]
 
     for i in range(warmup):
-        engine.submit(pool[i % len(pool)]).result()
+        try:
+            engine.submit(pool[i % len(pool)]).result(timeout=timeout)
+        except Exception:
+            pass  # warmup failures are the measured run's problem, not ours
 
     remaining = [n_requests]
     counter_lock = threading.Lock()
     latencies: list[float] = []
     errors = [0]
+    timeouts = [0]
 
     def client(client_index: int) -> None:
         local: list[float] = []
         local_errors = 0
+        local_timeouts = 0
         step = client_index
         while True:
             with counter_lock:
@@ -91,14 +109,17 @@ def run_load(
                 remaining[0] -= 1
             start = time.perf_counter()
             try:
-                engine.submit(pool[step % len(pool)]).result()
+                engine.submit(pool[step % len(pool)]).result(timeout=timeout)
                 local.append((time.perf_counter() - start) * 1e3)
+            except FutureTimeoutError:
+                local_timeouts += 1
             except Exception:
                 local_errors += 1
             step += concurrency
         with counter_lock:
             latencies.extend(local)
             errors[0] += local_errors
+            timeouts[0] += local_timeouts
 
     threads = [threading.Thread(target=client, args=(i,)) for i in range(concurrency)]
     started = time.perf_counter()
@@ -126,4 +147,5 @@ def run_load(
         latency_ms_p99=pct["p99_ms"],
         latency_ms_mean=float(lat.mean()) if lat.size else float("nan"),
         errors=errors[0],
+        timeouts=timeouts[0],
     )

@@ -1,0 +1,407 @@
+"""Replica lifecycle for the serving fleet: spawn, watch, restart, drain.
+
+The :class:`Supervisor` owns the fleet's replica processes and nothing else —
+request routing lives in :mod:`repro.serve.fleet`.  Each replica runs
+:func:`_replica_main`: it attaches the shared-memory slot block, builds (or
+inherits) its inference backend, and serves micro-batches read from a private
+``multiprocessing`` pipe, writing results back into the slots and acking over
+a second private pipe.  Private pipes matter for fault isolation: a replica
+killed mid-write can only poison *its own* channel, never a sibling's.
+
+Replica state machine::
+
+                 spawn                 ready msg
+      (none) ────────────▶ STARTING ─────────────▶ READY ──┐
+                              │                      │     │ serves
+               start timeout  │   crash / SIGKILL /  │     │ batches
+               or early exit  │   missed heartbeats  │ ◀───┘
+                              ▼                      ▼
+            FAILED ◀──── [retries exhausted] ◀──── DOWN
+                                                     │
+                              restart after capped   │
+                              exponential backoff    ▼
+                                       └────────▶ STARTING ...
+          (on drain: READY/STARTING ──▶ STOPPED)
+
+Liveness has two signals.  *Crash* is cheap to detect: the process exit code
+flips, and the parent's pipe reader sees EOF immediately.  *Hang* needs the
+watchdog: the replica's worker loop — not a helper thread, the loop that
+actually serves — writes a monotonic timestamp into a shared heartbeat array
+every iteration, so a wedged loop (chaos ``hang``, a stuck kernel) stops
+beating by construction and the supervisor SIGKILLs and restarts it after
+``miss_threshold`` missed intervals.
+
+Restarts use capped exponential backoff (``min(cap, base * 2**(failures-1))``)
+so a crash-looping replica cannot hog the machine, and the failure count
+decays after a healthy period so one bad minute does not penalize the replica
+forever.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+import threading
+import multiprocessing
+from dataclasses import dataclass, field
+from importlib import import_module
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .chaos import ChaosConfig
+
+__all__ = ["ReplicaSpec", "ReplicaHandle", "Supervisor", "resolve_builder"]
+
+# replica states
+STARTING = "starting"
+READY = "ready"
+DOWN = "down"
+FAILED = "failed"
+STOPPED = "stopped"
+
+
+def resolve_builder(path):
+    """Resolve a ``"module:callable"`` backend builder path."""
+    if callable(path):
+        return path
+    module_name, _, attr = str(path).partition(":")
+    if not attr:
+        raise ValueError(f"builder path {path!r} must look like 'package.module:callable'")
+    return getattr(import_module(module_name), attr)
+
+
+@dataclass
+class ReplicaSpec:
+    """Everything a replica process needs to serve (picklable for spawn)."""
+
+    index: int
+    replicas: int
+    builder: str
+    builder_kwargs: dict
+    input_shape: tuple[int, ...]
+    input_elements: int
+    output_elements: int
+    slot_elements: int
+    n_slots: int
+    slots_name: str
+    hb_name: str
+    max_batch: int
+    max_wait_ms: float
+    heartbeat_interval: float
+    chaos: ChaosConfig | None = None
+    prebuilt: object = field(default=None, repr=False)  # fork-only fast path
+
+
+def _replica_main(spec: ReplicaSpec, work, resp) -> None:
+    """Replica process entry: serve micro-batches until stop/EOF/fault."""
+    slots_shm = shared_memory.SharedMemory(name=spec.slots_name)
+    hb_shm = shared_memory.SharedMemory(name=spec.hb_name)
+    try:
+        slots = np.ndarray((spec.n_slots, spec.slot_elements), dtype=np.float32, buffer=slots_shm.buf)
+        hb = np.ndarray((spec.replicas,), dtype=np.float64, buffer=hb_shm.buf)
+
+        def beat():
+            hb[spec.index] = time.monotonic()
+
+        beat()
+        backend = (
+            spec.prebuilt
+            if spec.prebuilt is not None
+            else resolve_builder(spec.builder)(**spec.builder_kwargs)
+        )
+        forward = backend.forward if hasattr(backend, "forward") else backend
+        monkey = spec.chaos.monkey(spec.index) if spec.chaos and spec.chaos.faults else None
+        in_elems, out_elems = spec.input_elements, spec.output_elements
+        batch_buf = np.empty((spec.max_batch,) + tuple(spec.input_shape), dtype=np.float32)
+        beat()
+        resp.send(("ready", os.getpid()))
+        stop = False
+        while not stop:
+            # Block for the first request, heartbeating while idle: the beat
+            # comes from THIS loop, so a wedged worker stops beating.
+            msg = None
+            while msg is None:
+                beat()
+                if work.poll(spec.heartbeat_interval / 2):
+                    msg = work.recv()
+            if msg[0] == "stop":
+                break
+            batch = [msg]
+            deadline = time.monotonic() + spec.max_wait_ms / 1e3
+            while len(batch) < spec.max_batch:
+                remaining = deadline - time.monotonic()
+                if not work.poll(max(remaining, 0.0)):
+                    break
+                m = work.recv()
+                if m[0] == "stop":
+                    stop = True
+                    break
+                batch.append(m)
+            beat()
+            if monkey is not None:
+                monkey.pre_batch()  # may SIGKILL, hang (starving beats), or sleep
+            count = len(batch)
+            for i, (_, _, slot) in enumerate(batch):
+                batch_buf[i] = slots[slot, :in_elems].reshape(spec.input_shape)
+            try:
+                out = np.asarray(forward(batch_buf[:count]), dtype=np.float32).reshape(count, -1)
+                if out.shape[1] != out_elems:
+                    raise RuntimeError(
+                        f"backend produced {out.shape[1]} elements/sample, expected {out_elems}"
+                    )
+            except Exception as error:  # typed per-request error, replica survives
+                for _, gid, _ in batch:
+                    resp.send(("err", gid, f"{type(error).__name__}: {error}"))
+                beat()
+                continue
+            for i, (_, gid, slot) in enumerate(batch):
+                dest = slots[slot, in_elems : in_elems + out_elems]
+                dest[:] = out[i]
+                crc = zlib.crc32(dest.tobytes())
+                if monkey is not None:
+                    monkey.corrupt_reply(dest)  # after crc: mismatch is detectable upstream
+                resp.send(("done", gid, crc))
+            beat()
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away or told us to die; nothing to clean beyond shm
+    finally:
+        slots_shm.close()
+        hb_shm.close()
+
+
+@dataclass
+class ReplicaHandle:
+    """Parent-side view of one replica slot (survives restarts)."""
+
+    index: int
+    generation: int = 0
+    state: str = DOWN
+    process: object = None
+    work: object = None  # parent -> child dispatch connection
+    resp: object = None  # child -> parent ack connection (read by a thread)
+    assigned: dict = field(default_factory=dict)  # gid -> entry, in flight on this replica
+    served: int = 0
+    failures: int = 0
+    restarts: int = 0
+    started_at: float = 0.0
+    ready_since: float = 0.0
+    restart_at: float = 0.0
+    pid: int | None = None
+
+    def close_conns(self) -> None:
+        for conn in (self.work, self.resp):
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self.work = self.resp = None
+
+
+class Supervisor:
+    """Owns replica processes: spawn, watch heartbeats, restart, stop.
+
+    All methods run on the fleet's event-loop thread; replica acks arrive via
+    per-replica reader threads that post back onto the loop through ``post``.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.serve.fleet.FleetConfig` (duck-typed here).
+    spec:
+        Template :class:`ReplicaSpec`; each spawn stamps its index.
+    hb:
+        Parent-side view of the shared heartbeat array.
+    post:
+        ``post(fn, *args)`` schedules a callback on the loop thread.
+    on_msg, on_down:
+        Fleet callbacks: ``on_msg(handle, msg)`` for replica acks;
+        ``on_down(handle, reason, assigned)`` with the dead replica's
+        in-flight requests, which the fleet requeues.
+    """
+
+    def __init__(self, config, spec: ReplicaSpec, hb: np.ndarray, *, post, on_msg, on_down):
+        self.config = config
+        self.spec = spec
+        self.hb = hb
+        self._post = post
+        self._on_msg = on_msg
+        self._on_down = on_down
+        self.ctx = multiprocessing.get_context(config.resolved_start_method())
+        self.handles = [ReplicaHandle(index=i) for i in range(config.replicas)]
+        self.restarts = 0  # successful respawns after a failure
+        self.hangs_detected = 0
+        self.crashes_detected = 0
+        self._stopping = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def spawn_all(self) -> None:
+        for handle in self.handles:
+            self.spawn(handle)
+
+    def spawn(self, handle: ReplicaHandle) -> None:
+        """(Re)start one replica with fresh pipes and a new generation."""
+        import dataclasses
+
+        spec = dataclasses.replace(self.spec, index=handle.index)
+        work_recv, work_send = self.ctx.Pipe(duplex=False)
+        resp_recv, resp_send = self.ctx.Pipe(duplex=False)
+        process = self.ctx.Process(
+            target=_replica_main,
+            args=(spec, work_recv, resp_send),
+            name=f"serve-replica-{handle.index}",
+            daemon=True,
+        )
+        process.start()
+        # the child's ends must be closed here so a dead child yields EOF
+        work_recv.close()
+        resp_send.close()
+        if handle.state == DOWN and handle.process is not None:
+            handle.restarts += 1
+            self.restarts += 1
+        handle.generation += 1
+        handle.process = process
+        handle.work = work_send
+        handle.resp = resp_recv
+        handle.state = STARTING
+        handle.started_at = time.monotonic()
+        handle.pid = process.pid
+        handle.assigned.clear()
+        self.hb[handle.index] = time.monotonic()
+        threading.Thread(
+            target=self._reader,
+            args=(handle.index, handle.generation, resp_recv),
+            name=f"serve-replica-{handle.index}-reader",
+            daemon=True,
+        ).start()
+
+    def _reader(self, index: int, generation: int, conn) -> None:
+        """Pump one replica generation's acks onto the loop thread."""
+        while True:
+            try:
+                msg = conn.recv()
+            except Exception:  # EOF, closed pipe, or a truncated/corrupt frame
+                break
+            self._post(self._handle_msg, index, generation, msg)
+        self._post(self._handle_eof, index, generation)
+
+    def _handle_msg(self, index: int, generation: int, msg) -> None:
+        handle = self.handles[index]
+        if handle.generation != generation or self._stopping:
+            return  # stale generation: the crash was already handled
+        if msg[0] == "ready":
+            handle.state = READY
+            handle.ready_since = time.monotonic()
+            self.hb[index] = handle.ready_since
+        self._on_msg(handle, msg)
+
+    def _handle_eof(self, index: int, generation: int) -> None:
+        handle = self.handles[index]
+        if handle.generation != generation or handle.state in (DOWN, FAILED, STOPPED):
+            return
+        self.crashes_detected += 1
+        self.mark_down(handle, "pipe closed (replica exited)")
+
+    # ------------------------------------------------------------------ #
+    # failure handling
+    # ------------------------------------------------------------------ #
+    def mark_down(self, handle: ReplicaHandle, reason: str) -> None:
+        """Take a replica out of rotation and schedule its restart."""
+        if handle.state in (DOWN, FAILED, STOPPED):
+            return
+        handle.state = DOWN
+        handle.close_conns()
+        if handle.process is not None:
+            try:
+                handle.process.join(timeout=0)
+            except (OSError, ValueError, AssertionError):
+                pass
+        assigned = dict(handle.assigned)
+        handle.assigned.clear()
+        handle.failures += 1
+        limit = self.config.max_restarts
+        if limit is not None and handle.failures > limit:
+            handle.state = FAILED
+        else:
+            backoff = min(
+                self.config.restart_backoff_cap,
+                self.config.restart_backoff_base * 2 ** (handle.failures - 1),
+            )
+            handle.restart_at = time.monotonic() + backoff
+        self._on_down(handle, reason, assigned)
+
+    def poll(self) -> None:
+        """One watchdog pass: detect crash/hang/stuck-start, run due restarts."""
+        if self._stopping:
+            return
+        now = time.monotonic()
+        cfg = self.config
+        for handle in self.handles:
+            if handle.state == READY:
+                if not handle.process.is_alive():
+                    self.crashes_detected += 1
+                    self.mark_down(handle, "process died")
+                elif now - self.hb[handle.index] > cfg.heartbeat_interval * cfg.miss_threshold:
+                    self.hangs_detected += 1
+                    self._kill(handle)
+                    self.mark_down(
+                        handle,
+                        f"missed {cfg.miss_threshold} heartbeats "
+                        f"({cfg.heartbeat_interval * cfg.miss_threshold:.2f}s)",
+                    )
+                elif handle.failures and now - handle.ready_since > cfg.restart_reset_after:
+                    handle.failures = 0  # healthy long enough: forgive old crashes
+            elif handle.state == STARTING:
+                if not handle.process.is_alive():
+                    self.crashes_detected += 1
+                    self.mark_down(handle, "died during startup")
+                elif now - handle.started_at > cfg.start_timeout:
+                    self._kill(handle)
+                    self.mark_down(handle, "startup timed out")
+            elif handle.state == DOWN and now >= handle.restart_at:
+                self.spawn(handle)
+
+    def _kill(self, handle: ReplicaHandle) -> None:
+        try:
+            handle.process.kill()
+        except (OSError, ValueError, AttributeError):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # queries / shutdown
+    # ------------------------------------------------------------------ #
+    def ready_handles(self) -> list[ReplicaHandle]:
+        return [h for h in self.handles if h.state == READY]
+
+    def alive(self) -> bool:
+        """Can the fleet still make progress (some replica not FAILED)?"""
+        return any(h.state != FAILED for h in self.handles)
+
+    def stop_all(self, timeout: float = 10.0) -> None:
+        """Graceful stop: ask replicas to exit, then escalate to SIGKILL."""
+        self._stopping = True
+        for handle in self.handles:
+            if handle.work is not None:
+                try:
+                    handle.work.send(("stop",))
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout
+        for handle in self.handles:
+            process = handle.process
+            if process is None:
+                continue
+            try:
+                process.join(timeout=max(deadline - time.monotonic(), 0.0))
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=2.0)
+            except (OSError, ValueError, AssertionError):
+                pass
+            handle.close_conns()
+            if handle.state != FAILED:
+                handle.state = STOPPED

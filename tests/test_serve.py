@@ -82,6 +82,41 @@ class TestEngineBasics:
                 time.sleep(0.01)
             assert engine.stats().failed == 1
 
+    def test_worker_survives_malformed_backend_output(self):
+        """A backend returning garbage (here: too few rows, so result splitting
+        itself raises) must fail every stranded future and leave the worker
+        alive for the next batch."""
+        calls = [0]
+
+        def flaky(batch):
+            calls[0] += 1
+            if calls[0] == 1:
+                return np.zeros((0, 8), dtype=np.float32)  # indexing row 0 raises
+            return np.zeros((len(batch), 8), dtype=np.float32)
+
+        with Engine(flaky, SHAPE, max_batch=1, max_wait_ms=0.0) as engine:
+            bad = engine.submit(_samples(1)[0])
+            with pytest.raises(IndexError):
+                bad.result(timeout=10.0)
+            # the same worker (workers=1) must still serve the next request
+            good = engine.submit(_samples(1)[0]).result(timeout=10.0)
+        assert good.shape == (8,)
+        stats = engine.stats()
+        assert stats.failed == 1
+        assert stats.completed == 1
+
+    def test_batch_error_resolves_every_future(self):
+        """One broken batch must resolve all of its futures, not just one."""
+
+        def broken(batch):
+            raise RuntimeError("backend exploded")
+
+        with Engine(broken, SHAPE, max_batch=8, max_wait_ms=20.0) as engine:
+            futures = [engine.submit(s) for s in _samples(6)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="backend exploded"):
+                    future.result(timeout=10.0)
+
 
 class TestDynamicBatching:
     def test_concurrent_submitters_get_their_own_answers(self, qnet):
@@ -168,6 +203,22 @@ class TestLoadGenAndBuilder:
         assert report.requests_per_sec > 0
         assert report.latency_ms_p50 <= report.latency_ms_p99
         assert "req/s" in report.summary()
+
+    def test_run_load_counts_timeouts(self):
+        """A stuck backend must surface as counted timeouts, not a hung run."""
+        from concurrent.futures import Future
+
+        class StuckEngine:
+            input_shape = SHAPE
+
+            def submit(self, sample):
+                return Future()  # never resolves
+
+        report = run_load(StuckEngine(), n_requests=6, concurrency=2, warmup=1, timeout=0.05)
+        assert report.timeouts == 6
+        assert report.requests == 0
+        assert report.errors == 0
+        assert "timeouts" in report.summary()
 
     def test_build_server_int8_roundtrip(self):
         engine = build_server(
