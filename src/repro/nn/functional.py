@@ -54,11 +54,23 @@ __all__ = [
 # two different roles with the same shape never alias within one op call.
 # The cache is **per-thread**: the serving layer runs concurrent inference
 # workers, and two threads hitting the same shape must never share scratch.
+# The per-shape workspace cache is EXPLICITLY THREAD-LOCAL — this is a
+# contract, not an implementation detail.  The parallel runtime
+# (:mod:`repro.runtime.parallel`) runs tile tasks of one compiled engine on
+# persistent pool workers, and the serving engine hammers one engine from
+# many request threads; both rely on every thread drawing scratch from its
+# own store so concurrent kernel calls can never alias (or clobber) each
+# other's padded-input buffers.  A workspace array must therefore never be
+# returned to a caller on a different thread, stored on an op, or handed to
+# a closure that outlives the kernel call.  ``tests/test_parallel_runtime.py``
+# pins both properties (distinct buffers per thread, no cross-talk under a
+# race-stress load).
 _WORKSPACE_LIMIT = 96
 _WORKSPACE_STORE = threading.local()
 
 
 def _workspaces() -> dict:
+    """This thread's private ``(tag, shape, dtype) -> ndarray`` scratch store."""
     cache = getattr(_WORKSPACE_STORE, "cache", None)
     if cache is None:
         cache = _WORKSPACE_STORE.cache = {}
@@ -66,6 +78,7 @@ def _workspaces() -> dict:
 
 
 def _workspace(shape: tuple[int, ...], dtype, tag: str = "") -> np.ndarray:
+    """A reusable scratch array, owned exclusively by the calling thread."""
     workspaces = _workspaces()
     key = (tag, tuple(shape), np.dtype(dtype).str)
     buf = workspaces.get(key)
@@ -78,7 +91,11 @@ def _workspace(shape: tuple[int, ...], dtype, tag: str = "") -> np.ndarray:
 
 
 def clear_workspaces() -> None:
-    """Drop this thread's cached scratch buffers (frees memory after large workloads)."""
+    """Drop this thread's cached scratch buffers (frees memory after large workloads).
+
+    Only the calling thread's store is dropped — other threads' workspaces
+    (e.g. the parallel runtime's pool workers) are untouched by design.
+    """
     _workspaces().clear()
 
 

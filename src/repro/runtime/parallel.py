@@ -1,0 +1,332 @@
+"""Parallel scheduling primitives shared by the runtime backends.
+
+Two layers of parallelism run on top of the graph IR, both planned at
+compile time and executed lock-free:
+
+1. **Wave scheduling** — :func:`levelize` groups the executable steps of a
+   :class:`~repro.runtime.ir.Graph` into *waves*: sets of tasks with no data
+   dependencies between them.  The traced chain is value-serial, so waves
+   come from *tile expansion*: a batch-tileable node explodes into one task
+   per batch tile, and every tile of one node forms a wave.  The
+   :class:`ParallelExecutor` dispatches each wave to a persistent worker
+   pool and joins it before the next wave starts.
+2. **Tile partitioning** — :func:`partition` cuts the batch (or the output
+   channels; see :func:`repro.runtime.kernels.tiled_conv2d`) into disjoint
+   contiguous slices.  Concurrent tasks therefore write disjoint slices of
+   the same output buffer, and the arena planner's liveness analysis already
+   guarantees no *other* live buffer overlaps it — so no locks are needed
+   anywhere on the hot path (:func:`wave_table` asserts this invariant and
+   the tier-1 suite pins it).
+
+**Determinism contract.**  The tile partition is a pure function of the
+batch size (``partition`` ignores the worker count entirely); ``threads``
+only chooses how many workers execute the fixed tile set.  Every thread
+count therefore runs the *same* floating-point reductions in the same
+association, and outputs are bit-identical across ``threads=1/2/8/...`` by
+construction — ``tests/test_parallel_runtime.py`` asserts this for every
+registry model in all three compile modes.
+
+``threads`` resolution (:func:`resolve_threads`): ``None`` defers to the
+``REPRO_THREADS`` environment variable (unset → serial, untiled legacy
+execution); ``0``/``"auto"``/``"max"`` mean one worker per CPU; any positive
+integer is taken literally (``1`` executes the parallel plan inline, which
+is how the bit-identity tests get a serial reference for the same tiling).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from .ir import Graph, OpNode
+
+__all__ = [
+    "ENV_VAR",
+    "resolve_threads",
+    "partition",
+    "ParallelExecutor",
+    "WaveTask",
+    "levelize",
+    "wave_table",
+    "TILEABLE_KINDS",
+]
+
+ENV_VAR = "REPRO_THREADS"
+
+# Node kinds whose per-sample outputs are independent of the rest of the
+# batch in inference mode (BN is folded or runs in eval mode), so the batch
+# dimension may be cut into tiles.  "residual" is tileable iff its body is;
+# "eager" wraps an arbitrary module and is never tiled; "loss" couples the
+# whole batch (training runs serial anyway).
+TILEABLE_KINDS = frozenset(
+    {"conv", "linear", "qconv", "qlinear", "bn", "act", "pool", "gap",
+     "flatten", "gap_flatten"}
+)
+
+# Plan-time tiling heuristic: never more than MAX_TILES tasks per wave
+# (sync overhead), never fewer than MIN_TILE samples per task (kernel
+# efficiency).  Both are part of the deterministic partition function.
+MAX_TILES = 8
+MIN_TILE = 2
+
+_POOL_THREAD_PREFIX = "repro-wave"
+
+
+def resolve_threads(threads: int | str | None = None) -> int:
+    """Resolve a ``threads`` request to a concrete worker count.
+
+    ``None`` reads ``$REPRO_THREADS`` (unset/empty → ``1``: serial);
+    ``0`` / ``"auto"`` / ``"max"`` mean one worker per CPU; a positive int
+    is used as-is.
+    """
+    if threads is None:
+        env = os.environ.get(ENV_VAR, "").strip()
+        if not env:
+            return 1
+        threads = env
+    if isinstance(threads, str):
+        if threads.lower() in ("auto", "max"):
+            return max(1, os.cpu_count() or 1)
+        threads = int(threads)
+    threads = int(threads)
+    if threads < 0:
+        raise ValueError(f"threads must be >= 0, got {threads}")
+    if threads == 0:
+        return max(1, os.cpu_count() or 1)
+    return threads
+
+
+def partition(total: int, max_tiles: int = MAX_TILES, min_tile: int = MIN_TILE) -> list[slice]:
+    """Cut ``range(total)`` into balanced contiguous slices.
+
+    A pure function of ``total`` (and the plan constants) — deliberately
+    *not* of the worker count, so the reduction tree is fixed per shape and
+    outputs cannot depend on how many threads drained the wave.  Returns a
+    single full slice when ``total`` is too small to cut.
+    """
+    total = int(total)
+    if total <= 0:
+        return [slice(0, total)]
+    tiles = min(int(max_tiles), total // max(1, int(min_tile)))
+    if tiles <= 1:
+        return [slice(0, total)]
+    base, extra = divmod(total, tiles)
+    slices, start = [], 0
+    for index in range(tiles):
+        stop = start + base + (1 if index < extra else 0)
+        slices.append(slice(start, stop))
+        start = stop
+    return slices
+
+
+# --------------------------------------------------------------------------- #
+# persistent worker pool
+# --------------------------------------------------------------------------- #
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _reset_pools_after_fork() -> None:
+    # A forked child inherits the pool *objects* but none of their worker
+    # threads, so any submit() in the child would queue work nobody drains
+    # (observed as a hard hang under multiprocessing orchestrators).  Drop
+    # the inherited husks — the child lazily builds fresh pools on demand.
+    global _POOLS_LOCK
+    _POOLS_LOCK = threading.Lock()
+    _POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # not available on Windows
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)
+
+
+def get_pool(workers: int) -> ThreadPoolExecutor | None:
+    """Process-wide persistent pool with ``workers`` threads (``None`` for 1).
+
+    Pools are shared by every engine compiled with the same worker count:
+    kernels hold no shared mutable state (workspaces are thread-local,
+    arena plans are per-thread), so engines cannot interfere through the
+    pool beyond queueing.
+    """
+    workers = int(workers)
+    if workers <= 1:
+        return None
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = _POOLS[workers] = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix=f"{_POOL_THREAD_PREFIX}-{workers}",
+            )
+        return pool
+
+
+def _in_pool_worker() -> bool:
+    return threading.current_thread().name.startswith(_POOL_THREAD_PREFIX)
+
+
+class ParallelExecutor:
+    """Dispatches waves of independent tasks to the persistent worker pool.
+
+    ``threads=1`` (or a one-task wave) executes inline on the calling
+    thread; results are identical either way because the task set — not the
+    worker count — defines the computation.  Nested dispatch (a wave task
+    submitting another wave) degrades to inline execution instead of
+    deadlocking the pool.
+    """
+
+    def __init__(self, threads: int | str | None = None,
+                 max_tiles: int = MAX_TILES, min_tile: int = MIN_TILE):
+        self.threads = resolve_threads(threads)
+        self.max_tiles = int(max_tiles)
+        self.min_tile = int(min_tile)
+
+    # ------------------------------------------------------------------ #
+    def batch_slices(self, total: int) -> list[slice]:
+        """The fixed batch partition for ``total`` samples."""
+        return partition(total, self.max_tiles, self.min_tile)
+
+    def run_wave(self, tasks: list) -> list:
+        """Run one wave of zero-argument tasks; returns results in order.
+
+        The calling thread always participates (it runs the last task while
+        the pool drains the rest), so a wave never deadlocks waiting for
+        saturated workers, and ``threads=1`` never touches the pool at all.
+        """
+        if not tasks:
+            return []
+        pool = None if self.threads <= 1 or _in_pool_worker() else get_pool(self.threads)
+        if pool is None or len(tasks) == 1:
+            return [task() for task in tasks]
+        futures = [pool.submit(task) for task in tasks[:-1]]
+        results = [None] * len(tasks)
+        results[-1] = tasks[-1]()
+        for index, future in enumerate(futures):
+            results[index] = future.result()
+        return results
+
+    def map(self, fn, items: list) -> list:
+        """``run_wave`` convenience over one function and many items."""
+        return self.run_wave([lambda item=item: fn(item) for item in items])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelExecutor(threads={self.threads}, max_tiles={self.max_tiles})"
+
+
+# --------------------------------------------------------------------------- #
+# levelization
+# --------------------------------------------------------------------------- #
+@dataclass
+class WaveTask:
+    """One schedulable unit: a graph step restricted to a batch tile.
+
+    ``rows`` is the batch slice the task reads and writes (``None`` for a
+    whole-batch serial step); ``tile``/``tiles`` index it within its wave.
+    ``interval`` is filled by :func:`wave_table`: the half-open element
+    range the task writes inside the arena plan.
+    """
+
+    node: OpNode
+    step: str
+    tile: int = 0
+    tiles: int = 1
+    rows: slice | None = None
+    interval: tuple[int, int] | None = field(default=None, compare=False)
+
+    def describe(self) -> str:
+        label = self.node.name or self.node.kind if self.node is not None else self.step
+        if self.tiles <= 1:
+            return label
+        return f"{label}[tile {self.tile}/{self.tiles} rows {self.rows.start}:{self.rows.stop}]"
+
+
+def node_tileable(node: OpNode) -> bool:
+    """True when the node's batch rows are independent (inference modes)."""
+    if node.kind == "residual":
+        return all(node_tileable(child) for child in node.body.nodes)
+    return node.kind in TILEABLE_KINDS
+
+
+def levelize(graph: Graph, batch: int | None = None,
+             max_tiles: int = MAX_TILES, min_tile: int = MIN_TILE) -> list[list[WaveTask]]:
+    """Group the graph's executable steps into waves of independent tasks.
+
+    The traced chain is value-serial — node *k+1* consumes node *k*'s output
+    — so distinct nodes can never share a wave; parallelism comes from tile
+    expansion: with a concrete ``batch``, each tileable node becomes one
+    wave of ``len(partition(batch))`` tile tasks over disjoint row ranges.
+    Residual bodies are flattened into their own waves followed by the
+    residual-add step.  Without ``batch`` the result is the degenerate
+    one-task-per-wave levelization (useful to inspect the schedule shape).
+    """
+    waves: list[list[WaveTask]] = []
+
+    def emit(node: OpNode, step: str) -> None:
+        tileable = node_tileable(node) and node.kind != "residual"
+        if step == "residual_add":
+            tileable = True
+        slices = partition(batch, max_tiles, min_tile) if (batch and tileable) else [None]
+        waves.append([
+            WaveTask(node, step, tile=index, tiles=len(slices), rows=rows)
+            for index, rows in enumerate(slices)
+        ])
+
+    def walk(nodes: list[OpNode]) -> None:
+        for node in nodes:
+            if node.kind == "loss":
+                emit(node, "loss")
+            elif node.kind == "residual" and node_tileable(node):
+                walk(node.body.nodes)
+                emit(node, "residual_add")
+            else:
+                emit(node, node.kind)
+
+    walk(graph.nodes)
+    return waves
+
+
+def wave_table(graph: Graph, input_shape: tuple[int, ...],
+               max_tiles: int = MAX_TILES, min_tile: int = MIN_TILE) -> list[list[WaveTask]]:
+    """Levelize against a concrete shape and bind arena intervals.
+
+    Runs the shared shape-inference + arena-planning passes, then computes,
+    for every tile task, the half-open ``[start, stop)`` element interval it
+    writes inside the planned arena (batch tiles are contiguous in both NCHW
+    and CNHW layouts once granularity is per-sample rows of the output
+    buffer).  Raises :class:`AssertionError` if any two tasks of one wave
+    overlap — the lock-free-by-liveness invariant the executor relies on.
+    """
+    from .passes import plan_graph_memory
+
+    plan = plan_graph_memory(graph, tuple(input_shape))
+    by_name: dict[str, object] = {}
+    for buf in plan.buffers:
+        by_name.setdefault(buf.name, buf)
+    batch = int(input_shape[0])
+    waves = levelize(graph, batch, max_tiles, min_tile)
+    for wave in waves:
+        for task in wave:
+            node = task.node
+            buf = by_name.get(node.name or node.kind)
+            if buf is None or buf.offset < 0 or task.rows is None:
+                continue
+            out_shape = node.meta.get("out_shape")
+            if not out_shape or out_shape[0] != batch:
+                continue
+            per_row = buf.size // batch
+            task.interval = (
+                buf.offset + task.rows.start * per_row,
+                buf.offset + task.rows.stop * per_row,
+            )
+        bound = [t for t in wave if t.interval is not None]
+        for a in range(len(bound)):
+            for b in range(a + 1, len(bound)):
+                lo_a, hi_a = bound[a].interval
+                lo_b, hi_b = bound[b].interval
+                assert hi_a <= lo_b or hi_b <= lo_a, (
+                    f"wave tasks overlap in the arena: {bound[a].describe()} "
+                    f"[{lo_a},{hi_a}) vs {bound[b].describe()} [{lo_b},{hi_b})"
+                )
+    return waves

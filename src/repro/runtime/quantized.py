@@ -1093,7 +1093,8 @@ class QuantizedNet:
         from (``None`` when constructed from a raw IR list).
     """
 
-    def __init__(self, ir: list, source: nn.Module, dw_kernel: str = "auto", graph: Graph | None = None):
+    def __init__(self, ir: list, source: nn.Module, dw_kernel: str = "auto",
+                 graph: Graph | None = None, executor: "ParallelExecutor | None" = None):
         if dw_kernel not in _DW_KERNELS:
             raise ValueError(f"dw_kernel must be one of {_DW_KERNELS}")
         self._ir = ir
@@ -1101,7 +1102,17 @@ class QuantizedNet:
         self.graph = graph
         self._dw_kernel = dw_kernel
         self._local = threading.local()
+        # _op_log is assigned by whichever thread builds the first plan; the
+        # lock keeps the first-wins publication race out of the engine (plan
+        # building may now happen concurrently on pool workers).
+        self._log_lock = threading.Lock()
         self._op_log: list[str] | None = None
+        self.executor = executor
+
+    @property
+    def threads(self) -> int:
+        """Worker count of the parallel plan (1 = serial execution)."""
+        return 1 if self.executor is None else self.executor.threads
 
     # ------------------------------------------------------------------ #
     def plan(self, input_shape: tuple[int, int, int, int]) -> _ExecPlan:
@@ -1114,8 +1125,9 @@ class QuantizedNet:
         if plan is None:
             plan = self._build(key)
             cache[key] = plan
-            if self._op_log is None:
-                self._op_log = plan.op_log
+            with self._log_lock:
+                if self._op_log is None:
+                    self._op_log = plan.op_log
         return plan
 
     def _build(self, input_shape) -> _ExecPlan:
@@ -1181,8 +1193,23 @@ class QuantizedNet:
         return describe_graph(self.graph, self)
 
     def numpy_forward(self, x: np.ndarray) -> np.ndarray:
-        """Run the integer program on a raw ``(N, C, H, W)`` batch."""
+        """Run the integer program on a raw ``(N, C, H, W)`` batch.
+
+        With a parallel plan the batch is cut into the deterministic tile
+        partition and the tiles run as one wave on the worker pool — each
+        worker executes its tile in its *own* thread-cached plan (disjoint
+        arena, disjoint scratch: no locks).  Integer accumulation makes the
+        engine's output bit-identical across batch sizes, so the tiled
+        result equals the untiled one exactly, at every thread count.
+        """
         x = np.ascontiguousarray(x, dtype=np.float32)
+        if self.executor is not None:
+            rows = self.executor.batch_slices(x.shape[0])
+            if len(rows) > 1:
+                parts = self.executor.run_wave([
+                    lambda sl=sl: self.plan(x[sl].shape).run(x[sl]) for sl in rows
+                ])
+                return np.concatenate(parts, axis=0)
         return self.plan(x.shape).run(x)
 
     def __call__(self, x) -> nn.Tensor:
@@ -1194,8 +1221,20 @@ class QuantizedNet:
 
 
 def build_quantized_program(graph: Graph, dw_kernel: str = "auto") -> QuantizedNet:
-    """Lower an annotated graph to a :class:`QuantizedNet` (frontend backend hook)."""
-    return QuantizedNet(_ir_from_graph(graph), graph.source, dw_kernel=dw_kernel, graph=graph)
+    """Lower an annotated graph to a :class:`QuantizedNet` (frontend backend hook).
+
+    A ``plan_parallel`` annotation attaches a
+    :class:`~repro.runtime.parallel.ParallelExecutor`; the engine then
+    batch-tiles ``numpy_forward`` across per-thread execution plans.
+    """
+    par = graph.meta.get("parallel")
+    executor = None
+    if par is not None and not par.get("serial_reason"):
+        from .parallel import ParallelExecutor
+
+        executor = ParallelExecutor(par["threads"], par["max_tiles"], par["min_tile"])
+    return QuantizedNet(_ir_from_graph(graph), graph.source, dw_kernel=dw_kernel,
+                        graph=graph, executor=executor)
 
 
 from .frontend import _deprecated

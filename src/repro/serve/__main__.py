@@ -41,6 +41,12 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", default="int8", help="deprecated alias of --engine")
     parser.add_argument("--resolution", type=int, default=16, help="input resolution")
     parser.add_argument("--workers", type=int, default=2, help="batching worker threads")
+    parser.add_argument(
+        "--threads",
+        default=None,
+        help="intra-op kernel threads per engine (int, or 'auto' for one per CPU); "
+        "default: serial kernels ($REPRO_THREADS overrides)",
+    )
     parser.add_argument("--max-batch", type=int, default=16, help="dynamic batch cap")
     parser.add_argument("--max-wait-ms", type=float, default=2.0, help="batch window")
     parser.add_argument("--requests", type=int, default=2000, help="measured requests")
@@ -93,6 +99,7 @@ def main(argv=None) -> int:
         resolution=args.resolution,
         backend=engine_name,
         seed=args.seed,
+        threads=args.threads,
         workers=args.workers,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
@@ -116,6 +123,7 @@ def main(argv=None) -> int:
             "backend": engine_name,
             "resolution": args.resolution,
             "workers": args.workers,
+            "threads": args.threads,
             "max_batch": args.max_batch,
             "max_wait_ms": args.max_wait_ms,
             "load": report.__dict__,
@@ -146,6 +154,7 @@ def _run_fleet(args, engine_name: str, timeout_s: float | None) -> int:
             "resolution": args.resolution,
             "engine": engine_name,
             "seed": args.seed,
+            **({"threads": args.threads} if args.threads is not None else {}),
         },
         chaos=args.chaos,
         **({"default_deadline_ms": args.deadline_ms} if args.deadline_ms is not None else {}),

@@ -111,12 +111,18 @@ def resolve_net(
     calibration_batches: int = 2,
     calibration_method: str = "minmax",
     seed: int = 0,
+    threads: int | str | None = None,
 ):
     """Build and compile a registry model for serving.
 
     Engines resolve by name through :func:`repro.runtime.resolve_engine`
     (plus the special ``"eager"`` backend); unknown names raise ``ValueError``
     listing the registry's known names.  Returns ``(net, input_shape)``.
+
+    ``threads`` sizes each engine's intra-op worker pool
+    (``CompileOptions(threads=...)``; ``"auto"`` = one worker per CPU) —
+    with fleet replicas this composes to processes x threads parallelism.
+    Ignored by the ``"eager"`` backend.
     """
     from ..compress import calibrate, quantize_model
     from ..models import create_model
@@ -149,7 +155,7 @@ def resolve_net(
             for _ in range(calibration_batches)
         ]
         calibrate(model, batches, method=calibration_method)
-    return compile_model(model, mode=spec.mode), input_shape
+    return compile_model(model, mode=spec.mode, threads=threads), input_shape
 
 
 def model_backend(
@@ -160,6 +166,7 @@ def model_backend(
     calibration_batches: int = 2,
     calibration_method: str = "minmax",
     seed: int = 0,
+    threads: int | str | None = None,
 ) -> ServingBackend:
     """Default fleet builder: a compiled registry model (int8 by default)."""
     net, input_shape = resolve_net(
@@ -170,6 +177,7 @@ def model_backend(
         calibration_batches=calibration_batches,
         calibration_method=calibration_method,
         seed=seed,
+        threads=threads,
     )
     forward = net.numpy_forward if hasattr(net, "numpy_forward") else net
     return ServingBackend(forward, input_shape, net=net, name=f"{model_name}[{engine}]")

@@ -1,0 +1,393 @@
+"""Concurrency test layer for the parallel runtime.
+
+The parallel runtime's correctness contract (see
+:mod:`repro.runtime.parallel`) is *bit-identity by construction*: the tile
+partition is a pure function of the shape, so every thread count executes
+the same floating-point reductions.  Threading bugs in a NumPy runtime are
+silent — torn output slices, stale workspace reuse, cross-thread arena
+aliasing — so this file pins the contract from every side:
+
+* bit-identity of parallel vs serial execution for **all registry models**
+  in all three compile modes at thread counts 1 / 2 / 8;
+* levelization: wave structure, and no two same-wave tasks overlapping in
+  the arena plan (the lock-free-by-liveness invariant);
+* race stress: one engine hammered from many client threads with mismatched
+  shapes/batches, every response checksum-verified against a serial oracle;
+* property-based determinism: same seed + same inputs ⇒ byte-identical
+  outputs across repeated runs at ``threads=8``, for the engine API and a
+  fleet replica;
+* the thread-local workspace-cache contract in :mod:`repro.nn.functional`.
+"""
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+from repro.models import available_models, create_model
+from repro.nn import functional as F
+from repro.runtime import (
+    CompileOptions,
+    ParallelExecutor,
+    levelize,
+    partition,
+    resolve_threads,
+    wave_table,
+)
+from repro.runtime.parallel import MAX_TILES, MIN_TILE, WaveTask, get_pool
+from repro.utils import seed_everything
+
+from test_quantized_runtime import _quantized_model
+
+THREAD_COUNTS = (1, 2, 8)
+RES = 12
+
+
+def _fresh_model(name: str, num_classes: int = 8):
+    seed_everything(7)
+    model = create_model(name, num_classes=num_classes)
+    model.eval()
+    return model
+
+
+def _batch(rng, n=8, res=RES):
+    return rng.normal(size=(n, 3, res, res)).astype(np.float32)
+
+
+# --------------------------------------------------------------------------- #
+# tile partition + thread resolution
+# --------------------------------------------------------------------------- #
+class TestPartition:
+    def test_partition_covers_disjointly_in_order(self):
+        for total in (1, 2, 3, 4, 7, 8, 16, 63, 64, 100):
+            slices = partition(total)
+            assert slices[0].start == 0 and slices[-1].stop == total
+            for prev, cur in zip(slices, slices[1:]):
+                assert prev.stop == cur.start
+            assert all(s.stop > s.start for s in slices)
+
+    def test_partition_is_a_pure_function_of_the_total(self):
+        # The worker count must never influence the tile set — this is the
+        # root of the cross-thread-count bit-identity guarantee.
+        assert partition(64) == partition(64)
+        assert len(partition(64)) == MAX_TILES
+        assert all((s.stop - s.start) >= MIN_TILE for s in partition(64))
+
+    def test_small_batches_stay_whole(self):
+        for total in range(0, 2 * MIN_TILE):
+            assert partition(total) == [slice(0, total)]
+
+    def test_resolve_threads(self, monkeypatch):
+        monkeypatch.delenv("REPRO_THREADS", raising=False)
+        assert resolve_threads(None) == 1
+        assert resolve_threads(1) == 1
+        assert resolve_threads(5) == 5
+        assert resolve_threads(0) == max(1, os.cpu_count() or 1)
+        assert resolve_threads("auto") == max(1, os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_THREADS", "3")
+        assert resolve_threads(None) == 3
+        assert resolve_threads(2) == 2  # explicit beats the environment
+        monkeypatch.setenv("REPRO_THREADS", "max")
+        assert resolve_threads(None) == max(1, os.cpu_count() or 1)
+        with pytest.raises(ValueError):
+            resolve_threads(-1)
+
+    def test_executor_runs_waves_in_order_and_propagates_errors(self):
+        executor = ParallelExecutor(threads=4)
+        assert executor.run_wave([lambda i=i: i * i for i in range(20)]) == [
+            i * i for i in range(20)
+        ]
+
+        def boom():
+            raise RuntimeError("wave task failed")
+
+        with pytest.raises(RuntimeError, match="wave task failed"):
+            executor.run_wave([lambda: 1, boom, lambda: 3])
+
+    def test_pool_is_persistent_and_shared(self):
+        assert get_pool(1) is None
+        assert get_pool(4) is get_pool(4)
+
+
+# --------------------------------------------------------------------------- #
+# bit-identity: parallel vs serial, every model x mode x thread count
+# --------------------------------------------------------------------------- #
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", available_models())
+    def test_infer_bit_identical_across_thread_counts(self, rng, name):
+        model = _fresh_model(name)
+        x = _batch(rng)
+        reference = repro.compile(model, threads=1).numpy_forward(x)
+        for threads in THREAD_COUNTS[1:]:
+            out = repro.compile(model, threads=threads).numpy_forward(x)
+            np.testing.assert_array_equal(out, reference, err_msg=f"{name} threads={threads}")
+        # The parallel plan stays numerically faithful to the untiled legacy
+        # program (bit-exact tiling is only guaranteed across thread counts).
+        untiled = repro.compile(model).numpy_forward(x)
+        np.testing.assert_allclose(untiled, reference, rtol=1e-4, atol=1e-5)
+
+    @pytest.mark.parametrize("name", available_models())
+    def test_int8_bit_identical_including_untiled(self, rng, name):
+        model = _quantized_model(name, rng, res=RES)
+        x = rng.normal(0.2, 0.8, size=(8, 3, RES, RES)).astype(np.float32)
+        # Integer accumulation is batch-size invariant, so for int8 even the
+        # untiled engine must match the tiled ones bit-for-bit.
+        reference = repro.compile(model, mode="int8", dw_kernel="einsum").numpy_forward(x)
+        for threads in THREAD_COUNTS:
+            qnet = repro.compile(model, mode="int8", dw_kernel="einsum", threads=threads)
+            np.testing.assert_array_equal(
+                qnet.numpy_forward(x), reference, err_msg=f"{name} threads={threads}"
+            )
+
+    @pytest.mark.parametrize("name", ["mobilenetv2-tiny", "mcunet"])
+    def test_train_serial_fallback_is_bit_identical(self, rng, name):
+        x = _batch(rng)
+        labels = rng.integers(0, 8, size=len(x))
+
+        def one_step(threads):
+            seed_everything(11)
+            model = create_model(name, num_classes=8)
+            step = repro.compile(model, mode="train", threads=threads)
+            loss, logits = step(x, labels)
+            grads = [p.grad.copy() for p in model.parameters() if p.grad is not None]
+            return loss, logits, grads
+
+        loss_ref, logits_ref, grads_ref = one_step(None)
+        for threads in THREAD_COUNTS[1:]:
+            loss, logits, grads = one_step(threads)
+            assert loss == loss_ref
+            np.testing.assert_array_equal(logits, logits_ref)
+            for got, ref in zip(grads, grads_ref):
+                np.testing.assert_array_equal(got, ref)
+
+    def test_train_records_serial_reason(self):
+        model = _fresh_model("mobilenetv2-tiny")
+        step = repro.compile(model, mode="train", threads=8)
+        assert step.threads == 1
+        assert "batchnorm batch statistics" in step.describe()
+
+    def test_default_compile_stays_serial_untiled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_THREADS", raising=False)
+        model = _fresh_model("mobilenetv2-tiny")
+        net = repro.compile(model)
+        assert net.threads == 1
+        assert net.graph.meta.get("parallel") is None
+
+    def test_repro_threads_env_flips_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "2")
+        model = _fresh_model("mobilenetv2-tiny")
+        net = repro.compile(model)
+        assert net.threads == 2
+        assert net.graph.meta["parallel"]["threads"] == 2
+
+    def test_options_and_describe_surface(self):
+        model = _fresh_model("mobilenetv2-tiny")
+        net = repro.compile(model, options=CompileOptions(threads=2))
+        assert net.threads == 2
+        report = net.describe()
+        assert "plan_parallel(threads=2)" in report
+        assert "parallel: threads=2" in report
+        assert "tiled" in report  # per-node tileability column
+
+
+# --------------------------------------------------------------------------- #
+# levelization + arena-plan disjointness
+# --------------------------------------------------------------------------- #
+class TestLevelization:
+    def test_waves_expand_tileable_nodes_only(self):
+        model = _fresh_model("mobilenetv2-tiny")
+        net = repro.compile(model, threads=2)
+        waves = levelize(net.graph, batch=16)
+        assert all(isinstance(task, WaveTask) for wave in waves for task in wave)
+        # Value-serial chain: distinct nodes never share a wave; every wave
+        # holds the tiles of exactly one step.
+        for wave in waves:
+            assert len({id(task.node) for task in wave}) == 1
+            assert [task.tile for task in wave] == list(range(len(wave)))
+        assert max(len(wave) for wave in waves) == len(partition(16))
+
+    def test_no_batch_means_degenerate_singleton_waves(self):
+        model = _fresh_model("mobilenetv2-tiny")
+        net = repro.compile(model, threads=2)
+        assert all(len(wave) == 1 for wave in levelize(net.graph))
+
+    @pytest.mark.parametrize("name", ["mobilenetv2-tiny", "mcunet"])
+    def test_same_wave_tasks_never_overlap_in_the_arena(self, name):
+        model = _fresh_model(name)
+        net = repro.compile(model, threads=8)
+        waves = wave_table(net.graph, (16, 3, RES, RES))  # raises on overlap
+        bound = [t for wave in waves for t in wave if t.interval is not None]
+        assert bound, "no tile tasks were bound to arena intervals"
+        for wave in waves:
+            spans = sorted(t.interval for t in wave if t.interval is not None)
+            for (lo_a, hi_a), (lo_b, hi_b) in zip(spans, spans[1:]):
+                assert hi_a <= lo_b, "same-wave tile tasks overlap in the arena"
+
+    def test_residual_bodies_flatten_into_waves(self):
+        model = _fresh_model("mcunet")
+        net = repro.compile(model, threads=2)
+        steps = [wave[0].step for wave in levelize(net.graph, batch=8)]
+        assert "residual_add" in steps
+
+
+# --------------------------------------------------------------------------- #
+# race stress: mismatched shapes, many client threads, checksummed replies
+# --------------------------------------------------------------------------- #
+class TestRaceStress:
+    CLIENTS = 6
+    REQUESTS_PER_CLIENT = 8
+
+    def _hammer(self, forward, requests, expected):
+        failures = []
+        barrier = threading.Barrier(self.CLIENTS)
+
+        def client(worker: int) -> None:
+            barrier.wait()
+            for index in range(self.REQUESTS_PER_CLIENT):
+                key = (worker, index)
+                out = forward(requests[key])
+                if out.tobytes() != expected[key]:
+                    failures.append(key)
+
+        with ThreadPoolExecutor(max_workers=self.CLIENTS) as pool:
+            list(pool.map(client, range(self.CLIENTS)))
+        assert not failures, f"torn/cross-talked outputs for requests {failures}"
+
+    def _requests(self, rng):
+        # Mismatched shapes and batch sizes per request: resolutions 12/16,
+        # batches 1..8 — exercises the per-shape plan caches and the
+        # workspace cache from many threads at once.
+        requests = {}
+        for worker in range(self.CLIENTS):
+            for index in range(self.REQUESTS_PER_CLIENT):
+                res = (12, 16)[(worker + index) % 2]
+                n = 1 + (worker + 3 * index) % 8
+                requests[(worker, index)] = rng.normal(
+                    0.1, 0.7, size=(n, 3, res, res)
+                ).astype(np.float32)
+        return requests
+
+    def test_int8_engine_survives_mismatched_concurrent_load(self, rng):
+        model = _quantized_model("mobilenetv2-tiny", rng, res=16)
+        qnet = repro.compile(model, mode="int8", dw_kernel="einsum", threads=2)
+        requests = self._requests(rng)
+        expected = {key: qnet.numpy_forward(x).tobytes() for key, x in requests.items()}
+        self._hammer(qnet.numpy_forward, requests, expected)
+
+    def test_float_engine_survives_mismatched_concurrent_load(self, rng):
+        model = _fresh_model("mobilenetv2-tiny")
+        net = repro.compile(model, threads=2)
+        requests = self._requests(rng)
+        expected = {key: net.numpy_forward(x).tobytes() for key, x in requests.items()}
+        self._hammer(net.numpy_forward, requests, expected)
+
+
+# --------------------------------------------------------------------------- #
+# property-based determinism at threads=8
+# --------------------------------------------------------------------------- #
+class TestDeterminism:
+    RUNS = 3
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_float_engine_byte_identical_across_runs(self, seed):
+        model = _fresh_model("mobilenetv2-tiny")
+        net = repro.compile(model, threads=8)
+        x = np.random.default_rng(seed).normal(size=(16, 3, RES, RES)).astype(np.float32)
+        outputs = {net.numpy_forward(x).tobytes() for _ in range(self.RUNS)}
+        assert len(outputs) == 1
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_int8_engine_byte_identical_across_runs(self, rng, seed):
+        model = _quantized_model("mobilenetv2-tiny", rng, res=RES)
+        qnet = repro.compile(model, mode="int8", dw_kernel="einsum", threads=8)
+        x = np.random.default_rng(seed).normal(0.2, 0.8, size=(16, 3, RES, RES)).astype(np.float32)
+        outputs = {qnet.numpy_forward(x).tobytes() for _ in range(self.RUNS)}
+        assert len(outputs) == 1
+
+    def test_fleet_replica_byte_identical_across_runs(self):
+        # The same builder the fleet's replica processes run, with the same
+        # seed and inputs, must produce byte-identical replies every time —
+        # nondeterministic reduction ordering in the threaded kernels would
+        # show up here first.
+        from repro.serve.fleet import model_backend
+
+        x = np.random.default_rng(5).normal(size=(4, 3, RES, RES)).astype(np.float32)
+        replies = set()
+        for _ in range(self.RUNS):
+            backend = model_backend(
+                model_name="mobilenetv2-tiny", resolution=RES, engine="float", threads=8
+            )
+            assert getattr(backend.net, "threads", 1) == 8
+            replies.add(backend.forward(x).tobytes())
+        assert len(replies) == 1
+
+
+# --------------------------------------------------------------------------- #
+# workspace cache: explicitly thread-local (regression for latent hostility)
+# --------------------------------------------------------------------------- #
+class TestWorkspaceThreadLocal:
+    def test_same_shape_yields_distinct_buffers_per_thread(self):
+        shape, results = (4, 3, 9, 9), {}
+        barrier = threading.Barrier(4)
+
+        def grab(index: int) -> None:
+            barrier.wait()
+            buf = F._workspace(shape, np.float32, tag="test")
+            buf.fill(float(index))
+            # Keep the live buffer in ``results`` so ids cannot be recycled.
+            results[index] = buf
+
+        threads = [threading.Thread(target=grab, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [id(buf) for buf in results.values()]
+        assert len(set(ids)) == len(ids), "workspace buffer shared across threads"
+        for index, buf in results.items():
+            np.testing.assert_array_equal(buf, np.full(shape, float(index), np.float32))
+
+    def test_clear_workspaces_only_touches_the_calling_thread(self):
+        F._workspace((2, 2), np.float32, tag="keepme")
+        before = len(F._workspaces())
+        assert before >= 1
+
+        def other_thread_clear():
+            F._workspace((3, 3), np.float32, tag="other")
+            F.clear_workspaces()
+
+        t = threading.Thread(target=other_thread_clear)
+        t.start()
+        t.join()
+        assert len(F._workspaces()) == before
+        F.clear_workspaces()
+        assert len(F._workspaces()) == 0
+
+    def test_pad2d_reuse_is_safe_under_concurrency(self):
+        # _pad2d(reuse=True) is the kernel-facing consumer of the cache: two
+        # threads padding the same shape concurrently must get different
+        # backing buffers with intact contents.
+        x = np.arange(2 * 3 * 5 * 5, dtype=np.float32).reshape(2, 3, 5, 5)
+        outputs = {}
+        barrier = threading.Barrier(4)
+
+        def pad(tag):
+            barrier.wait()
+            # Holding the returned view in ``outputs`` keeps each thread's
+            # workspace alive, so equal addresses would mean real sharing.
+            outputs[tag] = F._pad2d(x, 2, reuse=True)
+
+        threads = [threading.Thread(target=pad, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        addresses = [padded.ctypes.data for padded in outputs.values()]
+        assert len(set(addresses)) == len(addresses)
+        reference = F._pad2d(x, 2, reuse=False)
+        for padded in outputs.values():
+            np.testing.assert_array_equal(padded, reference)

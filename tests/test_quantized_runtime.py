@@ -168,7 +168,9 @@ class TestIntegerLowering:
 
         def walk(op):
             kinds.append(type(op).__name__)
-            if isinstance(op, compiler_mod.ChainOp):
+            # ParallelChain (the $REPRO_THREADS>1 program) exposes the same
+            # flat .ops list as ChainOp, so both recurse identically.
+            if isinstance(op, (compiler_mod.ChainOp, compiler_mod.ParallelChain)):
                 for child in op.ops:
                     walk(child)
             if isinstance(op, compiler_mod.ResidualOp):
