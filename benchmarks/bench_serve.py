@@ -1,6 +1,6 @@
 """Serving benchmarks: int8 vs float throughput, batching, and the fleet.
 
-Five lanes, written to ``BENCH_serve.json`` so the perf trajectory is tracked
+Six lanes, written to ``BENCH_serve.json`` so the perf trajectory is tracked
 across PRs and gated by ``scripts/check_bench.py``:
 
 1. **Engine lane** — single-stream throughput (imgs/sec) of the int8 integer
@@ -27,6 +27,17 @@ across PRs and gated by ``scripts/check_bench.py``:
    corrupt replies, slow batches).  Gates: zero lost requests, at least one
    supervised restart actually exercised, all replicas serving again at the
    end of the run, and chaos p99 within a small multiple of the clean p99.
+6. **Autoscale lane** — a one-replica fleet with an
+   :class:`~repro.serve.AutoscaleController` under a ramped spike of
+   open-loop (fixed arrival schedule) load.  Single-replica capacity is
+   measured closed-loop first, then the spike offers a multiple of it, so
+   the lane self-calibrates to the machine.  Gates: the spike forces at
+   least one scale-up, the fleet reconverges to ``min_replicas`` with the
+   degradation ladder fully recovered once the spike clears, and zero
+   requests are lost throughout.  The post-convergence tail p99 must meet
+   the SLO on machines with >= 4 CPU cores (on starved runners the replicas
+   time-share one core, so only the robustness gates apply — same regime
+   split as the fleet lane).
 
 Also records the int8-vs-fake-quant parity error (max |logit delta|), so a
 perf win can never silently trade away correctness.
@@ -53,12 +64,18 @@ from repro import nn
 from repro.compress import calibrate, quantize_model
 from repro.models import create_model
 from repro.serve import Engine, build_server
+from repro.serve.autoscale import AutoscaleController, SLOConfig
 from repro.serve.fleet import Fleet, FleetConfig
 from repro.serve.loadgen import run_load
 from repro.utils import seed_everything
 
 FLEET_REPLICAS = 4
 FLEET_CHAOS = "kill:prob=0.02,max=2;corrupt:prob=0.01,max=5;slow:prob=0.05,ms=2"
+
+AUTOSCALE_SPIKE_MULT = 3.0
+AUTOSCALE_SPIKE_WINDOW = (0.25, 0.55)
+# one submitting thread must outrun the schedule, so the spike peak is capped
+AUTOSCALE_MAX_SPIKE_RATE = 2400.0
 
 
 def interleaved_median_ms(fn_a, fn_b, repeats: int, warmup: int = 5) -> tuple[float, float]:
@@ -251,6 +268,107 @@ def fleet_lane(resolution: int, n_requests: int) -> dict:
     }
 
 
+def autoscale_lane(resolution: int, smoke: bool) -> dict:
+    """SLO-driven autoscaling under an open-loop traffic spike.
+
+    The lane self-calibrates: it measures single-replica capacity closed-loop
+    against the live fleet, offers ``0.7x`` of that as the base rate and
+    multiplies it by ``AUTOSCALE_SPIKE_MULT`` inside the spike window — a load
+    one replica provably cannot absorb, whatever the machine.  The p99 SLO is
+    derived from the measured baseline the same way.  After the schedule ends
+    the lane waits for the controller to walk the fleet back to the floor and
+    the degradation ladder back to level 0 before snapshotting.
+    """
+    cpus = os.cpu_count() or 1
+    max_replicas = 4 if cpus >= 4 else 2
+    config = FleetConfig(
+        replicas=1,
+        max_replicas=max_replicas,
+        max_batch=16,
+        max_wait_ms=2.0,
+        max_pending=512,
+        max_attempts=6,
+        stats_window_s=1.5,
+        builder_kwargs={
+            "model_name": "mobilenetv2-tiny",
+            "resolution": resolution,
+            "engine": "int8",
+        },
+    )
+    with Fleet(config) as fleet:
+        fleet.wait_ready(replicas=1, timeout=120.0)
+        with fleet.client(timeout=60.0, retries=6) as client:
+            base = run_load(
+                client, n_requests=300 if smoke else 600, concurrency=8, warmup=16, timeout=60.0
+            )
+        capacity = base.requests_per_sec
+        slo_p99 = max(25.0, base.latency_ms_p99 * 6.0)
+        rate = min(0.7 * capacity, AUTOSCALE_MAX_SPIKE_RATE / AUTOSCALE_SPIKE_MULT)
+        duration = 6.0 if smoke else 10.0
+        slo = SLOConfig(
+            p99_target_ms=slo_p99,
+            queue_target=4.0,
+            min_replicas=1,
+            max_replicas=max_replicas,
+            interval=0.1,
+            window=3,
+            up_cooldown=0.3,
+            down_cooldown=0.6,
+            ladder_patience=3,
+            recover_patience=2,
+        )
+        with AutoscaleController(fleet, slo) as controller:
+            with fleet.client(timeout=60.0, retries=6) as client:
+                report = run_load(
+                    client,
+                    n_requests=0,
+                    warmup=8,
+                    timeout=60.0,
+                    mode="open",
+                    rate=rate,
+                    duration_s=duration,
+                    traffic="spike",
+                    spike_mult=AUTOSCALE_SPIKE_MULT,
+                    spike_window=AUTOSCALE_SPIKE_WINDOW,
+                )
+            # idle reconvergence: the controller must walk back to the floor
+            # and fully recover the ladder once the spike clears
+            deadline = time.monotonic() + slo.down_cooldown * (max_replicas + 2) + 15.0
+            while time.monotonic() < deadline:
+                if controller.target <= slo.min_replicas and controller.level == 0:
+                    break
+                time.sleep(0.05)
+            state = controller.state()
+        fleet.close()  # drain before reading the final counters
+        stats = fleet.stats()
+    return {
+        "cpu_count": cpus,
+        "min_replicas": slo.min_replicas,
+        "max_replicas": max_replicas,
+        "capacity_req_per_sec": capacity,
+        "slo_p99_ms": slo_p99,
+        "offered_rate": report.offered_rate,
+        "spike_mult": AUTOSCALE_SPIKE_MULT,
+        "duration_s": duration,
+        "offered": report.offered,
+        "completed": report.requests,
+        "errors": report.errors,
+        "timeouts": report.timeouts,
+        "p99_ms": report.latency_ms_p99,
+        "p99_tail_ms": report.latency_ms_p99_tail,
+        "lost": stats.lost,
+        "shed": stats.shed,
+        "scale_ups": state["scale_ups"],
+        "scale_downs": state["scale_downs"],
+        "degrades": state["degrades"],
+        "recoveries": state["recoveries"],
+        "peak_target": state["peak_target"],
+        "final_target": state["target"],
+        "final_level": state["level"],
+        "history": state["history"],
+    }
+
+
 def run_benchmarks(smoke: bool, repeats: int) -> dict:
     resolution = 12  # the MCU-scale substrate: experiments run 12-16 px inputs
     n_requests = 1500 if smoke else 3000
@@ -264,6 +382,7 @@ def run_benchmarks(smoke: bool, repeats: int) -> dict:
         "parallel": parallel_lane(model, resolution, repeats, rng),
         "serving": serving_lane(int8_net, resolution, n_requests),
         "fleet": fleet_lane(resolution, fleet_requests),
+        "autoscale": autoscale_lane(resolution, smoke),
     }
 
 
@@ -330,6 +449,23 @@ def main() -> None:
         f"restarts {chaos['restarts']} ({chaos['crashes_detected']} crashes, "
         f"{chaos['corrupt_detected']} corrupt caught), "
         f"ready at end {chaos['ready_at_end']}/{fleet['replicas']}"
+    )
+    scale = results["autoscale"]
+    tail = scale["p99_tail_ms"]
+    print(
+        f"autoscale [{scale['min_replicas']}..{scale['max_replicas']}]: "
+        f"spike {scale['offered_rate']:.0f} req/s offered "
+        f"({scale['spike_mult']:.0f}x burst vs {scale['capacity_req_per_sec']:.0f} capacity), "
+        f"peak target {scale['peak_target']}, final {scale['final_target']} "
+        f"(level {scale['final_level']}), "
+        f"{scale['scale_ups']} up / {scale['scale_downs']} down / "
+        f"{scale['degrades']} degrade, "
+        + (
+            f"tail p99 {tail:.1f} ms vs SLO {scale['slo_p99_ms']:.0f} ms"
+            if tail is not None
+            else "tail p99 n/a"
+        )
+        + f", lost {scale['lost']}, shed {scale['shed']}"
     )
     print(f"\nwrote {args.output}")
 

@@ -13,7 +13,11 @@ Dispatches on the report's ``suite`` field:
   must show zero lost requests, exercised-and-recovered restarts, and a
   bounded chaos-vs-clean p99 ratio.  The parallel lane (threaded tile
   engine) must beat serial tile execution at batch 64 under the same
-  CPU-count-aware floor and must have asserted bit-identity.
+  CPU-count-aware floor and must have asserted bit-identity.  The autoscale
+  lane must show the traffic spike forcing a scale-up, reconvergence to the
+  replica floor with the degradation ladder fully recovered, zero lost or
+  unresolved requests, and (on >= 4 cores) a post-convergence tail p99
+  within the derived SLO.
 * ``bench_ops`` (``BENCH_ops.json``) — the compiled inference program must
   stay above the seed-speedup floor, a program built through
   ``repro.compile`` must match one built through the legacy ``compile_net``
@@ -92,6 +96,7 @@ def check_serve(report: dict, args) -> list[str]:
         )
     failures.extend(check_parallel(bench.get("parallel"), args))
     failures.extend(check_fleet(bench.get("fleet"), args))
+    failures.extend(check_autoscale(bench.get("autoscale"), args))
     speedups = " ".join(
         f"b{batch}={engine[f'batch{batch}']['speedup_int8_vs_float']:.2f}x"
         for batch in (1, 8, 64)
@@ -152,6 +157,68 @@ def check_fleet(fleet: dict | None, args) -> list[str]:
         f"fleet: {speedup:.2f}x vs threaded ({regime}); chaos p99 {ratio:.2f}x clean, "
         f"lost {chaos['lost']}, restarts {chaos['restarts']}, "
         f"ready {chaos['ready_at_end']}/{fleet['replicas']}"
+    )
+    return failures
+
+
+def check_autoscale(lane: dict | None, args) -> list[str]:
+    """Gate the SLO-driven autoscaling lane of a serving report.
+
+    Robustness gates apply everywhere: the traffic spike must force at least
+    one scale-up past the floor, the controller must walk the fleet back to
+    ``min_replicas`` with the degradation ladder fully recovered once the
+    spike clears, and no request may be lost or left unresolved.  The tail
+    (post-convergence) p99-vs-SLO gate mirrors the fleet lane's CPU-count
+    split: extra replicas only buy latency when there are cores to run them
+    on, so it applies on >= 4 cores only.
+    """
+    if lane is None:
+        return ["report missing the autoscale lane"]
+    failures = []
+    cpus = lane.get("cpu_count") or 1
+    if lane["lost"] != 0:
+        failures.append(f"autoscale run lost {lane['lost']} requests")
+    if lane["timeouts"] != 0:
+        failures.append(
+            f"autoscale run left {lane['timeouts']} requests unresolved "
+            "(every admitted request must resolve to a result or typed error)"
+        )
+    if lane["scale_ups"] < 1:
+        failures.append("traffic spike never forced a scale-up (spike too weak?)")
+    if lane["peak_target"] <= lane["min_replicas"]:
+        failures.append(
+            f"fleet never grew past the floor: peak target {lane['peak_target']} "
+            f"<= min_replicas {lane['min_replicas']}"
+        )
+    if lane["final_target"] != lane["min_replicas"]:
+        failures.append(
+            f"fleet did not reconverge to the floor after the spike: "
+            f"final target {lane['final_target']} != min_replicas {lane['min_replicas']}"
+        )
+    if lane["final_level"] != 0:
+        failures.append(
+            f"degradation ladder still engaged after the spike cleared: "
+            f"level {lane['final_level']} != 0"
+        )
+    tail = lane["p99_tail_ms"]
+    if cpus >= 4:
+        regime = f"{cpus} cpus"
+        if tail is None:
+            failures.append("autoscale lane recorded no post-convergence tail latencies")
+        elif tail > args.max_autoscale_p99_ratio * lane["slo_p99_ms"]:
+            failures.append(
+                f"post-convergence tail p99 missed the SLO: {tail:.1f} ms > "
+                f"{args.max_autoscale_p99_ratio:.2f} * {lane['slo_p99_ms']:.0f} ms"
+            )
+    else:
+        regime = f"only {cpus} cpu(s), tail-p99 gate waived"
+    tail_txt = f"{tail:.1f} ms" if tail is not None else "n/a"
+    print(
+        f"autoscale: peak {lane['peak_target']} -> final {lane['final_target']} "
+        f"[{lane['min_replicas']}..{lane['max_replicas']}], "
+        f"{lane['scale_ups']} up / {lane['scale_downs']} down / {lane['degrades']} degrade, "
+        f"tail p99 {tail_txt} vs SLO {lane['slo_p99_ms']:.0f} ms ({regime}), "
+        f"lost {lane['lost']}, shed {lane['shed']}"
     )
     return failures
 
@@ -281,6 +348,13 @@ def main() -> int:
         type=float,
         default=0.5,
         help="[serve/ops] sanity floor for the threaded ratio on < 4 cpus (threads time-share)",
+    )
+    parser.add_argument(
+        "--max-autoscale-p99-ratio",
+        type=float,
+        default=1.5,
+        help="[serve] post-convergence tail p99 must stay within this multiple of the "
+        "derived SLO on machines with >= 4 cpus (waived on starved runners)",
     )
     parser.add_argument(
         "--max-chaos-p99-ratio",

@@ -24,10 +24,13 @@ typed error — never silence)::
         print(fleet.stats().summary())
 
 :class:`Engine` implements the max-batch / max-wait dynamic batching policy;
-:func:`repro.serve.loadgen.run_load` is the closed-loop load harness and
+:func:`repro.serve.loadgen.run_load` is the load harness (closed-loop
+constant-concurrency or open-loop arrival-rate with ramp/spike shapes) and
 drives either tier; ``python -m repro.serve --replicas 4`` runs a
 self-contained fleet load test (with optional ``--chaos`` fault injection)
-from the command line.
+from the command line.  :class:`AutoscaleController` + :class:`SLOConfig`
+(``--autoscale`` / ``$REPRO_AUTOSCALE``) close the loop: the fleet resizes
+itself against a p99/queue-depth SLO and degrades gracefully at capacity.
 
 Inference backends are resolved by name through the
 :func:`repro.runtime.resolve_engine` registry (``--engine {float,int8}``) and
@@ -37,6 +40,7 @@ the uncompiled module.
 
 from __future__ import annotations
 
+from .autoscale import AutoscaleController, SLOConfig, parse_autoscale
 from .chaos import ChaosConfig, ChaosMonkey, parse_chaos
 from .engine import Engine, EngineConfig, ServeStats
 from .fleet import (
@@ -77,6 +81,10 @@ __all__ = [
     "model_backend",
     "echo_backend",
     "resolve_net",
+    # autoscaling / degradation
+    "AutoscaleController",
+    "SLOConfig",
+    "parse_autoscale",
     # chaos / fault injection
     "ChaosConfig",
     "ChaosMonkey",

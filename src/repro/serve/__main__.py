@@ -7,6 +7,8 @@ it with a closed-loop load generator::
     PYTHONPATH=src python -m repro.serve --engine float --concurrency 64
     PYTHONPATH=src python -m repro.serve --replicas 4 --requests 5000
     PYTHONPATH=src python -m repro.serve --replicas 2 --chaos "kill:prob=1,warmup=50,max=1"
+    PYTHONPATH=src python -m repro.serve --autoscale --min-replicas 1 --max-replicas 4 \\
+        --slo-p99-ms 50 --rate 200 --duration-s 10 --traffic spike
 
 Without ``--replicas`` the in-process dynamic-batching :class:`Engine`
 serves; with ``--replicas N`` a supervised multi-process
@@ -14,6 +16,13 @@ serves; with ``--replicas N`` a supervised multi-process
 optionally under ``--chaos`` fault injection (kill/hang/slow/corrupt/drop).
 In fleet mode the exit code is nonzero if any request was lost — admitted
 but never answered with a result or typed error.
+
+``--autoscale`` (or ``$REPRO_AUTOSCALE``) implies fleet mode and runs an
+:class:`~repro.serve.AutoscaleController` alongside the load: the fleet
+resizes itself between ``--min-replicas`` and ``--max-replicas`` against the
+``--slo-p99-ms`` target and degrades gracefully at capacity.  ``--rate`` /
+``--duration-s`` / ``--traffic`` switch the load generator to open loop
+(fixed arrival schedule; the only mode that can genuinely overload).
 
 ``--engine`` names resolve through the :func:`repro.runtime.resolve_engine`
 registry (plus the special ``eager`` backend); prints sustained req/s,
@@ -24,10 +33,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+from dataclasses import replace
 from pathlib import Path
 
 from . import available_backends, build_server
-from .loadgen import run_load
+from .autoscale import ENV_VAR, SLOConfig, parse_autoscale
+from .loadgen import TRAFFIC_SHAPES, run_load
 
 
 def main(argv=None) -> int:
@@ -83,14 +95,73 @@ def main(argv=None) -> int:
         default=None,
         help="fault-injection spec, e.g. 'kill:prob=1,warmup=50,max=1;slow:prob=0.05,ms=5'",
     )
+    load_group = parser.add_argument_group("open-loop load (fixed arrival schedule)")
+    load_group.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered request rate in req/s; with --duration-s switches to open loop",
+    )
+    load_group.add_argument(
+        "--duration-s", type=float, default=None, help="open-loop schedule length in seconds"
+    )
+    load_group.add_argument(
+        "--traffic",
+        default="constant",
+        choices=list(TRAFFIC_SHAPES),
+        help="open-loop traffic shape",
+    )
+    scale_group = parser.add_argument_group("autoscaling (implies fleet mode)")
+    scale_group.add_argument(
+        "--autoscale",
+        nargs="?",
+        const="1",
+        default=None,
+        help="enable SLO-driven autoscaling; optional spec like 'min=1,max=4,p99=50' "
+        "(default from $REPRO_AUTOSCALE)",
+    )
+    scale_group.add_argument(
+        "--min-replicas", type=int, default=None, help="autoscale floor (overrides the spec)"
+    )
+    scale_group.add_argument(
+        "--max-replicas", type=int, default=None, help="autoscale ceiling (overrides the spec)"
+    )
+    scale_group.add_argument(
+        "--slo-p99-ms", type=float, default=None, help="latency SLO target (overrides the spec)"
+    )
     args = parser.parse_args(argv)
+    if (args.rate is None) != (args.duration_s is None):
+        parser.error("--rate and --duration-s must be given together")
+    spec = args.autoscale if args.autoscale is not None else os.environ.get(ENV_VAR)
+    try:
+        slo = parse_autoscale(spec)
+    except ValueError as error:
+        parser.error(str(error))
+    if slo is None and (
+        args.min_replicas is not None or args.max_replicas is not None or args.slo_p99_ms is not None
+    ):
+        slo = SLOConfig()  # the override flags alone opt in
+    if slo is not None:
+        overrides = {}
+        if args.min_replicas is not None:
+            overrides["min_replicas"] = args.min_replicas
+        if args.max_replicas is not None:
+            overrides["max_replicas"] = args.max_replicas
+        if args.slo_p99_ms is not None:
+            overrides["p99_target_ms"] = args.slo_p99_ms
+        if overrides:
+            try:
+                slo = replace(slo, **overrides)
+            except ValueError as error:
+                parser.error(str(error))
+    args.slo = slo
     engine_name = args.engine if args.engine is not None else args.backend
     known = available_backends()
     if engine_name not in known:
         parser.error(f"unknown engine {engine_name!r}; available: {known}")
     timeout_s = args.timeout_ms / 1e3 if args.timeout_ms is not None else None
 
-    if args.replicas > 0:
+    if args.replicas > 0 or args.slo is not None:
         return _run_fleet(args, engine_name, timeout_s)
 
     print(f"building {args.model} [{engine_name}] at {args.resolution}x{args.resolution} ...")
@@ -142,10 +213,16 @@ def main(argv=None) -> int:
 
 
 def _run_fleet(args, engine_name: str, timeout_s: float | None) -> int:
+    import time
+
+    from .autoscale import AutoscaleController
     from .fleet import Fleet, FleetConfig
 
+    slo = args.slo
+    replicas = args.replicas if args.replicas > 0 else (slo.min_replicas if slo else 1)
     config = FleetConfig(
-        replicas=args.replicas,
+        replicas=replicas,
+        max_replicas=slo.max_replicas if slo is not None else None,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_pending=args.max_pending,
@@ -160,25 +237,45 @@ def _run_fleet(args, engine_name: str, timeout_s: float | None) -> int:
         **({"default_deadline_ms": args.deadline_ms} if args.deadline_ms is not None else {}),
     )
     print(
-        f"starting fleet: {args.replicas} replicas of {args.model} [{engine_name}] "
+        f"starting fleet: {replicas} replicas of {args.model} [{engine_name}] "
         f"at {args.resolution}x{args.resolution}"
+        + (f", autoscale [{slo.min_replicas}..{slo.max_replicas}] "
+           f"p99 SLO {slo.p99_target_ms:.0f} ms" if slo is not None else "")
         + (f", chaos '{args.chaos}'" if args.chaos else "")
         + " ..."
     )
+    controller = None
     with Fleet(config) as fleet:
-        fleet.wait_ready(timeout=config.start_timeout, replicas=args.replicas)
+        fleet.wait_ready(timeout=config.start_timeout, replicas=replicas)
+        if slo is not None:
+            controller = AutoscaleController(fleet, slo).start()
         with fleet.client(deadline_ms=args.deadline_ms) as client:
+            load_kwargs = dict(seed=args.seed, timeout=timeout_s)
+            if args.rate is not None:
+                load_kwargs.update(
+                    mode="open", rate=args.rate, duration_s=args.duration_s, traffic=args.traffic
+                )
             report = run_load(
                 client,
                 n_requests=args.requests,
                 concurrency=args.concurrency,
-                seed=args.seed,
-                timeout=timeout_s,
+                **load_kwargs,
             )
+        if controller is not None:
+            # idle reconvergence: let the controller walk the fleet back to
+            # the floor before the final snapshot (bounded wait)
+            deadline = time.monotonic() + slo.down_cooldown * (slo.max_replicas + 1) + 10.0
+            while time.monotonic() < deadline:
+                if controller.target <= slo.min_replicas and controller.level == 0:
+                    break
+                time.sleep(0.1)
+            controller.stop()
         fleet.close()  # drain before reading the final stats
         stats = fleet.stats()
     print(report.summary())
     print(stats.summary())
+    if controller is not None:
+        print(controller.describe())
     lost = stats.lost
     if lost:
         print(f"ERROR: {lost} requests lost (admitted but never answered)")
@@ -188,12 +285,13 @@ def _run_fleet(args, engine_name: str, timeout_s: float | None) -> int:
             "model": args.model,
             "backend": engine_name,
             "resolution": args.resolution,
-            "replicas": args.replicas,
+            "replicas": replicas,
             "max_batch": args.max_batch,
             "max_wait_ms": args.max_wait_ms,
             "chaos": args.chaos,
             "load": report.__dict__,
             "fleet": stats.to_dict(),
+            **({"autoscale": controller.state()} if controller is not None else {}),
         }
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")

@@ -216,7 +216,12 @@ class FleetConfig:
     Parameters
     ----------
     replicas:
-        Number of supervised replica processes.
+        Number of supervised replica processes started initially.
+    max_replicas:
+        Capacity ceiling for :meth:`Fleet.resize` — shared-memory heartbeat
+        slots are allocated for this many replicas up front, so the fleet can
+        scale between 1 and ``max_replicas`` without remapping memory.
+        ``None`` (the default) means ``replicas`` (a fixed-size fleet).
     max_batch, max_wait_ms:
         Per-replica micro-batching policy (same semantics as
         :class:`~repro.serve.EngineConfig`).
@@ -251,9 +256,15 @@ class FleetConfig:
         ``"fork"`` (fast spawn + restart; replicas inherit the parent-built
         backend) or ``"spawn"`` (replicas rebuild from the spec).  ``None``
         picks fork when the platform offers it.
+    stats_window_s:
+        Sliding window for the fleet-level latency percentiles in
+        :class:`FleetStats` — the autoscaler's pressure signal.  Only
+        completions inside the window count, so the signal decays when
+        traffic stops instead of pinning at the last burst's tail.
     """
 
     replicas: int = 2
+    max_replicas: int | None = None
     max_batch: int = 8
     max_wait_ms: float = 1.0
     max_pending: int = 128
@@ -273,10 +284,13 @@ class FleetConfig:
     chaos: "ChaosConfig | str | None" = None
     start_method: str | None = None
     drain_timeout: float = 15.0
+    stats_window_s: float = 5.0
 
     def __post_init__(self):
         if self.replicas < 1:
             raise ValueError("replicas must be at least 1")
+        if self.max_replicas is not None and self.max_replicas < self.replicas:
+            raise ValueError("max_replicas must be >= replicas")
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if self.max_pending < 1:
@@ -287,6 +301,11 @@ class FleetConfig:
             raise ValueError("heartbeat_interval must be > 0 and miss_threshold >= 1")
         if self.start_method not in (None, "fork", "spawn", "forkserver"):
             raise ValueError(f"unknown start_method {self.start_method!r}")
+        if self.stats_window_s <= 0:
+            raise ValueError("stats_window_s must be > 0")
+
+    def resolved_max_replicas(self) -> int:
+        return self.max_replicas if self.max_replicas is not None else self.replicas
 
     def resolved_start_method(self) -> str:
         if self.start_method is not None:
@@ -304,7 +323,10 @@ class FleetStats:
     """Snapshot of fleet counters; ``lost`` must be zero at all times."""
 
     replicas: int = 0
+    target: int = 0
+    max_replicas: int = 0
     ready: int = 0
+    draining: int = 0
     submitted: int = 0
     completed: int = 0
     shed: int = 0
@@ -316,6 +338,16 @@ class FleetStats:
     hangs_detected: int = 0
     crashes_detected: int = 0
     inflight: int = 0
+    queue_depth: int = 0
+    latency_ms_p50: float | None = None
+    latency_ms_p95: float | None = None
+    latency_ms_p99: float | None = None
+    degradation_level: int = 0
+    effective_deadline_ms: float = 0.0
+    effective_max_pending: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    scale_events: list = field(default_factory=list)
     per_replica: list = field(default_factory=list)
 
     @property
@@ -328,22 +360,35 @@ class FleetStats:
         return self.submitted - self.completed - self.error_total - self.inflight
 
     def summary(self) -> str:
+        def ms(value: float | None) -> str:
+            return "-" if value is None else f"{value:.2f} ms"
+
         lines = [
-            f"fleet             : {self.ready}/{self.replicas} replicas ready, "
+            f"fleet             : {self.ready}/{self.target} replicas ready "
+            f"(cap {self.max_replicas}, {self.draining} draining), "
             f"{self.restarts} restarts ({self.crashes_detected} crashes, "
             f"{self.hangs_detected} hangs detected)",
             f"requests          : {self.completed}/{self.submitted} completed, "
             f"{self.error_total} typed errors {dict(sorted(self.errors.items()))}, "
             f"{self.shed} shed, {self.inflight} in flight, {self.lost} lost",
+            f"latency           : p50 {ms(self.latency_ms_p50)} / p95 {ms(self.latency_ms_p95)}"
+            f" / p99 {ms(self.latency_ms_p99)}, queue depth {self.queue_depth}",
             f"recovery          : {self.requeued} requeued, {self.corrupt_detected} corrupt "
             f"replies caught, {self.deadline_expired} deadlines expired",
+            f"elasticity        : {self.scale_ups} scale-ups / {self.scale_downs} scale-downs, "
+            f"degradation level {self.degradation_level} "
+            f"(deadline {self.effective_deadline_ms:.0f} ms, "
+            f"pending cap {self.effective_max_pending})",
         ]
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
         return {
             "replicas": self.replicas,
+            "target": self.target,
+            "max_replicas": self.max_replicas,
             "ready": self.ready,
+            "draining": self.draining,
             "submitted": self.submitted,
             "completed": self.completed,
             "shed": self.shed,
@@ -355,6 +400,16 @@ class FleetStats:
             "hangs_detected": self.hangs_detected,
             "crashes_detected": self.crashes_detected,
             "inflight": self.inflight,
+            "queue_depth": self.queue_depth,
+            "latency_ms_p50": self.latency_ms_p50,
+            "latency_ms_p95": self.latency_ms_p95,
+            "latency_ms_p99": self.latency_ms_p99,
+            "degradation_level": self.degradation_level,
+            "effective_deadline_ms": self.effective_deadline_ms,
+            "effective_max_pending": self.effective_max_pending,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "scale_events": list(self.scale_events),
             "lost": self.lost,
             "per_replica": list(self.per_replica),
         }
@@ -365,7 +420,7 @@ class _Entry:
 
     __slots__ = (
         "gid", "writer", "request_id", "slot", "attempts",
-        "dispatched", "done", "released", "timer",
+        "dispatched", "done", "released", "timer", "admitted",
     )
 
     def __init__(self, gid, writer, request_id, slot):
@@ -378,6 +433,7 @@ class _Entry:
         self.done = False  # client has its final answer
         self.released = False  # slot returned to the free pool
         self.timer = None
+        self.admitted = 0.0  # monotonic admission timestamp for latency stats
 
 
 # --------------------------------------------------------------------------- #
@@ -428,6 +484,19 @@ class Fleet:
         self._corrupt_detected = 0
         self._deadline_expired = 0
         self._final_stats: FleetStats | None = None
+        # elasticity and degradation state (event-loop thread only)
+        self._t0 = time.monotonic()
+        # (monotonic, ms) pairs pruned to stats_window_s, so the latency
+        # percentiles — the autoscaler's main signal — decay when idle
+        # instead of pinning at the last burst's tail forever
+        self._latencies: deque = deque(maxlen=4096)
+        self._scale_events: list[dict] = []
+        self._scale_ups = 0
+        self._scale_downs = 0
+        self._degradation = 0
+        self._eff_deadline_ms = config.default_deadline_ms
+        self._eff_max_wait_ms = config.max_wait_ms
+        self._eff_max_pending = config.max_pending
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -439,20 +508,24 @@ class Fleet:
         cfg = self.config
         self._backend = resolve_builder(cfg.builder)(**cfg.builder_kwargs)
         self.io = self._backend.io_plan()
+        self._t0 = time.monotonic()
         n_slots = cfg.max_pending
+        max_replicas = cfg.resolved_max_replicas()
         self._slots_shm = shared_memory.SharedMemory(
             create=True, size=max(n_slots * self.io.slot_bytes, 1)
         )
-        self._hb_shm = shared_memory.SharedMemory(create=True, size=cfg.replicas * 8)
+        # heartbeat slots are sized for the resize() ceiling up front, so the
+        # fleet can scale between 1 and max_replicas without remapping memory
+        self._hb_shm = shared_memory.SharedMemory(create=True, size=max_replicas * 8)
         self._slots = np.ndarray(
             (n_slots, self.io.slot_elements), dtype=np.float32, buffer=self._slots_shm.buf
         )
-        self._hb = np.ndarray((cfg.replicas,), dtype=np.float64, buffer=self._hb_shm.buf)
+        self._hb = np.ndarray((max_replicas,), dtype=np.float64, buffer=self._hb_shm.buf)
         self._free_slots = list(range(n_slots))
         use_fork = cfg.resolved_start_method() == "fork"
         spec = ReplicaSpec(
             index=0,
-            replicas=cfg.replicas,
+            replicas=max_replicas,
             builder=cfg.builder,
             builder_kwargs=dict(cfg.builder_kwargs),
             input_shape=self.io.input_shape,
@@ -672,8 +745,13 @@ class Fleet:
         except Exception:
             pass  # client went away; the request still counts as resolved
 
-    def _reply_error(self, writer, request_id: int, code: str, message: str) -> None:
-        self._send_frame(writer, pack_frame(KIND_ERROR, request_id, {"code": code, "message": message}))
+    def _reply_error(
+        self, writer, request_id: int, code: str, message: str, extra: dict | None = None
+    ) -> None:
+        meta = {"code": code, "message": message}
+        if extra:
+            meta.update(extra)
+        self._send_frame(writer, pack_frame(KIND_ERROR, request_id, meta))
 
     # ------------------------------------------------------------------ #
     # admission and dispatch (event-loop thread)
@@ -693,19 +771,27 @@ class Fleet:
         if not self._supervisor.alive():
             self._reply_error(writer, request_id, "replica_failed", "all replicas failed permanently")
             return
-        if not self._free_slots:
+        if not self._free_slots or len(self._inflight) >= self._eff_max_pending:
             self._shed += 1
             self._reply_error(
                 writer, request_id, "overloaded",
-                f"admission queue full ({self.config.max_pending} pending)",
+                f"admission queue full ({self._eff_max_pending} pending)",
+                extra={
+                    "retry_after_ms": round(self._retry_after_hint(), 2),
+                    "level": self._degradation,
+                },
             )
             return
         slot = self._free_slots.pop()
         self._slots[slot, : self.io.input_elements] = np.frombuffer(payload, dtype=np.float32)
         self._next_gid += 1
         entry = _Entry(self._next_gid, writer, request_id, slot)
-        deadline_ms = float(meta.get("deadline_ms") or self.config.default_deadline_ms)
+        deadline_ms = min(
+            float(meta.get("deadline_ms") or self.config.default_deadline_ms),
+            self._eff_deadline_ms,
+        )
         entry.timer = self._loop.call_later(deadline_ms / 1e3, self._expire, entry)
+        entry.admitted = time.monotonic()
         self._inflight[entry.gid] = entry
         self._submitted += 1
         self._dispatch(entry)
@@ -734,11 +820,119 @@ class Fleet:
             self._dispatch(entry)
 
     # ------------------------------------------------------------------ #
+    # elasticity and degradation
+    # ------------------------------------------------------------------ #
+    def resize(self, replicas: int, reason: str = "manual", timeout: float = 30.0) -> int:
+        """Change the in-service replica count (any thread); returns the clamp.
+
+        Scale-up respawns retired handles up to ``max_replicas``; scale-down
+        marks the highest-index replicas draining — each finishes its
+        in-flight work before retiring, so ``FleetStats.lost`` stays zero.
+        Blocks until the new target is applied (not until draining ends).
+        """
+        if self._loop is None or self._closed:
+            raise RuntimeError("fleet is not running")
+        from concurrent.futures import Future
+
+        fut: Future = Future()
+
+        def apply():
+            try:
+                fut.set_result(self._apply_resize(int(replicas), reason))
+            except Exception as error:  # pragma: no cover - defensive
+                fut.set_exception(error)
+
+        self._post(apply)
+        return fut.result(timeout=timeout)
+
+    def _apply_resize(self, replicas: int, reason: str) -> int:
+        sup = self._supervisor
+        old = sup.target
+        new = sup.set_target(replicas)
+        if new != old:
+            self._scale_events.append(
+                {
+                    "t": round(time.monotonic() - self._t0, 3),
+                    "from": old,
+                    "to": new,
+                    "reason": reason,
+                }
+            )
+            del self._scale_events[:-64]
+            if new > old:
+                self._scale_ups += 1
+            else:
+                self._scale_downs += 1
+            self._flush_undispatched()
+        return new
+
+    def set_degradation(
+        self,
+        level: int,
+        *,
+        deadline_ms: float | None = None,
+        max_wait_ms: float | None = None,
+        max_pending: int | None = None,
+    ) -> None:
+        """Apply a graceful-degradation step (any thread).
+
+        Level 0 restores the configured policy; higher levels install the
+        supplied effective deadline / batching wait / pending cap.  The
+        batching wait takes effect live — replicas pick it up over their
+        work pipes without a restart.
+        """
+        if self._loop is None or self._closed:
+            raise RuntimeError("fleet is not running")
+        self._post(self._apply_degradation, int(level), deadline_ms, max_wait_ms, max_pending)
+
+    def _apply_degradation(self, level, deadline_ms, max_wait_ms, max_pending) -> None:
+        cfg = self.config
+        self._degradation = max(0, level)
+        if self._degradation == 0:
+            self._eff_deadline_ms = cfg.default_deadline_ms
+            self._eff_max_wait_ms = cfg.max_wait_ms
+            self._eff_max_pending = cfg.max_pending
+        else:
+            if deadline_ms is not None:
+                self._eff_deadline_ms = max(1.0, float(deadline_ms))
+            if max_wait_ms is not None:
+                self._eff_max_wait_ms = max(0.0, float(max_wait_ms))
+            if max_pending is not None:
+                self._eff_max_pending = max(1, int(max_pending))
+        self._broadcast_cfg()
+
+    def _broadcast_cfg(self, handle=None) -> None:
+        handles = [handle] if handle is not None else self._supervisor.active_handles()
+        for h in handles:
+            if h.work is None:
+                continue
+            try:
+                h.work.send(("cfg", {"max_wait_ms": self._eff_max_wait_ms}))
+            except (OSError, ValueError):
+                pass  # dying replica; the watchdog deals with it
+
+    def _retry_after_hint(self) -> float:
+        """Server-side estimate of when a retry is worth it, in milliseconds."""
+        self._prune_latencies()
+        if self._latencies:
+            ordered = sorted(value for _, value in self._latencies)
+            base = ordered[len(ordered) // 2]
+        else:
+            base = self._eff_max_wait_ms * 2 + 5.0
+        sup = self._supervisor
+        ready = max(1, len(sup.ready_handles())) if sup is not None else 1
+        backlog = len(self._undispatched) / (ready * self.config.max_batch)
+        hint = base * (1.0 + backlog) * (1.0 + self._degradation)
+        return float(min(max(hint, 1.0), self.config.default_deadline_ms / 2))
+
+    # ------------------------------------------------------------------ #
     # replica events (event-loop thread, via supervisor)
     # ------------------------------------------------------------------ #
     def _on_replica_msg(self, handle, msg) -> None:
         kind = msg[0]
         if kind == "ready":
+            if self._degradation:
+                self._broadcast_cfg(handle)  # replica (re)started mid-degradation
             self._flush_undispatched()
             return
         if kind == "done":
@@ -756,6 +950,10 @@ class Fleet:
                 self._retry(entry, transport.CorruptReply("reply failed checksum validation"))
                 return
             handle.served += 1
+            now = time.monotonic()
+            latency_ms = (now - entry.admitted) * 1e3
+            self._latencies.append((now, latency_ms))
+            handle.latencies.append(latency_ms)
             self._send_frame(
                 entry.writer,
                 pack_frame(
@@ -834,12 +1032,28 @@ class Fleet:
     # ------------------------------------------------------------------ #
     # stats
     # ------------------------------------------------------------------ #
+    def _prune_latencies(self) -> None:
+        cutoff = time.monotonic() - self.config.stats_window_s
+        while self._latencies and self._latencies[0][0] < cutoff:
+            self._latencies.popleft()
+
+    @staticmethod
+    def _percentiles(samples) -> tuple[float | None, float | None, float | None]:
+        if not samples:
+            return None, None, None
+        arr = np.asarray(samples, dtype=np.float64)
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return float(p50), float(p95), float(p99)
+
     def _stats_snapshot(self) -> FleetStats:
         sup = self._supervisor
         per_replica = []
         ready = 0
+        target = self.config.replicas
+        draining = 0
         if sup is not None:
-            for handle in sup.handles:
+            for handle in sup.active_handles():
+                _, _, handle_p99 = self._percentiles(handle.latencies)
                 per_replica.append(
                     {
                         "index": handle.index,
@@ -847,12 +1061,21 @@ class Fleet:
                         "served": handle.served,
                         "restarts": handle.restarts,
                         "pid": handle.pid,
+                        "inflight": len(handle.assigned),
+                        "latency_ms_p99": handle_p99,
                     }
                 )
             ready = len(sup.ready_handles())
+            target = sup.target
+            draining = sup.draining()
+        self._prune_latencies()
+        p50, p95, p99 = self._percentiles([value for _, value in self._latencies])
         return FleetStats(
             replicas=self.config.replicas,
+            target=target,
+            max_replicas=self.config.resolved_max_replicas(),
             ready=ready,
+            draining=draining,
             submitted=self._submitted,
             completed=self._completed,
             shed=self._shed,
@@ -864,5 +1087,17 @@ class Fleet:
             hangs_detected=sup.hangs_detected if sup is not None else 0,
             crashes_detected=sup.crashes_detected if sup is not None else 0,
             inflight=sum(1 for e in self._inflight.values() if not e.done),
+            queue_depth=sum(
+                1 for e in self._undispatched if not e.done and e.dispatched is None
+            ),
+            latency_ms_p50=p50,
+            latency_ms_p95=p95,
+            latency_ms_p99=p99,
+            degradation_level=self._degradation,
+            effective_deadline_ms=self._eff_deadline_ms,
+            effective_max_pending=self._eff_max_pending,
+            scale_ups=self._scale_ups,
+            scale_downs=self._scale_downs,
+            scale_events=list(self._scale_events),
             per_replica=per_replica,
         )

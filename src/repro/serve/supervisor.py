@@ -11,17 +11,27 @@ killed mid-write can only poison *its own* channel, never a sibling's.
 Replica state machine::
 
                  spawn                 ready msg
-      (none) ────────────▶ STARTING ─────────────▶ READY ──┐
-                              │                      │     │ serves
-               start timeout  │   crash / SIGKILL /  │     │ batches
-               or early exit  │   missed heartbeats  │ ◀───┘
-                              ▼                      ▼
-            FAILED ◀──── [retries exhausted] ◀──── DOWN
-                                                     │
-                              restart after capped   │
-                              exponential backoff    ▼
-                                       └────────▶ STARTING ...
-          (on drain: READY/STARTING ──▶ STOPPED)
+   DETACHED ────────────▶ STARTING ─────────────▶ READY ──┐
+      ▲                       │                      │     │ serves
+      │        start timeout  │   crash / SIGKILL /  │     │ batches
+      │        or early exit  │   missed heartbeats  │ ◀───┘
+      │                       ▼                      ▼
+      │     FAILED ◀──── [retries exhausted] ◀──── DOWN
+      │                                              │
+      │                       restart after capped   │
+      │ scale-down drain:     exponential backoff    ▼
+      │ READY ─▶ DRAINING              └────────▶ STARTING ...
+      └──── (in-flight work finishes, replica stops)
+          (on shutdown: READY/STARTING ──▶ STOPPED)
+
+The supervisor owns a fixed pool of ``max_replicas`` handles but only keeps
+``target`` of them in service; :meth:`Supervisor.set_target` moves the line.
+Scaling up (re)spawns DETACHED handles; scaling down marks the excess
+DRAINING — they finish the micro-batches already assigned to them (the
+fleet's zero-lost invariant must hold through a resize), then stop and
+return to DETACHED.  A scale-up that arrives mid-drain simply flips the
+replica back to READY: the process never stopped serving, so cancelling a
+drain is free.
 
 Liveness has two signals.  *Crash* is cheap to detect: the process exit code
 flips, and the parent's pipe reader sees EOF immediately.  *Hang* needs the
@@ -34,7 +44,9 @@ beating by construction and the supervisor SIGKILLs and restarts it after
 Restarts use capped exponential backoff (``min(cap, base * 2**(failures-1))``)
 so a crash-looping replica cannot hog the machine, and the failure count
 decays after a healthy period so one bad minute does not penalize the replica
-forever.
+forever.  All supervisor time arithmetic goes through an injectable ``clock``
+(default ``time.monotonic``), so the backoff/decay schedule is testable
+without real sleeps.
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ import time
 import zlib
 import threading
 import multiprocessing
+from collections import deque
 from dataclasses import dataclass, field
 from importlib import import_module
 from multiprocessing import shared_memory
@@ -60,6 +73,8 @@ READY = "ready"
 DOWN = "down"
 FAILED = "failed"
 STOPPED = "stopped"
+DRAINING = "draining"  # scale-down: finish assigned work, take no new work
+DETACHED = "detached"  # out of service (above the current target count)
 
 
 def resolve_builder(path):
@@ -117,6 +132,7 @@ def _replica_main(spec: ReplicaSpec, work, resp) -> None:
         batch_buf = np.empty((spec.max_batch,) + tuple(spec.input_shape), dtype=np.float32)
         beat()
         resp.send(("ready", os.getpid()))
+        max_wait_s = spec.max_wait_ms / 1e3
         stop = False
         while not stop:
             # Block for the first request, heartbeating while idle: the beat
@@ -126,10 +142,13 @@ def _replica_main(spec: ReplicaSpec, work, resp) -> None:
                 beat()
                 if work.poll(spec.heartbeat_interval / 2):
                     msg = work.recv()
+                    if msg[0] == "cfg":  # live batching-policy update (degradation ladder)
+                        max_wait_s = float(msg[1].get("max_wait_ms", max_wait_s * 1e3)) / 1e3
+                        msg = None
             if msg[0] == "stop":
                 break
             batch = [msg]
-            deadline = time.monotonic() + spec.max_wait_ms / 1e3
+            deadline = time.monotonic() + max_wait_s
             while len(batch) < spec.max_batch:
                 remaining = deadline - time.monotonic()
                 if not work.poll(max(remaining, 0.0)):
@@ -138,6 +157,9 @@ def _replica_main(spec: ReplicaSpec, work, resp) -> None:
                 if m[0] == "stop":
                     stop = True
                     break
+                if m[0] == "cfg":
+                    max_wait_s = float(m[1].get("max_wait_ms", max_wait_s * 1e3)) / 1e3
+                    continue
                 batch.append(m)
             beat()
             if monkey is not None:
@@ -177,7 +199,7 @@ class ReplicaHandle:
 
     index: int
     generation: int = 0
-    state: str = DOWN
+    state: str = DETACHED
     process: object = None
     work: object = None  # parent -> child dispatch connection
     resp: object = None  # child -> parent ack connection (read by a thread)
@@ -189,6 +211,7 @@ class ReplicaHandle:
     ready_since: float = 0.0
     restart_at: float = 0.0
     pid: int | None = None
+    latencies: deque = field(default_factory=lambda: deque(maxlen=256))  # ms, recent
 
     def close_conns(self) -> None:
         for conn in (self.work, self.resp):
@@ -220,27 +243,38 @@ class Supervisor:
         Fleet callbacks: ``on_msg(handle, msg)`` for replica acks;
         ``on_down(handle, reason, assigned)`` with the dead replica's
         in-flight requests, which the fleet requeues.
+    clock:
+        Monotonic time source for all backoff/decay/watchdog arithmetic;
+        injectable so the restart schedule is testable without real sleeps.
     """
 
-    def __init__(self, config, spec: ReplicaSpec, hb: np.ndarray, *, post, on_msg, on_down):
+    def __init__(
+        self, config, spec: ReplicaSpec, hb: np.ndarray, *, post, on_msg, on_down,
+        clock=time.monotonic,
+    ):
         self.config = config
         self.spec = spec
         self.hb = hb
         self._post = post
         self._on_msg = on_msg
         self._on_down = on_down
+        self._clock = clock
         self.ctx = multiprocessing.get_context(config.resolved_start_method())
-        self.handles = [ReplicaHandle(index=i) for i in range(config.replicas)]
+        resolved_max = getattr(config, "resolved_max_replicas", None)
+        max_replicas = resolved_max() if callable(resolved_max) else config.replicas
+        self.handles = [ReplicaHandle(index=i) for i in range(max_replicas)]
+        self.target = config.replicas  # replicas meant to be in service
         self.restarts = 0  # successful respawns after a failure
         self.hangs_detected = 0
         self.crashes_detected = 0
+        self.retired = 0  # replicas drained away by scale-down
         self._stopping = False
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def spawn_all(self) -> None:
-        for handle in self.handles:
+        for handle in self.handles[: self.target]:
             self.spawn(handle)
 
     def spawn(self, handle: ReplicaHandle) -> None:
@@ -268,10 +302,10 @@ class Supervisor:
         handle.work = work_send
         handle.resp = resp_recv
         handle.state = STARTING
-        handle.started_at = time.monotonic()
+        handle.started_at = self._clock()
         handle.pid = process.pid
         handle.assigned.clear()
-        self.hb[handle.index] = time.monotonic()
+        self.hb[handle.index] = self._clock()
         threading.Thread(
             target=self._reader,
             args=(handle.index, handle.generation, resp_recv),
@@ -293,15 +327,17 @@ class Supervisor:
         handle = self.handles[index]
         if handle.generation != generation or self._stopping:
             return  # stale generation: the crash was already handled
-        if msg[0] == "ready":
+        if msg[0] == "ready" and handle.state == STARTING:
+            # a handle that was set DRAINING while still starting stays
+            # draining — its late "ready" must not put it back in rotation
             handle.state = READY
-            handle.ready_since = time.monotonic()
+            handle.ready_since = self._clock()
             self.hb[index] = handle.ready_since
         self._on_msg(handle, msg)
 
     def _handle_eof(self, index: int, generation: int) -> None:
         handle = self.handles[index]
-        if handle.generation != generation or handle.state in (DOWN, FAILED, STOPPED):
+        if handle.generation != generation or handle.state in (DOWN, FAILED, STOPPED, DETACHED):
             return
         self.crashes_detected += 1
         self.mark_down(handle, "pipe closed (replica exited)")
@@ -311,7 +347,7 @@ class Supervisor:
     # ------------------------------------------------------------------ #
     def mark_down(self, handle: ReplicaHandle, reason: str) -> None:
         """Take a replica out of rotation and schedule its restart."""
-        if handle.state in (DOWN, FAILED, STOPPED):
+        if handle.state in (DOWN, FAILED, STOPPED, DETACHED):
             return
         handle.state = DOWN
         handle.close_conns()
@@ -324,21 +360,68 @@ class Supervisor:
         handle.assigned.clear()
         handle.failures += 1
         limit = self.config.max_restarts
-        if limit is not None and handle.failures > limit:
+        if handle.index >= self.target:
+            # died while draining: its work is requeued below, but there is
+            # no slot to restart into — the replica leaves service instead
+            handle.state = DETACHED
+            self.retired += 1
+        elif limit is not None and handle.failures > limit:
             handle.state = FAILED
         else:
             backoff = min(
                 self.config.restart_backoff_cap,
                 self.config.restart_backoff_base * 2 ** (handle.failures - 1),
             )
-            handle.restart_at = time.monotonic() + backoff
+            handle.restart_at = self._clock() + backoff
         self._on_down(handle, reason, assigned)
+
+    # ------------------------------------------------------------------ #
+    # elasticity
+    # ------------------------------------------------------------------ #
+    def set_target(self, n: int) -> int:
+        """Move the in-service line to ``n`` replicas; returns the clamp.
+
+        Scale-up (re)spawns detached handles; scale-down marks the excess
+        DRAINING (they keep serving what is already assigned to them and are
+        retired by :meth:`poll` once empty).  A scale-up that lands on a
+        still-draining handle just flips it back to READY — the process
+        never stopped, so cancelling a drain costs nothing.
+        """
+        n = max(1, min(len(self.handles), int(n)))
+        self.target = n
+        for handle in self.handles[:n]:
+            if handle.state == DETACHED:
+                self.spawn(handle)
+            elif handle.state == DRAINING:
+                handle.state = READY
+        for handle in self.handles[n:]:
+            if handle.state in (READY, STARTING):
+                handle.state = DRAINING
+            elif handle.state in (DOWN, FAILED):
+                handle.state = DETACHED  # cancel any pending restart
+        return n
+
+    def _retire(self, handle: ReplicaHandle) -> None:
+        """Stop a fully drained replica and detach it from service."""
+        if handle.work is not None:
+            try:
+                handle.work.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        handle.close_conns()
+        if handle.process is not None:
+            try:
+                handle.process.join(timeout=0)
+            except (OSError, ValueError, AssertionError):
+                pass
+        handle.state = DETACHED
+        self.retired += 1
 
     def poll(self) -> None:
         """One watchdog pass: detect crash/hang/stuck-start, run due restarts."""
         if self._stopping:
             return
-        now = time.monotonic()
+        now = self._clock()
         cfg = self.config
         for handle in self.handles:
             if handle.state == READY:
@@ -362,8 +445,23 @@ class Supervisor:
                 elif now - handle.started_at > cfg.start_timeout:
                     self._kill(handle)
                     self.mark_down(handle, "startup timed out")
-            elif handle.state == DOWN and now >= handle.restart_at:
-                self.spawn(handle)
+            elif handle.state == DRAINING:
+                if not handle.process.is_alive():
+                    self.crashes_detected += 1
+                    self.mark_down(handle, "process died while draining")
+                elif handle.assigned and (
+                    now - self.hb[handle.index] > cfg.heartbeat_interval * cfg.miss_threshold
+                ):
+                    self.hangs_detected += 1
+                    self._kill(handle)
+                    self.mark_down(handle, "hung while draining")
+                elif not handle.assigned:
+                    self._retire(handle)
+            elif handle.state == DOWN:
+                if handle.index >= self.target:
+                    handle.state = DETACHED  # restart cancelled by a scale-down
+                elif now >= handle.restart_at:
+                    self.spawn(handle)
 
     def _kill(self, handle: ReplicaHandle) -> None:
         try:
@@ -377,9 +475,16 @@ class Supervisor:
     def ready_handles(self) -> list[ReplicaHandle]:
         return [h for h in self.handles if h.state == READY]
 
+    def active_handles(self) -> list[ReplicaHandle]:
+        """Handles currently in (or leaving) service — everything not detached."""
+        return [h for h in self.handles if h.state != DETACHED]
+
+    def draining(self) -> int:
+        return sum(1 for h in self.handles if h.state == DRAINING)
+
     def alive(self) -> bool:
-        """Can the fleet still make progress (some replica not FAILED)?"""
-        return any(h.state != FAILED for h in self.handles)
+        """Can the fleet still make progress (some in-service replica not FAILED)?"""
+        return any(h.state != FAILED for h in self.handles[: self.target])
 
     def stop_all(self, timeout: float = 10.0) -> None:
         """Graceful stop: ask replicas to exit, then escalate to SIGKILL."""
@@ -390,18 +495,18 @@ class Supervisor:
                     handle.work.send(("stop",))
                 except OSError:
                     pass
-        deadline = time.monotonic() + timeout
+        deadline = self._clock() + timeout
         for handle in self.handles:
             process = handle.process
             if process is None:
                 continue
             try:
-                process.join(timeout=max(deadline - time.monotonic(), 0.0))
+                process.join(timeout=max(deadline - self._clock(), 0.0))
                 if process.is_alive():
                     process.kill()
                     process.join(timeout=2.0)
             except (OSError, ValueError, AssertionError):
                 pass
             handle.close_conns()
-            if handle.state != FAILED:
+            if handle.state not in (FAILED, DETACHED):
                 handle.state = STOPPED

@@ -79,6 +79,7 @@ class FleetError(RuntimeError):
 
     code = "error"
     retryable = False
+    retry_after_ms: float | None = None  # server hint; set by error_for from meta
 
 
 class Overloaded(FleetError):
@@ -124,9 +125,22 @@ _ERROR_TYPES = {
 }
 
 
-def error_for(code: str, message: str = "") -> FleetError:
-    """Build the typed exception for an ``ERROR`` frame's code."""
-    return _ERROR_TYPES.get(code, FleetError)(message or code)
+def error_for(code: str, message: str = "", meta: dict | None = None) -> FleetError:
+    """Build the typed exception for an ``ERROR`` frame's code.
+
+    When the frame metadata carries a ``retry_after_ms`` hint (overload
+    shedding under degradation), it is attached to the exception so retrying
+    clients can pace themselves to the server's estimate.
+    """
+    error = _ERROR_TYPES.get(code, FleetError)(message or code)
+    if meta is not None:
+        hint = meta.get("retry_after_ms")
+        if hint is not None:
+            try:
+                error.retry_after_ms = float(hint)
+            except (TypeError, ValueError):
+                pass
+    return error
 
 
 # --------------------------------------------------------------------------- #
@@ -317,7 +331,13 @@ class FleetClient:
             if not request.future.done():
                 request.future.set_exception(error)
             return
-        delay = min(self._backoff_cap, self._backoff_base * 2 ** (request.attempts - 1))
+        hint_ms = getattr(error, "retry_after_ms", None)
+        if hint_ms is not None and hint_ms > 0:
+            # the server knows its own backlog better than blind exponential
+            # backoff does — pace to its estimate, capped like local backoff
+            delay = min(self._backoff_cap, hint_ms / 1e3)
+        else:
+            delay = min(self._backoff_cap, self._backoff_base * 2 ** (request.attempts - 1))
         delay *= 1.0 + float(self._rng.uniform(0.0, self._jitter))
         self._retry_seq += 1
         heapq.heappush(self._retry_heap, (now + delay, self._retry_seq, request))
@@ -356,7 +376,7 @@ class FleetClient:
             elif kind == KIND_STATS_REPLY:
                 request.future.set_result(meta)
             elif kind == KIND_ERROR:
-                error = error_for(meta.get("code", "error"), meta.get("message", ""))
+                error = error_for(meta.get("code", "error"), meta.get("message", ""), meta)
                 with self._lock:
                     self._retry_or_fail_locked(request, error)
 
