@@ -12,8 +12,11 @@ MobileNetV2-Tiny in three lanes:
   (``repro.compile(model, mode="train")``, routed through the Trainer).
 
 plus two data-pipeline microbenchmarks (batched vs per-image transforms, and
-the compiled lane with prefetch off).  Results are written to
-``BENCH_train.json``; ``scripts/check_bench.py`` gates regressions in CI.
+the compiled lane with prefetch off) and a ``distributed`` lane (aggregate
+steps/s of the data-parallel :class:`~repro.train.DistributedTrainer` vs
+worker count, with a single-worker bitwise-parity check).  Results are
+written to ``BENCH_train.json``; ``scripts/check_bench.py`` gates
+regressions in CI.
 
 Run with::
 
@@ -37,7 +40,7 @@ from repro.models import mobilenet_v2
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 from repro.optim import SGD
-from repro.train import Trainer
+from repro.train import DistributedTrainer, Trainer
 from repro.utils import ExperimentConfig, seed_everything
 
 from bench_ops import seed_conv2d
@@ -226,7 +229,70 @@ def bench_transforms(dataset, batch: int, repeats: int) -> dict:
     }
 
 
-def run_benchmarks(smoke: bool) -> dict:
+def bench_distributed(smoke: bool, max_workers: int | None) -> dict:
+    """Data-parallel lane: aggregate steps/s vs worker count + bitwise flag.
+
+    ``steps_per_sec`` counts optimiser steps summed over all workers, so with
+    real cores the figure scales with the fleet; on a starved runner the
+    workers time-slice one core and the ratio hovers near 1.0 (the
+    ``check_train_dp`` gate is CPU-count-aware for exactly this reason).
+    """
+    import os
+
+    cpu_count = os.cpu_count() or 1
+    if smoke:
+        batch, resolution, samples, epochs = 8, 16, 64, 1
+    else:
+        batch, resolution, samples, epochs = 16, 16, 128, 2
+    classes = 8
+    dataset = _dataset(samples, resolution, classes=classes)
+
+    def model_fn():
+        return mobilenet_v2("tiny", num_classes=classes)
+
+    # workers=1 must run the exact Trainer code path: verify bitwise parity
+    # (parameters and BN statistics) before timing anything.
+    parity_config = ExperimentConfig(epochs=1, batch_size=batch, lr=0.05, warmup_epochs=0)
+    seed_everything(parity_config.seed)
+    reference_model = model_fn()
+    Trainer(reference_model, parity_config, compile=False).fit(dataset)
+    single = DistributedTrainer(model_fn, parity_config, workers=1, compile=False)
+    single.fit(dataset)
+    reference_state = reference_model.state_dict()
+    single_state = single.model.state_dict()
+    single_worker_bitwise = all(
+        np.array_equal(reference_state[name], single_state[name]) for name in reference_state
+    )
+
+    config = ExperimentConfig(epochs=epochs, batch_size=batch, lr=0.05, warmup_epochs=0)
+    target = max_workers if max_workers else min(4, max(2, cpu_count))
+    sweep = sorted({1, 2, target})
+    workers_sps: dict[str, float] = {}
+    for world in sweep:
+        trainer = DistributedTrainer(model_fn, config, workers=world, topology="allreduce")
+        trainer.fit(dataset)
+        if not trainer.stats.consistent:
+            raise RuntimeError(f"allreduce digests diverged at workers={world}")
+        workers_sps[str(world)] = trainer.stats.steps_per_sec
+
+    gossip = DistributedTrainer(model_fn, config, workers=2, topology="gossip")
+    gossip.fit(dataset)
+
+    return {
+        "cpu_count": cpu_count,
+        "model": "mobilenetv2-tiny",
+        "batch_size": batch,
+        "epochs": epochs,
+        "single_worker_bitwise": single_worker_bitwise,
+        "workers_steps_per_sec": workers_sps,
+        "max_workers": target,
+        "scaling_vs_single": workers_sps[str(target)] / workers_sps["1"],
+        "gossip_workers": 2,
+        "gossip_steps_per_sec": gossip.stats.steps_per_sec,
+    }
+
+
+def run_benchmarks(smoke: bool, max_workers: int | None = None) -> dict:
     if smoke:
         batch, resolution, samples, min_steps, repeats = 16, 16, 64, 6, 2
     else:
@@ -282,12 +348,19 @@ def run_benchmarks(smoke: bool) -> dict:
             "speedup_prefetch": compiled_sps / compiled_noprefetch_sps,
         },
         "transforms": bench_transforms(dataset, batch, repeats=5),
+        "distributed": bench_distributed(smoke, max_workers),
     }
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="tiny sizes / few repeats (CI)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="max worker count for the distributed lane (default: min(4, cpus))",
+    )
     parser.add_argument(
         "--output",
         type=Path,
@@ -296,7 +369,7 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    results = run_benchmarks(smoke=args.smoke)
+    results = run_benchmarks(smoke=args.smoke, max_workers=args.workers)
     report = {
         "suite": "bench_train",
         "mode": "smoke" if args.smoke else "full",
@@ -318,6 +391,13 @@ def main() -> None:
     print(f"prefetch on/off:   {loader['speedup_prefetch']:.2f}x")
     tf = results["transforms"]
     print(f"batched transforms: {tf['speedup']:.2f}x vs per-image")
+    dp = results["distributed"]
+    print(
+        f"distributed ({dp['cpu_count']} cpus): "
+        + ", ".join(f"{w}w {sps:.2f} steps/s" for w, sps in dp["workers_steps_per_sec"].items())
+        + f" | scaling {dp['scaling_vs_single']:.2f}x"
+        + f" | bitwise@1w {'ok' if dp['single_worker_bitwise'] else 'FAIL'}"
+    )
     print(f"\nwrote {args.output}")
 
 

@@ -4,7 +4,10 @@
 Dispatches on the report's ``suite`` field:
 
 * ``bench_train`` (``BENCH_train.json``) — the compiled training path must
-  stay ahead of the eager path and above the seed-speedup floor.
+  stay ahead of the eager path and above the seed-speedup floor; the
+  distributed data-parallel lane must show aggregate steps/s scaling at max
+  workers (CPU-count-aware floor, sanity floor on starved runners) and the
+  single-worker bitwise-parity flag must hold everywhere.
 * ``bench_serve`` (``BENCH_serve.json``) — the int8 integer engine must reach
   the configured speedup over the float compiled engine at batches 1-8, and
   dynamic batching must sustain the configured multiple of serial batch-1
@@ -66,6 +69,47 @@ def check_train(report: dict, args) -> list[str]:
     print(
         f"steps/sec — seed {seed:.2f}, eager {eager:.2f}, compiled {compiled:.2f} "
         f"({train['speedup_compiled_vs_seed']:.2f}x vs seed)"
+    )
+    failures.extend(check_train_dp(report["benchmarks"].get("distributed"), args))
+    return failures
+
+
+def check_train_dp(lane: dict | None, args) -> list[str]:
+    """Gate the data-parallel distributed-training lane of a train report.
+
+    CPU-count aware like the fleet/parallel gates: aggregate steps/s only
+    scales when the workers have cores to run on, so the full
+    ``--min-dp-speedup`` floor applies on >= 4 cpus and a sanity floor (the
+    fleet must not collapse: workers time-share one core, so the aggregate
+    rate stays near the single-worker rate) elsewhere.  The single-worker
+    bitwise-parity flag must hold everywhere — ``workers=1`` runs the exact
+    ``Trainer`` code path and any drift there is a correctness bug, not a
+    performance regression.
+    """
+    if lane is None:
+        return ["report missing the distributed (data-parallel) lane"]
+    failures = []
+    cpus = lane.get("cpu_count") or 1
+    if not lane.get("single_worker_bitwise", False):
+        failures.append(
+            "single-worker DistributedTrainer is not bitwise identical to Trainer"
+        )
+    if cpus >= 4:
+        floor, regime = args.min_dp_speedup, f"{cpus} cpus"
+    else:
+        floor, regime = args.min_dp_speedup_scarce, f"only {cpus} cpu(s), degraded floor"
+    scaling = lane["scaling_vs_single"]
+    if scaling < floor:
+        failures.append(
+            f"distributed scaling below floor at workers={lane['max_workers']}: "
+            f"{scaling:.2f}x < {floor:.2f}x vs single worker ({regime})"
+        )
+    if lane["gossip_steps_per_sec"] <= 0:
+        failures.append("gossip topology lane recorded no throughput")
+    print(
+        f"distributed: {scaling:.2f}x aggregate at workers={lane['max_workers']} "
+        f"({regime}), gossip {lane['gossip_steps_per_sec']:.2f} steps/s, "
+        f"bitwise@1w {'ok' if lane.get('single_worker_bitwise') else 'FAIL'}"
     )
     return failures
 
@@ -306,6 +350,20 @@ def main() -> int:
         type=float,
         default=1.2,
         help="[train] minimum compiled/seed steps-per-sec ratio",
+    )
+    parser.add_argument(
+        "--min-dp-speedup",
+        type=float,
+        default=1.5,
+        help="[train] minimum aggregate-steps/s scaling of the distributed lane at "
+        "max workers vs a single worker, on machines with >= 4 cpus",
+    )
+    parser.add_argument(
+        "--min-dp-speedup-scarce",
+        type=float,
+        default=0.2,
+        help="[train] sanity floor for the distributed scaling on < 4 cpus "
+        "(workers time-share the core)",
     )
     parser.add_argument(
         "--min-int8-speedup",

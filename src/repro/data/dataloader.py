@@ -14,6 +14,14 @@ The loader is a small pipeline:
 Because of step 1 the sample stream is **identical with prefetch on or off**
 — toggling the pipeline never perturbs training trajectories or cache
 fingerprints.
+
+Sharded loading (``shard=(rank, world)``) rides on the same property: every
+worker of a data-parallel run draws the *same* epoch plan (the shuffle order
+and per-batch seeds consume the loader RNG identically regardless of the
+shard), then yields only the global batch indices assigned to its rank
+(``batch_index % world == rank``).  Shards are therefore disjoint, cover the
+epoch exactly once, batch ``b`` has identical contents no matter which worker
+builds it, and ``shard=(0, 1)`` is byte-identical to an unsharded loader.
 """
 
 from __future__ import annotations
@@ -71,6 +79,12 @@ class DataLoader:
         assembles each batch inline (eager fallback).
     prefetch_depth:
         Queue capacity of the prefetcher (default 2: double buffering).
+    shard:
+        Optional ``(rank, world_size)`` pair for data-parallel training.  The
+        epoch plan (shuffle order + per-batch transform seeds) is drawn for
+        the *whole* epoch on every worker, then only global batch indices
+        with ``index % world_size == rank`` are yielded — shards are disjoint
+        and jointly cover the epoch exactly once.
     """
 
     def __init__(
@@ -83,11 +97,16 @@ class DataLoader:
         seed: int = 0,
         prefetch: bool = True,
         prefetch_depth: int = 2,
+        shard: tuple[int, int] | None = None,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if prefetch_depth <= 0:
             raise ValueError("prefetch_depth must be positive")
+        if shard is not None:
+            rank, world = shard
+            if world <= 0 or not 0 <= rank < world:
+                raise ValueError(f"invalid shard {shard}: need 0 <= rank < world_size")
         self.dataset = dataset
         self.batch_size = batch_size
         self.shuffle = shuffle
@@ -95,12 +114,26 @@ class DataLoader:
         self.drop_last = drop_last
         self.prefetch = prefetch
         self.prefetch_depth = prefetch_depth
+        self.shard = shard
         self._rng = np.random.default_rng(seed)
 
-    def __len__(self) -> int:
+    @property
+    def num_global_batches(self) -> int:
+        """Batches in one epoch across *all* shards (the unsharded length)."""
         if self.drop_last:
             return len(self.dataset) // self.batch_size
         return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def _assigned_batches(self) -> range:
+        """Global batch indices this loader yields, in order."""
+        total = self.num_global_batches
+        if self.shard is None:
+            return range(total)
+        rank, world = self.shard
+        return range(rank, total, world)
+
+    def __len__(self) -> int:
+        return len(self._assigned_batches())
 
     # ------------------------------------------------------------------ #
     # batch assembly
@@ -110,14 +143,17 @@ class DataLoader:
 
         All RNG consumption happens here, synchronously, so the resulting
         batches do not depend on *when* (or on which thread) they are built —
-        the stream is byte-identical with prefetch on or off.
+        the stream is byte-identical with prefetch on or off.  Consumption is
+        also shard-independent (the plan always covers the whole epoch), so
+        every worker of a data-parallel run derives the identical plan from
+        the same seed.
         """
         indices = np.arange(len(self.dataset))
         if self.shuffle:
             self._rng.shuffle(indices)
         seeds = None
         if self.transform is not None:
-            seeds = self._rng.integers(0, _SEED_MAX, size=len(self), dtype=np.int64)
+            seeds = self._rng.integers(0, _SEED_MAX, size=self.num_global_batches, dtype=np.int64)
         return indices, seeds
 
     def _make_batch(
@@ -137,15 +173,15 @@ class DataLoader:
     # ------------------------------------------------------------------ #
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         indices, seeds = self._epoch_plan()
-        num_batches = len(self)
-        if not self.prefetch or num_batches <= 1:
-            for batch_index in range(num_batches):
+        assigned = self._assigned_batches()
+        if not self.prefetch or len(assigned) <= 1:
+            for batch_index in assigned:
                 yield self._make_batch(indices, seeds, batch_index)
             return
-        yield from self._iter_prefetched(indices, seeds, num_batches)
+        yield from self._iter_prefetched(indices, seeds, assigned)
 
     def _iter_prefetched(
-        self, indices: np.ndarray, seeds: np.ndarray | None, num_batches: int
+        self, indices: np.ndarray, seeds: np.ndarray | None, assigned: range
     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         out: queue.Queue = queue.Queue(maxsize=self.prefetch_depth)
         stop = threading.Event()
@@ -153,7 +189,7 @@ class DataLoader:
 
         def produce() -> None:
             try:
-                for batch_index in range(num_batches):
+                for batch_index in assigned:
                     if stop.is_set():
                         return
                     item = self._make_batch(indices, seeds, batch_index)

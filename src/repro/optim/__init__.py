@@ -1,6 +1,7 @@
 """Optimisers, learning-rate schedules and training-stability utilities."""
 
 from .adaptive import Adam, AdamW, RMSprop
+from .allreduce import PipeBarrier, ReductionArena, arena_nbytes
 from .clip import clip_grad_norm, clip_grad_norm_, clip_grad_value, global_grad_norm
 from .ema import ModelEMA
 from .flat import FlatParams, FlatSGD
@@ -21,6 +22,9 @@ __all__ = [
     "SGD",
     "FlatSGD",
     "FlatParams",
+    "PipeBarrier",
+    "ReductionArena",
+    "arena_nbytes",
     "Adam",
     "AdamW",
     "RMSprop",

@@ -1,0 +1,237 @@
+"""Shared-memory collective communication for data-parallel training.
+
+PR 3 collapsed every model into one contiguous :class:`~repro.optim.flat.FlatParams`
+buffer pair, which makes gradient synchronisation between training workers a
+*whole-buffer* problem: no per-parameter traffic, no gather/scatter — just a
+handful of vectorised ops over one float32 array per worker per step.  This
+module supplies the two primitives the distributed trainer builds on:
+
+:class:`PipeBarrier`
+    A sequence-tagged rendezvous over ``multiprocessing`` pipes.  Rank 0
+    coordinates: every other rank sends its sequence number and blocks until
+    rank 0 echoes it back once all ranks have arrived.  Sequence tags catch
+    protocol drift (a worker skipping or double-counting a collective turns
+    into an immediate error instead of silent corruption), and every receive
+    carries a timeout so a dead peer surfaces as a ``RuntimeError`` rather
+    than a hang.
+
+:class:`ReductionArena`
+    A double-buffered ``multiprocessing.shared_memory`` reduction arena.  The
+    segment holds, per bank, one *slot* per worker plus one *reduced* row::
+
+        bank 0: [slot 0][slot 1]...[slot W-1][reduced]
+        bank 1: [slot 0][slot 1]...[slot W-1][reduced]
+
+    Collectives alternate banks each round.  The two banks are what make the
+    protocol cheap: a fast worker that races ahead into the next round writes
+    the *other* bank, so the copy-out/read phase of a round never needs a
+    trailing barrier to protect it from the next round's publish phase.
+    An allreduce is then two barriers, a gossip round just one.
+
+    **Allreduce** (``topology="allreduce"``) is a chunked
+    reduce-scatter + all-gather: every rank publishes its buffer into its
+    slot, then reduces only the chunk of the flat buffer it *owns* (rank ``r``
+    owns elements ``[r * ceil(P/W), (r+1) * ceil(P/W))``) across all slots
+    into the shared ``reduced`` row — the reduction work is split across
+    workers — and finally copies the whole reduced row back out.  Summation
+    runs in ascending rank order, so the result is bitwise deterministic for
+    a fixed worker count.
+
+    **Gossip** (``topology="gossip"``) is DACFL-style decentralised
+    neighbour averaging on a ring: each rank publishes, waits one barrier,
+    and averages its own slot with its left/right ring neighbours.  No global
+    reduction, no central server — information diffuses around the ring at
+    one hop per round.
+"""
+
+from __future__ import annotations
+
+import math
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["PipeBarrier", "ReductionArena", "arena_nbytes"]
+
+
+class PipeBarrier:
+    """Rendezvous of ``world`` processes over pipes, coordinated by rank 0.
+
+    Parameters
+    ----------
+    rank, world:
+        This process's rank and the total number of participants.
+    conns:
+        For rank 0: the list of ``world - 1`` parent-side connections, ordered
+        by peer rank.  For every other rank: the single connection to rank 0.
+        Ignored when ``world == 1`` (the barrier is a no-op).
+    timeout:
+        Seconds to wait for a peer before declaring it dead.
+    """
+
+    def __init__(self, rank: int, world: int, conns=None, timeout: float = 120.0):
+        if not 0 <= rank < world:
+            raise ValueError(f"rank {rank} out of range for world {world}")
+        self.rank = rank
+        self.world = world
+        self.timeout = timeout
+        self._seq = 0
+        if world == 1:
+            self._conns = []
+            self._conn = None
+        elif rank == 0:
+            if conns is None or len(conns) != world - 1:
+                raise ValueError(f"rank 0 needs {world - 1} connections")
+            self._conns = list(conns)
+            self._conn = None
+        else:
+            self._conns = []
+            self._conn = conns
+
+    def _recv(self, conn) -> int:
+        try:
+            if not conn.poll(self.timeout):
+                raise RuntimeError(
+                    f"barrier timed out after {self.timeout:.0f}s at sequence "
+                    f"{self._seq} (rank {self.rank}): a peer is stuck or dead"
+                )
+            return conn.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError) as exc:
+            raise RuntimeError(
+                f"barrier peer died at sequence {self._seq} (rank {self.rank})"
+            ) from exc
+
+    def wait(self) -> None:
+        """Block until every rank has entered the barrier this many times."""
+        self._seq += 1
+        if self.world == 1:
+            return
+        if self.rank == 0:
+            for conn in self._conns:
+                seq = self._recv(conn)
+                if seq != self._seq:
+                    raise RuntimeError(
+                        f"barrier sequence drift: peer at {seq}, rank 0 at {self._seq}"
+                    )
+            for conn in self._conns:
+                conn.send(self._seq)
+        else:
+            try:
+                self._conn.send(self._seq)
+            except (BrokenPipeError, OSError) as exc:
+                raise RuntimeError(
+                    f"barrier peer died at sequence {self._seq} (rank {self.rank})"
+                ) from exc
+            seq = self._recv(self._conn)
+            if seq != self._seq:
+                raise RuntimeError(
+                    f"barrier sequence drift: rank 0 at {seq}, rank {self.rank} at {self._seq}"
+                )
+
+
+def arena_nbytes(world: int, size: int) -> int:
+    """Bytes of shared memory an arena for ``world`` workers of ``size`` floats needs."""
+    return 2 * (world + 1) * size * 4
+
+
+class ReductionArena:
+    """Worker-side view of the double-buffered shared-memory reduction arena.
+
+    Parameters
+    ----------
+    shm:
+        An attached :class:`multiprocessing.shared_memory.SharedMemory` of at
+        least :func:`arena_nbytes` bytes (created by the coordinating parent).
+    world:
+        Number of participating workers.
+    size:
+        Flat-buffer length in float32 elements.
+    rank:
+        This worker's rank.
+    barrier:
+        The shared :class:`PipeBarrier`; collectives interleave their phases
+        with its :meth:`~PipeBarrier.wait`.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        world: int,
+        size: int,
+        rank: int,
+        barrier: PipeBarrier,
+    ):
+        if world < 1 or size < 1:
+            raise ValueError("world and size must be positive")
+        if not 0 <= rank < world:
+            raise ValueError(f"rank {rank} out of range for world {world}")
+        self.shm = shm
+        self.world = world
+        self.size = size
+        self.rank = rank
+        self.barrier = barrier
+        self._banks = np.ndarray((2, world + 1, size), dtype=np.float32, buffer=shm.buf)
+        self._bank = 0
+        chunk = math.ceil(size / world)
+        self._lo = min(rank * chunk, size)
+        self._hi = min((rank + 1) * chunk, size)
+        # Ring neighbours for gossip, deduplicated (world 2: left == right) and
+        # in ascending rank order so the averaging sum is order-deterministic.
+        self._neighbourhood = sorted({(rank - 1) % world, rank, (rank + 1) % world})
+
+    def _next_bank(self) -> int:
+        bank = self._bank
+        self._bank ^= 1
+        return bank
+
+    def allreduce(self, buf: np.ndarray, contributors: int | None = None) -> None:
+        """In-place mean of ``buf`` across workers (sum / ``contributors``).
+
+        Every rank must call this the same number of times with the same
+        ``contributors`` value.  Ranks that have nothing to contribute this
+        round (the ragged tail of an epoch) must still call it with a zeroed
+        buffer so the barrier count stays aligned; ``contributors`` then
+        scales the sum by the number of ranks that actually held data.
+        """
+        world = self.world
+        if world == 1:
+            return
+        divisor = world if contributors is None else contributors
+        if not 1 <= divisor <= world:
+            raise ValueError(f"contributors {divisor} out of range for world {world}")
+        bank = self._next_bank()
+        slots = self._banks[bank]
+        np.copyto(slots[self.rank], buf)
+        self.barrier.wait()
+        lo, hi = self._lo, self._hi
+        if hi > lo:
+            reduced = slots[world, lo:hi]
+            np.copyto(reduced, slots[0, lo:hi])
+            for peer in range(1, world):
+                reduced += slots[peer, lo:hi]
+            reduced /= np.float32(divisor)
+        self.barrier.wait()
+        np.copyto(buf, slots[world])
+
+    def gossip(self, buf: np.ndarray) -> None:
+        """In-place ring-neighbour average of ``buf`` (self + left + right).
+
+        One barrier per round: the publish phase is fenced, and the read
+        phase is protected from the *next* round's publish by the bank flip.
+        """
+        if self.world == 1:
+            return
+        bank = self._next_bank()
+        slots = self._banks[bank]
+        np.copyto(slots[self.rank], buf)
+        self.barrier.wait()
+        members = self._neighbourhood
+        np.copyto(buf, slots[members[0]])
+        for peer in members[1:]:
+            buf += slots[peer]
+        buf /= np.float32(len(members))
+
+    def close(self) -> None:
+        """Drop the numpy views and detach from the shared segment."""
+        self._banks = None
+        self.shm.close()

@@ -181,3 +181,30 @@ class FlatSGD(SGD):
         # gradient and velocity buffers survive the update unmodified.
         np.multiply(update, self.lr, out=scratch)
         data -= scratch
+
+    def state_dict(self) -> dict:
+        """Optimiser state as flat arrays (velocity buffer + learning rate).
+
+        The parameter buffer itself is *not* included — it aliases the
+        model's parameters and belongs to the model checkpoint.
+        """
+        velocity = self._velocity_flat
+        return {
+            "velocity": velocity.copy() if velocity is not None else np.empty(0, np.float32),
+            "lr": np.float64(self.lr),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place (buffers keep identity)."""
+        velocity = np.asarray(state["velocity"], dtype=np.float32)
+        if self._velocity_flat is None:
+            if velocity.size:
+                raise ValueError("checkpoint has momentum state but momentum is disabled")
+        else:
+            if velocity.size != self._velocity_flat.size:
+                raise ValueError(
+                    f"velocity size mismatch: checkpoint {velocity.size} vs "
+                    f"model {self._velocity_flat.size}"
+                )
+            np.copyto(self._velocity_flat, velocity)
+        self.lr = float(state["lr"])

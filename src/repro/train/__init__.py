@@ -1,12 +1,15 @@
 """Training harness: classification trainer, transfer recipes, detection, metrics."""
 
 from .detection import DetectionTrainer, evaluate_ap50
+from .distributed import DistributedTrainer, DistTrainStats
 from .metrics import AverageMeter, accuracy, box_iou, mean_ap50, top_k_accuracy
 from .trainer import LossComputer, StandardLoss, Trainer, TrainingHistory, evaluate
 from .transfer import finetune, reset_classifier
 
 __all__ = [
     "Trainer",
+    "DistributedTrainer",
+    "DistTrainStats",
     "TrainingHistory",
     "StandardLoss",
     "LossComputer",

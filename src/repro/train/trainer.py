@@ -13,6 +13,7 @@ pluggable:
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
@@ -158,7 +159,15 @@ class Trainer:
         (``repro.compile(model, mode="train")``) when the model and loss can
         be lowered; the eager tape remains as automatic fallback and the two
         paths are bit-identical.  Disable to force the eager path (used by
-        the parity tests and benchmarks).
+        the parity tests and benchmarks), or pass ``"auto"`` to race both
+        paths on the first training batch and keep the faster one — the race
+        is side-effect-free (batch-norm statistics, gradients and dropout RNG
+        states are snapshot and restored), and because the two paths are
+        bit-identical the choice never changes the training trajectory.
+    optimizer:
+        Optional pre-built optimiser (the distributed trainer injects its
+        gradient-synchronising :class:`~repro.optim.FlatSGD` subclass here).
+        Defaults to a fresh ``FlatSGD`` over ``model.parameters()``.
     """
 
     def __init__(
@@ -169,8 +178,11 @@ class Trainer:
         train_transform: Transform | None = None,
         iteration_callbacks: list[Callable[[int], None]] | None = None,
         epoch_callbacks: list[Callable[[int, TrainingHistory], None]] | None = None,
-        compile: bool = True,
+        compile: bool | str = True,
+        optimizer: SGD | None = None,
     ):
+        if compile not in (True, False, "auto"):
+            raise ValueError(f"compile must be True, False or 'auto', got {compile!r}")
         self.model = model
         self.config = config
         self.loss_computer = loss_computer or StandardLoss(config.label_smoothing)
@@ -179,7 +191,7 @@ class Trainer:
         self.epoch_callbacks = list(epoch_callbacks or [])
         # FlatSGD applies the exact same per-element update as SGD but as a
         # handful of whole-model vectorised ops over a flat buffer.
-        self.optimizer = FlatSGD(
+        self.optimizer = optimizer if optimizer is not None else FlatSGD(
             model.parameters(),
             lr=config.lr,
             momentum=config.momentum,
@@ -191,6 +203,7 @@ class Trainer:
         self._compiled_step = None
         self._compile_attempted = False
         self._failed_signature = None
+        self.auto_choice: str | None = None
 
     def fit(
         self,
@@ -268,6 +281,75 @@ class Trainer:
             self._failed_signature = structure_signature(self.model)
         return self._compiled_step
 
+    # ------------------------------------------------------------------ #
+    # auto path selection
+    # ------------------------------------------------------------------ #
+    def _forward_state_snapshot(self):
+        """Copy every array a forward/backward pass mutates besides params.
+
+        Parameters are untouched without an ``optimizer.step()``; what a bare
+        forward+backward perturbs is (a) batch-norm running statistics (any
+        module buffer), (b) the flat gradient buffer, and (c) module-local
+        RNGs (dropout).  All three are snapshot so the timing race in
+        ``compile="auto"`` leaves the training trajectory untouched.
+        """
+        buffers = [(buf, np.copy(buf)) for _, buf in self.model.named_buffers()]
+        rngs = []
+        for _, module in self.model.named_modules():
+            rng = getattr(module, "_rng", None)
+            if isinstance(rng, np.random.Generator):
+                rngs.append((rng, rng.bit_generator.state))
+        return buffers, rngs
+
+    def _restore_forward_state(self, snapshot) -> None:
+        buffers, rngs = snapshot
+        for buf, saved in buffers:
+            buf[...] = saved
+        for rng, state in rngs:
+            rng.bit_generator.state = state
+
+    def _resolve_auto_path(self, images: np.ndarray, labels: np.ndarray) -> None:
+        """Race the eager tape against the compiled step and keep the winner.
+
+        Each contender runs one warmup pass (compilation, workspace
+        allocation) plus two timed passes; the best time wins.  Both paths
+        are bit-identical, so whichever wins, results do not change — the
+        crossover between them is workload-dependent (the fused step saves
+        tape construction but the kernels dominate at large batches), which
+        is why it is measured instead of hard-coded.
+        """
+        self._compile_enabled = True
+        step = self._ensure_compiled()
+        if step is None:
+            self._compile_enabled = False
+            self.auto_choice = "eager"
+            return
+        snapshot = self._forward_state_snapshot()
+        try:
+            def run_eager():
+                self.optimizer.zero_grad()
+                loss, _ = self.loss_computer(self.model, nn.Tensor(images), labels)
+                loss.backward()
+
+            def run_compiled():
+                self.optimizer.zero_grad()
+                step(images, labels)
+
+            timings = {}
+            for name, fn in (("eager", run_eager), ("compiled", run_compiled)):
+                fn()  # warmup: JIT-ish costs (workspaces, caches) stay out of the race
+                best = float("inf")
+                for _ in range(2):
+                    start = time.perf_counter()
+                    fn()
+                    best = min(best, time.perf_counter() - start)
+                timings[name] = best
+            self._compile_enabled = timings["compiled"] <= timings["eager"]
+            self.auto_choice = "compiled" if self._compile_enabled else "eager"
+        finally:
+            self._restore_forward_state(snapshot)
+            self.optimizer.zero_grad()
+
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
         """One optimiser update; returns the loss value and detached logits.
 
@@ -276,6 +358,8 @@ class Trainer:
         buffer); otherwise runs the eager tape.  Both paths are numerically
         identical.
         """
+        if self._compile_enabled == "auto" and self.model.training:
+            self._resolve_auto_path(images, labels)
         compiled = self._ensure_compiled() if self.model.training else None
         self.optimizer.zero_grad()
         if compiled is not None:
@@ -294,3 +378,81 @@ class Trainer:
     def evaluate(self, dataset: ClassificationDataset) -> float:
         """Top-1 accuracy (percent) on ``dataset``."""
         return evaluate(self.model, dataset, self.config.batch_size)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, path: str, ema=None, extra: dict | None = None) -> None:
+        """Write model + optimiser + schedule state to one ``.npz`` artifact.
+
+        The archive holds the full model state dict (parameters *and*
+        buffers, i.e. batch-norm running statistics), the optimiser's flat
+        momentum buffer, the scheduler position and the iteration counter —
+        everything needed for a bitwise resume.  Pass an
+        :class:`~repro.optim.ModelEMA` as ``ema`` to include its shadow
+        buffers, and ``extra`` for scalar caller metadata (epoch index, best
+        accuracy, ...).  Restore with :meth:`load_checkpoint` on a trainer
+        built over an identically-constructed model.
+        """
+        import os
+
+        payload: dict[str, np.ndarray] = {}
+        for name, value in self.model.state_dict().items():
+            payload[f"model::{name}"] = value
+        if hasattr(self.optimizer, "state_dict"):
+            for name, value in self.optimizer.state_dict().items():
+                payload[f"opt::{name}"] = np.asarray(value)
+        payload["sched::last_step"] = np.asarray(self.scheduler.last_step)
+        after = getattr(self.scheduler, "after", None)
+        if after is not None:
+            payload["sched::after_last_step"] = np.asarray(after.last_step)
+        payload["trainer::global_iteration"] = np.asarray(self.global_iteration)
+        if ema is not None:
+            for name, value in ema.shadow.items():
+                payload[f"ema::{name}"] = np.asarray(value)
+            payload["ema::__updates__"] = np.asarray(ema.updates)
+        for key, value in (extra or {}).items():
+            payload[f"extra::{key}"] = np.asarray(value)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        np.savez(path, **payload)
+
+    def load_checkpoint(self, path: str, ema=None) -> dict:
+        """Restore a :meth:`save_checkpoint` artifact in place; returns ``extra``.
+
+        Model state is copied *into* the existing parameter arrays (the flat
+        buffer views stay bound), the momentum buffer and scheduler position
+        are restored, and the learning rate is set so the next
+        ``train_step``/``fit`` continues the schedule exactly where the saved
+        run left off — resumed trajectories are bitwise identical to
+        uninterrupted ones.
+        """
+        if not path.endswith(".npz"):
+            path = path + ".npz"
+        archive = np.load(path, allow_pickle=False)
+        model_state, opt_state, ema_state, extra = {}, {}, {}, {}
+        for key in archive.files:
+            prefix, _, name = key.partition("::")
+            if prefix == "model":
+                model_state[name] = archive[key]
+            elif prefix == "opt":
+                opt_state[name] = archive[key]
+            elif prefix == "ema":
+                ema_state[name] = archive[key]
+            elif prefix == "extra":
+                extra[name] = archive[key]
+        self.model.load_state_dict(model_state)
+        if opt_state and hasattr(self.optimizer, "load_state_dict"):
+            self.optimizer.load_state_dict(opt_state)
+        self.scheduler.last_step = int(archive["sched::last_step"])
+        after = getattr(self.scheduler, "after", None)
+        if after is not None and "sched::after_last_step" in archive.files:
+            after.last_step = int(archive["sched::after_last_step"])
+        self.global_iteration = int(archive["trainer::global_iteration"])
+        if ema is not None and ema_state:
+            updates = ema_state.pop("__updates__", None)
+            if updates is not None:
+                ema.updates = int(updates)
+            for name, value in ema_state.items():
+                np.copyto(ema.shadow[name], value)
+        return extra

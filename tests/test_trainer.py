@@ -177,3 +177,132 @@ class TestTransfer:
         )
         np.testing.assert_allclose(model.features[0].conv.weight.numpy(), stem_before)
         assert not np.allclose(model.classifier.weight.numpy(), head_before)
+
+
+class TestCheckpoint:
+    def _setup(self, epochs=4, warmup=1):
+        from repro.utils.seed import seed_everything
+
+        config = ExperimentConfig(epochs=epochs, batch_size=8, lr=0.1, warmup_epochs=warmup)
+        seed_everything(config.seed)
+        model = SmallNet()
+        return model, Trainer(model, config, compile=False), config
+
+    def test_resume_is_bitwise_identical(self, tmp_path):
+        """Train 2 epochs, checkpoint, diverge, restore, train 2 more: the
+        resumed run matches the uninterrupted one to the last bit (params,
+        buffers, momentum and schedule position all round-trip)."""
+        train_set = _toy_dataset()
+        ckpt = str(tmp_path / "mid")
+
+        model_full, trainer_full, config = self._setup()
+        trainer_full.fit(train_set, epochs=2)
+        trainer_full.save_checkpoint(ckpt, extra={"epoch": 2})
+
+        model_res, trainer_res, _ = self._setup()
+        trainer_res.fit(train_set, epochs=1)  # diverge so restore does real work
+        extra = trainer_res.load_checkpoint(ckpt)
+        assert int(extra["epoch"]) == 2
+        assert trainer_res.global_iteration == trainer_full.global_iteration
+
+        history_full = trainer_full.fit(train_set, epochs=2)
+        history_res = trainer_res.fit(train_set, epochs=2)
+        assert history_full.train_loss == history_res.train_loss
+        assert history_full.learning_rate == history_res.learning_rate
+        state_full, state_res = model_full.state_dict(), model_res.state_dict()
+        for name in state_full:
+            np.testing.assert_array_equal(state_full[name], state_res[name], err_msg=name)
+
+    def test_momentum_buffer_round_trips(self, tmp_path):
+        train_set = _toy_dataset()
+        _, trainer, _ = self._setup()
+        trainer.fit(train_set, epochs=1)
+        velocity = trainer.optimizer._velocity_flat.copy()
+        trainer.save_checkpoint(str(tmp_path / "ck"))
+        trainer.optimizer._velocity_flat.fill(0.0)
+        trainer.load_checkpoint(str(tmp_path / "ck"))
+        np.testing.assert_array_equal(trainer.optimizer._velocity_flat, velocity)
+
+    def test_flat_views_stay_bound_after_load(self, tmp_path):
+        _, trainer, _ = self._setup()
+        trainer.fit(_toy_dataset(), epochs=1)
+        trainer.save_checkpoint(str(tmp_path / "ck"))
+        trainer.load_checkpoint(str(tmp_path / "ck"))
+        assert trainer.optimizer.flat.check_bound()
+
+    def test_ema_shadow_round_trips(self, tmp_path):
+        from repro.optim import ModelEMA
+
+        model, trainer, _ = self._setup(warmup=0)
+        ema = ModelEMA(model, decay=0.9)
+        trainer.fit(_toy_dataset(), epochs=1)
+        ema.update(model)
+        shadow = {k: v.copy() for k, v in ema.shadow.items()}
+        trainer.save_checkpoint(str(tmp_path / "ck"), ema=ema)
+        for value in ema.shadow.values():
+            value.fill(0.0)
+        trainer.load_checkpoint(str(tmp_path / "ck"), ema=ema)
+        for name, value in shadow.items():
+            np.testing.assert_array_equal(ema.shadow[name], value, err_msg=name)
+        assert ema.updates == 1
+
+
+class TestAutoCompile:
+    def test_auto_picks_a_path_and_matches_fixed_paths(self):
+        """compile='auto' races eager vs compiled on the first batch; because
+        the two are bit-identical the choice never changes the trajectory."""
+        from repro.utils.seed import seed_everything
+
+        train_set = _toy_dataset()
+        config = ExperimentConfig(epochs=2, batch_size=8, lr=0.1, warmup_epochs=0)
+
+        def run(compile_mode):
+            seed_everything(config.seed)
+            model = SmallNet()
+            trainer = Trainer(model, config, compile=compile_mode)
+            history = trainer.fit(train_set)
+            return model.state_dict(), history, trainer
+
+        state_eager, history_eager, _ = run(False)
+        state_auto, history_auto, trainer_auto = run("auto")
+        assert trainer_auto.auto_choice in ("eager", "compiled")
+        assert history_eager.train_loss == history_auto.train_loss
+        for name in state_eager:
+            np.testing.assert_array_equal(state_eager[name], state_auto[name], err_msg=name)
+
+    def test_auto_calibration_is_side_effect_free(self):
+        """The timing race must not perturb BN stats, dropout RNG or grads."""
+        from repro.utils.seed import seed_everything
+
+        config = ExperimentConfig(epochs=1, batch_size=8, lr=0.1, warmup_epochs=0)
+        train_set = _toy_dataset()
+        loader_batch = train_set.images[:8], train_set.labels[:8]
+
+        seed_everything(config.seed)
+        model_a = SmallNet()
+        trainer_a = Trainer(model_a, config, compile=False)
+        trainer_a.train_step(*loader_batch)
+
+        seed_everything(config.seed)
+        model_b = SmallNet()
+        trainer_b = Trainer(model_b, config, compile="auto")
+        trainer_b.train_step(*loader_batch)
+
+        state_a, state_b = model_a.state_dict(), model_b.state_dict()
+        for name in state_a:
+            np.testing.assert_array_equal(state_a[name], state_b[name], err_msg=name)
+
+    def test_auto_falls_back_to_eager_when_uncompilable(self):
+        class WeirdLoss:
+            def __call__(self, model, images, labels):
+                from repro.nn import functional as F
+
+                logits = model(images)
+                return F.cross_entropy(logits, labels) * 1.0, logits
+
+        config = ExperimentConfig(epochs=1, batch_size=8, lr=0.1, warmup_epochs=0)
+        model = SmallNet()
+        trainer = Trainer(model, config, compile="auto", loss_computer=WeirdLoss())
+        train_set = _toy_dataset(n=8)
+        trainer.train_step(train_set.images[:8], train_set.labels[:8])
+        assert trainer.auto_choice in ("eager", "compiled")
