@@ -1,6 +1,6 @@
 """Serving benchmarks: int8 vs float throughput, batching, and the fleet.
 
-Six lanes, written to ``BENCH_serve.json`` so the perf trajectory is tracked
+Eight lanes, written to ``BENCH_serve.json`` so the perf trajectory is tracked
 across PRs and gated by ``scripts/check_bench.py``:
 
 1. **Engine lane** — single-stream throughput (imgs/sec) of the int8 integer
@@ -38,6 +38,20 @@ across PRs and gated by ``scripts/check_bench.py``:
    the SLO on machines with >= 4 CPU cores (on starved runners the replicas
    time-share one core, so only the robustness gates apply — same regime
    split as the fleet lane).
+7. **Cold-start lane** — fleet boot time (``Fleet()`` to all replicas READY)
+   compiling the model at boot (init + quantize + calibrate + compile) vs
+   loading a pre-compiled artifact (:mod:`repro.runtime.artifact`), on a
+   calibration-heavy config where the difference matters.  Both fleets must
+   produce bit-identical predictions; the artifact boot must be measurably
+   faster (CPU-count independent — this is single-process work).
+8. **Fidelity lane** — a one-replica fleet serving a two-rung
+   :class:`~repro.serve.fidelity.FidelityLadder` (float above int8 of the
+   same model) under the same self-calibrated open-loop spike as the
+   autoscale lane, pinned at ``max_replicas`` so the controller's only move
+   is the ladder.  Records the per-rung latency/agreement tradeoff curve and
+   gates that the *first* degradation step was a fidelity drop (not a shed),
+   that the low rung actually served work, that the ladder recovered to the
+   top rung at idle, and that zero requests were lost.
 
 Also records the int8-vs-fake-quant parity error (max |logit delta|), so a
 perf win can never silently trade away correctness.
@@ -369,6 +383,216 @@ def autoscale_lane(resolution: int, smoke: bool) -> dict:
     }
 
 
+COLD_START_MODEL = "mobilenetv2-100"
+COLD_START_RESOLUTION = 32
+COLD_START_CALIBRATION = 16
+COLD_START_REPLICAS = 2
+
+FIDELITY_RUNGS = "float:mobilenetv2-tiny,int8:mobilenetv2-tiny"
+
+
+def cold_start_lane(smoke: bool) -> dict:
+    """Fleet boot: compile-at-boot vs artifact-load, bit-identity asserted.
+
+    Uses a calibration-heavy int8 config (``COLD_START_CALIBRATION`` batches
+    on ``COLD_START_MODEL``) because calibration is the honest cost an
+    artifact skips — trace/passes/build are sub-millisecond once the process
+    is warm, so a calibration-light config would measure nothing.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.fleet import resolve_net
+
+    repeats = 2 if smoke else 3
+    recipe = {
+        "model_name": COLD_START_MODEL,
+        "resolution": COLD_START_RESOLUTION,
+        "engine": "int8",
+        "calibration_batches": COLD_START_CALIBRATION,
+    }
+    # the artifact is produced once, outside the timers, from the identical
+    # recipe the compile-at-boot path runs — so the fleets must agree bitwise
+    net, shape = resolve_net(**recipe)
+    tmp = tempfile.mkdtemp(prefix="bench-artifact-")
+    path = os.path.join(tmp, "net.rpa")
+    start = time.perf_counter()
+    info = net.save(path, input_shape=shape)
+    save_ms = (time.perf_counter() - start) * 1e3
+
+    probe = np.random.default_rng(7).normal(0.2, 0.8, size=shape).astype(np.float32)
+
+    def boot(builder_kwargs):
+        config = FleetConfig(
+            replicas=COLD_START_REPLICAS,
+            max_batch=8,
+            max_wait_ms=1.0,
+            max_pending=64,
+            builder_kwargs=builder_kwargs,
+        )
+        start = time.perf_counter()
+        with Fleet(config) as fleet:
+            fleet.wait_ready(replicas=COLD_START_REPLICAS, timeout=180.0)
+            boot_ms = (time.perf_counter() - start) * 1e3
+            stats = fleet.stats()
+            with fleet.client(timeout=60.0) as client:
+                prediction = client.predict(probe, timeout=60.0)
+        return boot_ms, stats.cold_start_ms_mean, prediction
+
+    try:
+        compile_boots, artifact_boots = [], []
+        compile_cold, artifact_cold = [], []
+        compile_pred = artifact_pred = None
+        for _ in range(repeats):
+            boot_ms, cold_ms, compile_pred = boot(recipe)
+            compile_boots.append(boot_ms)
+            compile_cold.append(cold_ms)
+            boot_ms, cold_ms, artifact_pred = boot({"artifact": path})
+            artifact_boots.append(boot_ms)
+            artifact_cold.append(cold_ms)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    compile_boot_ms = float(np.median(compile_boots))
+    artifact_boot_ms = float(np.median(artifact_boots))
+    return {
+        "model": COLD_START_MODEL,
+        "resolution": COLD_START_RESOLUTION,
+        "calibration_batches": COLD_START_CALIBRATION,
+        "replicas": COLD_START_REPLICAS,
+        "repeats": repeats,
+        "artifact_bytes": info.nbytes,
+        "artifact_save_ms": save_ms,
+        "compile_boot_ms": compile_boot_ms,
+        "artifact_boot_ms": artifact_boot_ms,
+        "boot_speedup_artifact_vs_compile": compile_boot_ms / max(artifact_boot_ms, 1e-9),
+        "compile_replica_cold_start_ms": float(np.mean(compile_cold)),
+        "artifact_replica_cold_start_ms": float(np.mean(artifact_cold)),
+        "outputs_bit_identical": bool(np.array_equal(compile_pred, artifact_pred)),
+    }
+
+
+def fidelity_lane(resolution: int, smoke: bool) -> dict:
+    """Multi-fidelity ladder under an open-loop spike, pinned at max capacity.
+
+    ``max_replicas=1`` removes scale-up from the controller's toolbox, so a
+    spike that out-runs rung 0 leaves exactly one graceful move: drop
+    fidelity.  The lane records the per-rung latency/agreement tradeoff curve
+    first (closed-loop at a fixed rung), then the spike, then checks the
+    ladder recovered to the top rung once traffic cleared.
+    """
+    cpus = os.cpu_count() or 1
+    config = FleetConfig(
+        replicas=1,
+        max_replicas=1,
+        max_batch=16,
+        max_wait_ms=2.0,
+        max_pending=512,
+        max_attempts=6,
+        stats_window_s=1.5,
+        builder="repro.serve.fidelity:ladder_backend",
+        builder_kwargs={
+            "rungs": FIDELITY_RUNGS,
+            "resolution": resolution,
+            "probe_batch": 64,
+        },
+    )
+    n_requests = 300 if smoke else 600
+    with Fleet(config) as fleet:
+        fleet.wait_ready(replicas=1, timeout=120.0)
+        curve = []
+        for rung in range(fleet.fidelity_rungs):
+            fleet.set_fidelity(rung, reason="bench")
+            time.sleep(0.2)
+            with fleet.client(timeout=60.0, retries=6) as client:
+                rung_report = run_load(
+                    client, n_requests=n_requests, concurrency=8, warmup=16, timeout=60.0
+                )
+            curve.append(
+                {
+                    "rung": rung,
+                    "req_per_sec": rung_report.requests_per_sec,
+                    "p50_ms": rung_report.latency_ms_p50,
+                    "p99_ms": rung_report.latency_ms_p99,
+                }
+            )
+        fleet.set_fidelity(0, reason="bench")
+        snapshot = fleet.stats().to_dict()["fidelity"]
+        for point, rung_stats in zip(curve, snapshot["rungs"]):
+            point["name"] = rung_stats["name"]
+            point["agreement"] = rung_stats["agreement"]
+        served_before = [r["completed"] for r in snapshot["rungs"]]
+
+        capacity = curve[0]["req_per_sec"]
+        slo_p99 = max(25.0, curve[0]["p99_ms"] * 6.0)
+        rate = min(0.7 * capacity, AUTOSCALE_MAX_SPIKE_RATE / AUTOSCALE_SPIKE_MULT)
+        duration = 6.0 if smoke else 10.0
+        slo = SLOConfig(
+            p99_target_ms=slo_p99,
+            queue_target=4.0,
+            min_replicas=1,
+            max_replicas=1,
+            interval=0.1,
+            window=3,
+            up_cooldown=0.3,
+            down_cooldown=0.6,
+            ladder_patience=2,
+            recover_patience=2,
+        )
+        with AutoscaleController(fleet, slo) as controller:
+            with fleet.client(timeout=60.0, retries=6) as client:
+                report = run_load(
+                    client,
+                    n_requests=0,
+                    warmup=8,
+                    timeout=60.0,
+                    mode="open",
+                    rate=rate,
+                    duration_s=duration,
+                    traffic="spike",
+                    spike_mult=AUTOSCALE_SPIKE_MULT,
+                    spike_window=AUTOSCALE_SPIKE_WINDOW,
+                )
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if controller.level == 0:
+                    break
+                time.sleep(0.05)
+            state = controller.state()
+        fleet.close()  # drain before reading the final counters
+        stats = fleet.stats()
+    fidelity = stats.to_dict()["fidelity"]
+    low_rung_served = sum(
+        r["completed"] - before
+        for r, before in list(zip(fidelity["rungs"], served_before))[1:]
+    )
+    degrade_levels = [h["level"] for h in state["history"] if h["decision"] == "degrade"]
+    return {
+        "cpu_count": cpus,
+        "rungs": FIDELITY_RUNGS,
+        "tradeoff_curve": curve,
+        "capacity_req_per_sec": capacity,
+        "slo_p99_ms": slo_p99,
+        "offered_rate": report.offered_rate,
+        "spike_mult": AUTOSCALE_SPIKE_MULT,
+        "duration_s": duration,
+        "offered": report.offered,
+        "completed": report.requests,
+        "errors": report.errors,
+        "timeouts": report.timeouts,
+        "lost": stats.lost,
+        "shed": stats.shed,
+        "degrades": state["degrades"],
+        "recoveries": state["recoveries"],
+        "first_degrade_level": degrade_levels[0] if degrade_levels else None,
+        "fidelity_rungs": state["fidelity_rungs"],
+        "final_level": state["level"],
+        "final_rung": fidelity["active_rung"],
+        "rung_switches": fidelity["switches"],
+        "low_rung_served": low_rung_served,
+        "history": state["history"],
+    }
+
+
 def run_benchmarks(smoke: bool, repeats: int) -> dict:
     resolution = 12  # the MCU-scale substrate: experiments run 12-16 px inputs
     n_requests = 1500 if smoke else 3000
@@ -383,6 +607,8 @@ def run_benchmarks(smoke: bool, repeats: int) -> dict:
         "serving": serving_lane(int8_net, resolution, n_requests),
         "fleet": fleet_lane(resolution, fleet_requests),
         "autoscale": autoscale_lane(resolution, smoke),
+        "cold_start": cold_start_lane(smoke),
+        "fidelity": fidelity_lane(resolution, smoke),
     }
 
 
@@ -466,6 +692,30 @@ def main() -> None:
             else "tail p99 n/a"
         )
         + f", lost {scale['lost']}, shed {scale['shed']}"
+    )
+    cold = results["cold_start"]
+    print(
+        f"cold start ({cold['model']}@{cold['resolution']}, "
+        f"{cold['calibration_batches']} calib batches, {cold['replicas']} replicas): "
+        f"compile-at-boot {cold['compile_boot_ms']:.0f} ms vs artifact "
+        f"{cold['artifact_boot_ms']:.0f} ms "
+        f"({cold['boot_speedup_artifact_vs_compile']:.2f}x, "
+        f"{cold['artifact_bytes'] / 1024:.0f} kB file, "
+        f"bit-identical {cold['outputs_bit_identical']})"
+    )
+    fid = results["fidelity"]
+    curve_txt = "; ".join(
+        f"{p['name']}: {p['req_per_sec']:.0f} req/s, p99 {p['p99_ms']:.1f} ms, "
+        f"agree {p['agreement']:.2f}"
+        for p in fid["tradeoff_curve"]
+    )
+    print(f"fidelity curve: {curve_txt}")
+    print(
+        f"fidelity spike: first degrade at level {fid['first_degrade_level']} "
+        f"(fidelity floor {fid['fidelity_rungs'] - 1}), "
+        f"{fid['low_rung_served']} served below top rung, "
+        f"{fid['rung_switches']} switches, final rung {fid['final_rung']} "
+        f"(level {fid['final_level']}), lost {fid['lost']}, shed {fid['shed']}"
     )
     print(f"\nwrote {args.output}")
 

@@ -20,7 +20,11 @@ Dispatches on the report's ``suite`` field:
   lane must show the traffic spike forcing a scale-up, reconvergence to the
   replica floor with the degradation ladder fully recovered, zero lost or
   unresolved requests, and (on >= 4 cores) a post-convergence tail p99
-  within the derived SLO.
+  within the derived SLO.  The artifact cold-start lane must boot the fleet
+  from a compiled artifact measurably faster than compiling at boot, with
+  bit-identical predictions; the fidelity lane must drop fidelity before
+  shedding under the spike, actually serve work on the low rung, and recover
+  to the top rung at idle with zero lost requests.
 * ``bench_ops`` (``BENCH_ops.json``) — the compiled inference program must
   stay above the seed-speedup floor, a program built through
   ``repro.compile`` must match one built through the legacy ``compile_net``
@@ -141,6 +145,8 @@ def check_serve(report: dict, args) -> list[str]:
     failures.extend(check_parallel(bench.get("parallel"), args))
     failures.extend(check_fleet(bench.get("fleet"), args))
     failures.extend(check_autoscale(bench.get("autoscale"), args))
+    failures.extend(check_cold_start(bench.get("cold_start"), args))
+    failures.extend(check_fidelity(bench.get("fidelity"), args))
     speedups = " ".join(
         f"b{batch}={engine[f'batch{batch}']['speedup_int8_vs_float']:.2f}x"
         for batch in (1, 8, 64)
@@ -263,6 +269,106 @@ def check_autoscale(lane: dict | None, args) -> list[str]:
         f"{lane['scale_ups']} up / {lane['scale_downs']} down / {lane['degrades']} degrade, "
         f"tail p99 {tail_txt} vs SLO {lane['slo_p99_ms']:.0f} ms ({regime}), "
         f"lost {lane['lost']}, shed {lane['shed']}"
+    )
+    return failures
+
+
+def check_cold_start(lane: dict | None, args) -> list[str]:
+    """Gate the artifact cold-start lane of a serving report.
+
+    A fleet booted from a compiled artifact must reach READY measurably
+    faster than one compiling (init + quantize + calibrate + compile) at
+    boot, and both fleets must produce bit-identical predictions.  No
+    CPU-count split: replica boot is single-process work, so the floor
+    applies everywhere.
+    """
+    if lane is None:
+        return ["report missing the artifact cold-start lane"]
+    failures = []
+    speedup = lane["boot_speedup_artifact_vs_compile"]
+    if speedup < args.min_cold_start_speedup:
+        failures.append(
+            f"artifact boot not faster than compile-at-boot: {speedup:.2f}x < "
+            f"{args.min_cold_start_speedup:.2f}x "
+            f"({lane['artifact_boot_ms']:.0f} ms vs {lane['compile_boot_ms']:.0f} ms)"
+        )
+    if not lane.get("outputs_bit_identical", False):
+        failures.append(
+            "artifact-served fleet predictions are not bit-identical to the "
+            "compile-at-boot fleet"
+        )
+    print(
+        f"cold start: compile {lane['compile_boot_ms']:.0f} ms -> artifact "
+        f"{lane['artifact_boot_ms']:.0f} ms ({speedup:.2f}x, "
+        f"{lane['artifact_bytes'] / 1024:.0f} kB artifact), bit-identical"
+    )
+    return failures
+
+
+def check_fidelity(lane: dict | None, args) -> list[str]:
+    """Gate the multi-fidelity ladder lane of a serving report.
+
+    Robustness gates, CPU-count independent (the lane is pinned to one
+    replica by construction): under the spike the controller's *first*
+    degradation step must be a fidelity drop (level <= rungs - 1, which by
+    construction touches no deadline/admission knob), the low rung must have
+    actually served work, the ladder must recover to the top rung once the
+    spike clears, and nothing may be lost or left unresolved.  The tradeoff
+    curve must be well-formed: the low rung stays within a sanity fraction of
+    the top rung's throughput.  This is a broken-rung detector, not an int8
+    speedup gate — on a starved single-core runner the quantized rung's
+    per-request cost at serving batch sizes can trail the float rung even
+    when its small-batch latency (the quantity the ladder actually trades
+    on) is well ahead; the engine lane owns the speedup floor.
+    """
+    if lane is None:
+        return ["report missing the fidelity ladder lane"]
+    failures = []
+    floor = lane["fidelity_rungs"] - 1
+    first = lane["first_degrade_level"]
+    if lane["degrades"] < 1:
+        failures.append("fidelity spike never engaged the ladder (spike too weak?)")
+    elif first is None or first > floor:
+        failures.append(
+            f"first degradation was not a fidelity drop: level {first} > "
+            f"fidelity floor {floor} (shed before dropping fidelity)"
+        )
+    if lane["low_rung_served"] < 1:
+        failures.append("no requests were served below the top rung during the spike")
+    if lane["final_rung"] != 0:
+        failures.append(
+            f"ladder did not recover to the top rung at idle: final rung "
+            f"{lane['final_rung']} != 0"
+        )
+    if lane["final_level"] != 0:
+        failures.append(
+            f"degradation ladder still engaged after the spike cleared: "
+            f"level {lane['final_level']} != 0"
+        )
+    if lane["lost"] != 0:
+        failures.append(f"fidelity spike lost {lane['lost']} requests")
+    if lane["timeouts"] != 0:
+        failures.append(
+            f"fidelity spike left {lane['timeouts']} requests unresolved "
+            "(every admitted request must resolve to a result or typed error)"
+        )
+    curve = lane["tradeoff_curve"]
+    if len(curve) < 2:
+        failures.append("fidelity tradeoff curve has fewer than two rungs")
+    elif curve[-1]["req_per_sec"] < args.min_fidelity_low_rung_ratio * curve[0]["req_per_sec"]:
+        failures.append(
+            f"low rung slower than the top rung: "
+            f"{curve[-1]['req_per_sec']:.0f} < "
+            f"{args.min_fidelity_low_rung_ratio:.2f} * {curve[0]['req_per_sec']:.0f} req/s"
+        )
+    curve_txt = "; ".join(
+        f"{p['name']} {p['req_per_sec']:.0f} req/s (agree {p['agreement']:.2f})"
+        for p in curve
+    )
+    print(
+        f"fidelity: {curve_txt}; spike first-degrade level {first} "
+        f"(floor {floor}), {lane['low_rung_served']} low-rung served, "
+        f"final rung {lane['final_rung']}, lost {lane['lost']}"
     )
     return failures
 
@@ -413,6 +519,20 @@ def main() -> int:
         default=1.5,
         help="[serve] post-convergence tail p99 must stay within this multiple of the "
         "derived SLO on machines with >= 4 cpus (waived on starved runners)",
+    )
+    parser.add_argument(
+        "--min-cold-start-speedup",
+        type=float,
+        default=1.3,
+        help="[serve] minimum artifact-boot vs compile-at-boot fleet READY speedup",
+    )
+    parser.add_argument(
+        "--min-fidelity-low-rung-ratio",
+        type=float,
+        default=0.6,
+        help="[serve] sanity floor: the ladder's low rung must reach this "
+        "fraction of the top rung's closed-loop req/s (catches a broken rung, "
+        "not an int8 speedup regression — the engine lane owns that)",
     )
     parser.add_argument(
         "--max-chaos-p99-ratio",

@@ -9,18 +9,31 @@ compiled runtime engine::
     qnet = repro.compile(model, mode="int8")     # true-integer engine
     step = repro.compile(model, mode="train", loss=loss, optimizer=opt)
 
+Compiled executors serialize to single-file versioned artifacts and load back
+bit-identical in a fresh process — no calibration data needed at boot::
+
+    qnet.save("model.rpa", input_shape=(3, 32, 32))
+    qnet2 = repro.load("model.rpa")              # ArtifactError on any skew
+
 See :mod:`repro.runtime` for the graph IR, the pass pipelines and the
-executors' uniform ``numpy_forward`` / ``memory_plan`` / ``describe`` surface.
+executors' uniform ``numpy_forward`` / ``memory_plan`` / ``describe`` surface,
+and :mod:`repro.runtime.artifact` for the artifact format and its fingerprint
+contract.
 """
 
 __version__ = "0.1.0"
 
-__all__ = ["compile", "CompileOptions", "CompileError", "__version__"]
+__all__ = ["compile", "load", "CompileOptions", "CompileError", "ArtifactError", "__version__"]
 
 _FRONTEND_EXPORTS = {
     "compile": "compile_model",
     "CompileOptions": "CompileOptions",
     "CompileError": "CompileError",
+}
+
+_ARTIFACT_EXPORTS = {
+    "load": "load_artifact",
+    "ArtifactError": "ArtifactError",
 }
 
 
@@ -31,4 +44,8 @@ def __getattr__(name: str):
         from .runtime import frontend
 
         return getattr(frontend, _FRONTEND_EXPORTS[name])
+    if name in _ARTIFACT_EXPORTS:
+        from .runtime import artifact
+
+        return getattr(artifact, _ARTIFACT_EXPORTS[name])
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -161,6 +161,10 @@ class DeploymentReport:
     host_latency_backend: str | None = None
     planned_peak_int8_bytes: int | None = None
     planner_backend: str | None = None
+    cold_start_compile_ms: float | None = None
+    cold_start_load_ms: float | None = None
+    artifact_bytes: int | None = None
+    artifact_mode: str | None = None
 
     @property
     def fits_flash(self) -> bool:
@@ -193,6 +197,12 @@ class DeploymentReport:
         if self.host_latency_ms is not None:
             backend = self.host_latency_backend or "unknown backend"
             lines.append(f"host latency      : {self.host_latency_ms:8.2f} ms ({backend})")
+        if self.cold_start_compile_ms is not None:
+            lines.append(
+                f"cold start        : {self.cold_start_compile_ms:8.2f} ms compile vs "
+                f"{self.cold_start_load_ms:.2f} ms artifact load "
+                f"({(self.artifact_bytes or 0) / 1024:.0f} kB {self.artifact_mode} artifact)"
+            )
         return "\n".join(lines)
 
 
@@ -206,14 +216,9 @@ def _planned_peak_bytes(
     ``(None, None)`` when the model cannot be compiled at all.
     """
     import repro
-    from ..compress.quantization import _QuantizedWrapper
 
     shape = (1,) + tuple(input_shape)
-    wrappers = [m for _, m in model.named_modules() if isinstance(m, _QuantizedWrapper)]
-    calibrated = bool(wrappers) and all(
-        not m.observing and m.input_qparams() is not None for m in wrappers
-    )
-    if calibrated:
+    if _is_calibrated_int8(model):
         try:
             plan = repro.compile(model, mode="int8", dw_kernel="einsum").memory_plan(shape)
             return plan.peak_value_int8_bytes, "int8"
@@ -226,6 +231,57 @@ def _planned_peak_bytes(
         return None, None
 
 
+def _is_calibrated_int8(model: nn.Module) -> bool:
+    """True when the model lowers to the int8 engine (quantized + calibrated)."""
+    from ..compress.quantization import _QuantizedWrapper
+
+    wrappers = [m for _, m in model.named_modules() if isinstance(m, _QuantizedWrapper)]
+    return bool(wrappers) and all(
+        not m.observing and m.input_qparams() is not None for m in wrappers
+    )
+
+
+def _cold_start_times(
+    model: nn.Module, input_shape: tuple[int, int, int], repeats: int = 3
+) -> tuple[float, float, int, str] | tuple[None, None, None, None]:
+    """Best-of-``repeats`` compile-from-model vs load-from-artifact times (ms).
+
+    The deployment question this answers: once the artifact file exists, how
+    much replica boot time does loading it save over recompiling the prepared
+    model?  (``repro.serve``'s bench additionally charges the compile path
+    for model init, quantization and calibration — the full boot story.)
+    """
+    import os
+    import tempfile
+    import time
+
+    import repro
+    from ..runtime import load_artifact
+
+    mode = "int8" if _is_calibrated_int8(model) else "infer"
+    fd, path = tempfile.mkstemp(suffix=".rpa")
+    os.close(fd)
+    try:
+        compile_times = []
+        net = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            net = repro.compile(model, mode=mode)
+            compile_times.append((time.perf_counter() - start) * 1e3)
+        net.save(path, input_shape=input_shape)
+        size = os.path.getsize(path)
+        load_times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            load_artifact(path)
+            load_times.append((time.perf_counter() - start) * 1e3)
+        return min(compile_times), min(load_times), size, mode
+    except Exception:
+        return None, None, None, None
+    finally:
+        os.unlink(path)
+
+
 def deployment_report(
     model: nn.Module,
     input_shape: tuple[int, int, int],
@@ -235,6 +291,7 @@ def deployment_report(
     measure_host_latency: bool = False,
     latency_repeats: int = 5,
     plan_memory: bool = True,
+    measure_cold_start: bool = False,
 ) -> DeploymentReport:
     """Build a :class:`DeploymentReport` for ``model`` on ``device``.
 
@@ -249,6 +306,11 @@ def deployment_report(
     peak working set next to the analytic ``max(input + output)``
     approximation — the int8 engine's executable plan for calibrated
     quantized models, the float program's planning pass otherwise.
+
+    ``measure_cold_start=True`` times compiling the prepared model against
+    loading it back from a compiled artifact (:mod:`repro.runtime.artifact`)
+    and reports both next to the artifact's file size — the recompile-vs-load
+    side of replica boot time.
     """
     if latency_repeats < 1:
         raise ValueError("latency_repeats must be at least 1")
@@ -264,6 +326,9 @@ def deployment_report(
     planned_peak, planner_backend = (
         _planned_peak_bytes(model, input_shape) if plan_memory else (None, None)
     )
+    cold_compile, cold_load, artifact_bytes, artifact_mode = (
+        _cold_start_times(model, input_shape) if measure_cold_start else (None, None, None, None)
+    )
     return DeploymentReport(
         device=device,
         flash_bytes=weight_memory(model, weight_bytes),
@@ -274,6 +339,10 @@ def deployment_report(
         host_latency_backend=host_latency_backend,
         planned_peak_int8_bytes=planned_peak,
         planner_backend=planner_backend,
+        cold_start_compile_ms=cold_compile,
+        cold_start_load_ms=cold_load,
+        artifact_bytes=artifact_bytes,
+        artifact_mode=artifact_mode,
     )
 
 

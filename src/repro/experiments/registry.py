@@ -749,6 +749,97 @@ def _cost(scale: ExperimentScale, ctx: StepContext) -> list[ResultRow]:
     return rows
 
 
+def _fidelity(scale: ExperimentScale, ctx: StepContext) -> list[ResultRow]:
+    """Fidelity ladder sweep: accuracy vs p99 latency for each serving rung.
+
+    Serves the shared vanilla-trained tiny model through both rungs of the
+    default serving ladder — the compiled float engine and the int8
+    quantized engine calibrated on the training corpus — and reports two
+    rows per rung: top-1 accuracy on the corpus validation set and the p99
+    single-image latency.  Each rung is first materialised as a saved
+    artifact (the exact bytes :mod:`repro.serve.fidelity` would serve from)
+    and measured through :func:`~repro.runtime.load_artifact`, so the sweep
+    exercises the serialized path, not an in-memory shortcut.  The artifact
+    fingerprints are folded into the cache key via ``cached_call(extra=...)``:
+    anything that changes the compiled bits — weights, quantization grids,
+    the artifact format — invalidates the cached sweep.
+
+    The paper column is empty (the source paper reports no serving ladder);
+    the interesting comparison is measured-vs-measured across rungs.
+    """
+    import os
+    import shutil
+    import tempfile
+    import time
+
+    import numpy as np
+
+    from ..compress import calibrate, quantize_model
+    from ..runtime import compile_model, load_artifact
+
+    corpus = scale.corpus()
+    trained = ctx.dep(f"vanilla/{_TINY}")
+    input_shape = (3, scale.resolution, scale.resolution)
+    tmpdir = tempfile.mkdtemp(prefix="repro-fidelity-")
+    try:
+        rungs: list[tuple[str, str, str]] = []  # (name, path, fingerprint)
+        for rung_name in ("float", "int8"):
+            model = rebuild_model(_TINY, scale, trained)
+            model.eval()
+            if rung_name == "int8":
+                quantize_model(model)
+                images = corpus.train.images
+                calibrate(
+                    model,
+                    [images[start : start + 16] for start in range(0, min(64, len(images)), 16)],
+                )
+            net = compile_model(model, mode="int8" if rung_name == "int8" else "infer")
+            path = os.path.join(tmpdir, f"{rung_name}.rpa")
+            info = net.save(path, input_shape=input_shape)
+            rungs.append((rung_name, path, info.fingerprint))
+
+        def sweep() -> Artifact:
+            val = corpus.val
+            results = []
+            for rung_name, path, _fingerprint in rungs:
+                net = load_artifact(path)
+                correct = 0
+                for start in range(0, len(val.images), 64):
+                    batch = np.ascontiguousarray(val.images[start : start + 64])
+                    predicted = net.numpy_forward(batch).argmax(axis=1)
+                    correct += int((predicted == val.labels[start : start + 64]).sum())
+                single = np.ascontiguousarray(val.images[:1])
+                net.numpy_forward(single)  # warm the buffers before timing
+                samples = []
+                for _ in range(30):
+                    start_time = time.perf_counter()
+                    net.numpy_forward(single)
+                    samples.append((time.perf_counter() - start_time) * 1e3)
+                results.append(
+                    {
+                        "rung": rung_name,
+                        "accuracy": 100.0 * correct / len(val.images),
+                        "p99_ms": float(np.percentile(samples, 99)),
+                    }
+                )
+            return Artifact(meta={"rungs": results})
+
+        artifact = ctx.cached_call(
+            f"fidelity/{_TINY}",
+            sweep,
+            extra={"artifacts": {name: fingerprint for name, _path, fingerprint in rungs}},
+        )
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    rows: list[ResultRow] = []
+    for entry in artifact.meta["rungs"]:
+        rows.append(ResultRow("fidelity", f"{entry['rung']} / top-1", None, entry["accuracy"]))
+        rows.append(
+            ResultRow("fidelity", f"{entry['rung']} / latency", None, entry["p99_ms"], unit="ms p99")
+        )
+    return rows
+
+
 # --------------------------------------------------------------------------- #
 # the registry
 # --------------------------------------------------------------------------- #
@@ -797,6 +888,8 @@ EXPERIMENTS: dict[str, Experiment] = {
                    "Table I cost columns — model zoo complexity (analytic)"),
         Experiment("dp", _dp, (),
                    "Data-parallel training — topology x workers accuracy sweep"),
+        Experiment("fidelity", _fidelity, (f"vanilla/{_TINY}",),
+                   "Serving fidelity ladder — accuracy vs p99 latency per rung"),
     )
 }
 
@@ -807,7 +900,7 @@ def available_experiments() -> list[str]:
     Examples
     --------
     >>> available_experiments()
-    ['cost', 'dp', 'fig1a', 'table1', 'table2', 'table3', 'table4', 'table5', 'table6']
+    ['cost', 'dp', 'fidelity', 'fig1a', 'table1', 'table2', 'table3', 'table4', 'table5', 'table6']
     """
     return sorted(EXPERIMENTS)
 

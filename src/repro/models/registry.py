@@ -30,4 +30,8 @@ def create_model(name: str, num_classes: int = 16, **kwargs) -> nn.Module:
     key = name.lower()
     if key not in MODEL_REGISTRY:
         raise KeyError(f"unknown model {name!r}; available: {available_models()}")
-    return MODEL_REGISTRY[key](num_classes=num_classes, **kwargs)
+    model = MODEL_REGISTRY[key](num_classes=num_classes, **kwargs)
+    # Registry reference consumed by repro.runtime.artifact: lets a saved
+    # compiled artifact rebuild the identical skeleton in a fresh process.
+    model._registry_ref = {"name": key, "num_classes": num_classes, "kwargs": dict(kwargs)}
+    return model

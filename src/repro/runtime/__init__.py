@@ -43,6 +43,14 @@ builtin-shadowing ``repro.runtime.compile`` alias is gone — use
 ``repro.compile`` or :func:`compile_model`.
 """
 
+from .artifact import (
+    ArtifactError,
+    ArtifactInfo,
+    load_artifact,
+    model_fingerprint,
+    read_artifact_info,
+    save_artifact,
+)
 from .compiler import (
     CompiledNet,
     QuantConvOp,
@@ -56,6 +64,7 @@ from .frontend import (
     EngineSpec,
     available_engines,
     compile_model,
+    register_artifact_engine,
     register_engine,
     resolve_engine,
 )
@@ -72,6 +81,13 @@ __all__ = [
     "compile_model",
     "CompileOptions",
     "CompileError",
+    # compiled artifacts (exported at the top level as repro.load)
+    "save_artifact",
+    "load_artifact",
+    "read_artifact_info",
+    "model_fingerprint",
+    "ArtifactError",
+    "ArtifactInfo",
     # shared IR + passes
     "Graph",
     "OpNode",
@@ -87,6 +103,7 @@ __all__ = [
     # engine registry (repro.serve --engine resolves through it)
     "EngineSpec",
     "register_engine",
+    "register_artifact_engine",
     "resolve_engine",
     "available_engines",
     # executors

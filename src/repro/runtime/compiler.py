@@ -539,6 +539,12 @@ class CompiledNet:
 
         return describe_graph(self.graph, self)
 
+    def save(self, path: str, *, input_shape=None, model_ref: dict | None = None):
+        """Serialize to a versioned artifact file (see :func:`repro.load`)."""
+        from .artifact import save_artifact
+
+        return save_artifact(self, path, input_shape=input_shape, model_ref=model_ref)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledNet(source={type(self.source).__name__})"
 

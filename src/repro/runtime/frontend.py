@@ -44,6 +44,7 @@ __all__ = [
     "compile_model",
     "EngineSpec",
     "register_engine",
+    "register_artifact_engine",
     "resolve_engine",
     "available_engines",
 ]
@@ -202,14 +203,25 @@ def compile_model(
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class EngineSpec:
-    """A named, servable inference engine resolving to a compile mode."""
+    """A named, servable inference engine resolving to a compile mode.
+
+    An engine may instead be backed by a compiled artifact file
+    (:mod:`repro.runtime.artifact`): its ``compile`` then *loads* the stored
+    executor — bit-identical to the saved one — rather than compiling the
+    passed model (which, when given, is only fingerprint-validated).
+    """
 
     name: str
     mode: str
     description: str = ""
+    artifact: str | None = None
 
-    def compile(self, model: nn.Module, **kwargs):
-        """Compile ``model`` for this engine via :func:`compile_model`."""
+    def compile(self, model: nn.Module | None = None, **kwargs):
+        """Build this engine's executor via :func:`compile_model` (or artifact load)."""
+        if self.artifact is not None:
+            from .artifact import load_artifact
+
+            return load_artifact(self.artifact, mode=self.mode, model=model, **kwargs)
         return compile_model(model, mode=self.mode, **kwargs)
 
 
@@ -221,6 +233,25 @@ def register_engine(name: str, mode: str, description: str = "") -> EngineSpec:
     if _MODE_ALIASES.get(str(mode).lower()) is None:
         raise CompileError(f"unknown compile mode {mode!r} for engine {name!r}")
     spec = EngineSpec(name=name, mode=mode, description=description)
+    _ENGINES[name] = spec
+    return spec
+
+
+def register_artifact_engine(name: str, path: str, description: str = "") -> EngineSpec:
+    """Register an engine backed by a compiled-artifact file.
+
+    The artifact header is read (and its mode adopted) at registration, so a
+    missing or unreadable file fails here — not inside a forked replica.
+    """
+    from .artifact import read_artifact_info
+
+    info = read_artifact_info(path)
+    spec = EngineSpec(
+        name=name,
+        mode=info.mode,
+        description=description or f"artifact-backed {info.mode} engine ({path})",
+        artifact=str(path),
+    )
     _ENGINES[name] = spec
     return spec
 

@@ -1192,6 +1192,12 @@ class QuantizedNet:
 
         return describe_graph(self.graph, self)
 
+    def save(self, path: str, *, input_shape=None, model_ref: dict | None = None):
+        """Serialize to a versioned artifact file (see :func:`repro.load`)."""
+        from .artifact import save_artifact
+
+        return save_artifact(self, path, input_shape=input_shape, model_ref=model_ref)
+
     def numpy_forward(self, x: np.ndarray) -> np.ndarray:
         """Run the integer program on a raw ``(N, C, H, W)`` batch.
 

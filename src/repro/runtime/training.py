@@ -640,6 +640,12 @@ class TrainStep:
 
         return describe_graph(self.graph, self)
 
+    def save(self, path: str, *, input_shape=None, model_ref: dict | None = None):
+        """Serialize to a versioned artifact file (see :func:`repro.load`)."""
+        from .artifact import save_artifact
+
+        return save_artifact(self, path, input_shape=input_shape, model_ref=model_ref)
+
 
 def build_training_program(graph: Graph) -> TrainStep:
     """Lower an annotated graph to a :class:`TrainStep` (frontend backend hook)."""

@@ -27,6 +27,21 @@ resizes itself between ``--min-replicas`` and ``--max-replicas`` against the
 ``--engine`` names resolve through the :func:`repro.runtime.resolve_engine`
 registry (plus the special ``eager`` backend); prints sustained req/s,
 latency percentiles and the batch-size mix.
+
+Compiled artifacts (:mod:`repro.runtime.artifact`) plug in at three points::
+
+    PYTHONPATH=src python -m repro.serve --save-artifact net.rpa --engine int8
+    PYTHONPATH=src python -m repro.serve --replicas 2 --artifact net.rpa
+    PYTHONPATH=src python -m repro.serve --replicas 2 \\
+        --fidelity "float:mobilenetv2-tiny,int8:mobilenetv2-tiny" --autoscale
+
+``--save-artifact`` compiles and serializes, then exits.  ``--artifact``
+serves a fleet straight from the file — skipping quantization/calibration at
+replica boot — and validates the file (existence, format version, payload
+digest, model fingerprint) *before* the fleet forks.  ``--fidelity`` serves a
+multi-rung ladder (comma-separated ``engine:model`` or ``artifact:<path>``
+rungs, highest fidelity first); with ``--autoscale`` the controller drops
+fidelity before shedding and climbs back at idle.
 """
 
 from __future__ import annotations
@@ -59,6 +74,13 @@ def main(argv=None) -> int:
         help="intra-op kernel threads per engine (int, or 'auto' for one per CPU); "
         "default: serial kernels ($REPRO_THREADS overrides)",
     )
+    parser.add_argument(
+        "--calibration-batches",
+        type=int,
+        default=2,
+        help="int8 calibration batches at compile time (more = slower boot, "
+        "better grids; artifact serving skips this entirely)",
+    )
     parser.add_argument("--max-batch", type=int, default=16, help="dynamic batch cap")
     parser.add_argument("--max-wait-ms", type=float, default=2.0, help="batch window")
     parser.add_argument("--requests", type=int, default=2000, help="measured requests")
@@ -71,6 +93,27 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", type=Path, default=None, help="write the report as JSON")
+    artifact_group = parser.add_argument_group("compiled artifacts (repro.runtime.artifact)")
+    artifact_group.add_argument(
+        "--artifact",
+        type=Path,
+        default=None,
+        help="serve from a compiled-artifact file instead of compiling at boot "
+        "(implies fleet mode; validated before the fleet forks)",
+    )
+    artifact_group.add_argument(
+        "--save-artifact",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="compile --model with --engine, save the artifact to PATH, and exit",
+    )
+    artifact_group.add_argument(
+        "--fidelity",
+        default=None,
+        help="serve a multi-rung fidelity ladder (implies fleet mode); comma-separated "
+        "rungs 'engine:model', bare 'engine', or 'artifact:<path>', highest fidelity first",
+    )
     fleet_group = parser.add_argument_group("fleet mode (multi-process serving)")
     fleet_group.add_argument(
         "--replicas",
@@ -159,9 +202,12 @@ def main(argv=None) -> int:
     known = available_backends()
     if engine_name not in known:
         parser.error(f"unknown engine {engine_name!r}; available: {known}")
+    _validate_artifact_args(parser, args)
+    if args.save_artifact is not None:
+        return _do_save_artifact(parser, args, engine_name)
     timeout_s = args.timeout_ms / 1e3 if args.timeout_ms is not None else None
 
-    if args.replicas > 0 or args.slo is not None:
+    if args.replicas > 0 or args.slo is not None or args.artifact is not None or args.fidelity is not None:
         return _run_fleet(args, engine_name, timeout_s)
 
     print(f"building {args.model} [{engine_name}] at {args.resolution}x{args.resolution} ...")
@@ -212,6 +258,76 @@ def main(argv=None) -> int:
     return 0
 
 
+def _validate_artifact_args(parser, args) -> None:
+    """Fail fast on bad ``--artifact``/``--fidelity`` combos, before any fork.
+
+    Every referenced artifact file is fully loaded here in the parent —
+    existence, format version, payload digest, model fingerprint and compiler
+    drift are all checked — so a bad file dies with a one-line parser error
+    instead of a replica start-timeout after the fleet has forked.
+    """
+    if args.artifact is not None and args.fidelity is not None:
+        parser.error(
+            "--artifact and --fidelity are mutually exclusive; "
+            "use an 'artifact:<path>' rung inside --fidelity instead"
+        )
+    if args.save_artifact is not None and (args.artifact is not None or args.fidelity is not None):
+        parser.error("--save-artifact compiles and exits; drop --artifact/--fidelity")
+    if args.fidelity is not None and args.engine is not None:
+        parser.error("--fidelity rungs name their own engines; drop --engine")
+    paths = [args.artifact] if args.artifact is not None else []
+    if args.fidelity is not None:
+        from .fidelity import parse_fidelity
+
+        try:
+            rungs = parse_fidelity(args.fidelity, default_model=args.model)
+        except ValueError as error:
+            parser.error(str(error))
+        paths.extend(r.artifact for r in rungs if r.artifact)
+    if not paths:
+        return
+    from ..runtime.artifact import ArtifactError, load_artifact
+    from ..runtime.frontend import _MODE_ALIASES
+
+    for path in paths:
+        try:
+            executor = load_artifact(str(path))
+        except ArtifactError as error:
+            parser.error(str(error))
+        info = executor.artifact
+        if info.mode == "train":
+            parser.error(f"artifact {path} holds a training step; it is not servable")
+        if args.artifact is not None and args.engine is not None:
+            want = _MODE_ALIASES.get(str(args.engine).lower())
+            if want != info.mode:
+                parser.error(
+                    f"--engine {args.engine!r} conflicts with artifact {path} "
+                    f"(compiled for mode {info.mode!r}); drop --engine or match it"
+                )
+        print(f"validated artifact: {info.summary()}")
+
+
+def _do_save_artifact(parser, args, engine_name: str) -> int:
+    """``--save-artifact``: compile the requested engine, serialize, exit."""
+    from .fleet import resolve_net
+
+    if engine_name == "eager":
+        parser.error("the eager backend has no compiled program to serialize")
+    print(f"compiling {args.model} [{engine_name}] at {args.resolution}x{args.resolution} ...")
+    net, input_shape = resolve_net(
+        model_name=args.model,
+        resolution=args.resolution,
+        engine=engine_name,
+        calibration_batches=args.calibration_batches,
+        seed=args.seed,
+        threads=args.threads,
+    )
+    info = net.save(str(args.save_artifact), input_shape=input_shape)
+    print(info.summary())
+    print(f"wrote {args.save_artifact}")
+    return 0
+
+
 def _run_fleet(args, engine_name: str, timeout_s: float | None) -> int:
     import time
 
@@ -220,25 +336,53 @@ def _run_fleet(args, engine_name: str, timeout_s: float | None) -> int:
 
     slo = args.slo
     replicas = args.replicas if args.replicas > 0 else (slo.min_replicas if slo else 1)
+    threads_kwargs = {"threads": args.threads} if args.threads is not None else {}
+    if args.fidelity is not None:
+        from .fidelity import parse_fidelity
+
+        # normalize the spec so bare-engine rungs pick up --model, not the
+        # builder's default (builder_kwargs stay plain strings for spawn)
+        rungs = parse_fidelity(args.fidelity, default_model=args.model)
+        normalized = ",".join(
+            f"artifact:{r.artifact}" if r.artifact else r.name for r in rungs
+        )
+        builder = "repro.serve.fidelity:ladder_backend"
+        builder_kwargs = {
+            "rungs": normalized,
+            "resolution": args.resolution,
+            "seed": args.seed,
+            "calibration_batches": args.calibration_batches,
+            **threads_kwargs,
+        }
+        what = f"fidelity ladder '{normalized}'"
+    elif args.artifact is not None:
+        builder = "repro.serve.fleet:model_backend"
+        builder_kwargs = {"artifact": str(args.artifact), **threads_kwargs}
+        what = f"artifact {args.artifact}"
+    else:
+        builder = "repro.serve.fleet:model_backend"
+        builder_kwargs = {
+            "model_name": args.model,
+            "resolution": args.resolution,
+            "engine": engine_name,
+            "seed": args.seed,
+            "calibration_batches": args.calibration_batches,
+            **threads_kwargs,
+        }
+        what = f"{args.model} [{engine_name}] at {args.resolution}x{args.resolution}"
     config = FleetConfig(
         replicas=replicas,
         max_replicas=slo.max_replicas if slo is not None else None,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_pending=args.max_pending,
-        builder_kwargs={
-            "model_name": args.model,
-            "resolution": args.resolution,
-            "engine": engine_name,
-            "seed": args.seed,
-            **({"threads": args.threads} if args.threads is not None else {}),
-        },
+        builder=builder,
+        builder_kwargs=builder_kwargs,
         chaos=args.chaos,
         **({"default_deadline_ms": args.deadline_ms} if args.deadline_ms is not None else {}),
     )
     print(
-        f"starting fleet: {replicas} replicas of {args.model} [{engine_name}] "
-        f"at {args.resolution}x{args.resolution}"
+        f"starting fleet: {replicas} replicas of {what}"
         + (f", autoscale [{slo.min_replicas}..{slo.max_replicas}] "
            f"p99 SLO {slo.p99_target_ms:.0f} ms" if slo is not None else "")
         + (f", chaos '{args.chaos}'" if args.chaos else "")
@@ -284,6 +428,8 @@ def _run_fleet(args, engine_name: str, timeout_s: float | None) -> int:
             "mode": "fleet",
             "model": args.model,
             "backend": engine_name,
+            "artifact": str(args.artifact) if args.artifact is not None else None,
+            "fidelity": builder_kwargs.get("rungs"),
             "resolution": args.resolution,
             "replicas": replicas,
             "max_batch": args.max_batch,

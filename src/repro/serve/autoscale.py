@@ -25,6 +25,12 @@ DACFL-style dynamic consensus under churn, not a bang-bang thermostat:
   hint in the typed ``Overloaded`` error.  ``recover_patience`` calm samples
   step back UP one level at a time; replicas are only drained once the
   ladder is fully recovered.
+* **Fidelity before shedding.**  A fleet serving a multi-rung
+  :class:`~repro.serve.fidelity.LadderBackend` prepends its fidelity drops to
+  that ladder: the first ``rungs - 1`` levels merely switch every replica to
+  a cheaper engine (``Fleet.set_fidelity`` — no restart, no refusals), and
+  only beyond the ladder floor does deadline/admission tightening begin.
+  Recovery is symmetric: full fidelity is restored before capacity drains.
 
 Deterministic by construction: ``step(stats, now)`` is a pure function of its
 inputs and the controller's own state, so tests drive it with a fake clock
@@ -284,7 +290,7 @@ class AutoscaleController:
                 return self._record("up", now)
             # pinned at max: walk the degradation ladder after sustained heat
             self._hot_streak += 1
-            if self.level < slo.ladder_levels and self._hot_streak >= slo.ladder_patience:
+            if self.level < self.ladder_depth and self._hot_streak >= slo.ladder_patience:
                 self._hot_streak = 0
                 self._set_level(self.level + 1)
                 self.counters.degrades += 1
@@ -334,19 +340,41 @@ class AutoscaleController:
     def _resize(self, replicas: int, reason: str, now: float) -> None:
         self.target = self.fleet.resize(replicas, reason=f"autoscale:{reason}")
 
+    @property
+    def fidelity_rungs(self) -> int:
+        """Rung count of the fleet's fidelity ladder (1 for ladder-less fleets)."""
+        return max(1, int(getattr(self.fleet, "fidelity_rungs", 1) or 1))
+
+    @property
+    def ladder_depth(self) -> int:
+        """Total degradation depth: fidelity rungs first, then shedding levels.
+
+        A fleet serving a :class:`~repro.serve.fidelity.LadderBackend`
+        prepends its ``rungs - 1`` fidelity drops to the shedding ladder, so
+        under sustained overload the controller *lowers fidelity before it
+        sheds work* — and, symmetrically, climbs back to full fidelity before
+        handing capacity back.
+        """
+        return (self.fidelity_rungs - 1) + self.slo.ladder_levels
+
     def _set_level(self, level: int) -> None:
         slo = self.slo
         cfg = self.fleet.config
-        self.level = max(0, min(slo.ladder_levels, level))
-        if self.level == 0:
+        rungs = self.fidelity_rungs
+        self.level = max(0, min(self.ladder_depth, level))
+        if rungs > 1:
+            # drop fidelity before shedding: the first rungs-1 levels only
+            # switch the fleet's active rung (see repro.serve.fidelity)
+            self.fleet.set_fidelity(min(self.level, rungs - 1), reason="autoscale")
+        shed = max(0, self.level - (rungs - 1))
+        if shed == 0:
             self.fleet.set_degradation(0)
             return
-        factor = self.level
         self.fleet.set_degradation(
-            self.level,
-            deadline_ms=cfg.default_deadline_ms * slo.deadline_factor**factor,
-            max_wait_ms=cfg.max_wait_ms * slo.wait_factor**factor,
-            max_pending=max(1, int(cfg.max_pending * slo.pending_factor**factor)),
+            shed,
+            deadline_ms=cfg.default_deadline_ms * slo.deadline_factor**shed,
+            max_wait_ms=cfg.max_wait_ms * slo.wait_factor**shed,
+            max_pending=max(1, int(cfg.max_pending * slo.pending_factor**shed)),
         )
 
     # ------------------------------------------------------------------ #
@@ -358,6 +386,8 @@ class AutoscaleController:
         return {
             "target": self.target,
             "level": self.level,
+            "ladder_depth": self.ladder_depth,
+            "fidelity_rungs": self.fidelity_rungs,
             "min_replicas": self.slo.min_replicas,
             "max_replicas": self.slo.max_replicas,
             "p99_target_ms": self.slo.p99_target_ms,
@@ -384,7 +414,7 @@ class AutoscaleController:
             f"queue target {self.slo.queue_target:g}/replica), "
             f"last decision {c.last_decision!r}\n"
             f"                    {c.scale_ups} ups / {c.scale_downs} downs "
-            f"(peak {c.peak_target}), ladder level {self.level}/{self.slo.ladder_levels} "
+            f"(peak {c.peak_target}), ladder level {self.level}/{self.ladder_depth} "
             f"({c.degrades} degrades, {c.recoveries} recoveries), "
             f"{c.holds_converging} holds while restarts converged"
         )

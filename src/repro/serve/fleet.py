@@ -43,6 +43,7 @@ benchmark gate.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 import zlib
@@ -112,12 +113,18 @@ def resolve_net(
     calibration_method: str = "minmax",
     seed: int = 0,
     threads: int | str | None = None,
+    artifact: str | None = None,
 ):
     """Build and compile a registry model for serving.
 
     Engines resolve by name through :func:`repro.runtime.resolve_engine`
     (plus the special ``"eager"`` backend); unknown names raise ``ValueError``
     listing the registry's known names.  Returns ``(net, input_shape)``.
+
+    ``artifact`` short-circuits compilation entirely: the executor is loaded
+    from a pre-compiled artifact file (:mod:`repro.runtime.artifact`) —
+    skipping model init, quantization and calibration at boot — and the
+    model/engine arguments are ignored in favor of the artifact header.
 
     ``threads`` sizes each engine's intra-op worker pool
     (``CompileOptions(threads=...)``; ``"auto"`` = one worker per CPU) —
@@ -129,6 +136,15 @@ def resolve_net(
     from ..runtime import available_engines, compile_model, resolve_engine
     from ..utils import seed_everything
 
+    if artifact is not None:
+        from ..runtime import load_artifact
+
+        net = load_artifact(artifact, threads=threads)
+        info = net.artifact
+        if info.mode == "train":
+            raise ValueError(f"artifact {artifact!r} is a training artifact; not servable")
+        shape = tuple(info.input_shape) if info.input_shape else (3, int(resolution), int(resolution))
+        return net, shape
     seed_everything(seed)
     model = create_model(model_name, num_classes=num_classes)
     model.eval()
@@ -167,8 +183,13 @@ def model_backend(
     calibration_method: str = "minmax",
     seed: int = 0,
     threads: int | str | None = None,
+    artifact: str | None = None,
 ) -> ServingBackend:
-    """Default fleet builder: a compiled registry model (int8 by default)."""
+    """Default fleet builder: a compiled registry model (int8 by default).
+
+    With ``artifact=`` the engine is loaded from a compiled artifact file
+    instead of compiled at boot (see :func:`resolve_net`).
+    """
     net, input_shape = resolve_net(
         model_name=model_name,
         resolution=resolution,
@@ -178,9 +199,14 @@ def model_backend(
         calibration_method=calibration_method,
         seed=seed,
         threads=threads,
+        artifact=artifact,
     )
+    if artifact is not None:
+        name = f"artifact:{os.path.basename(artifact)}[{net.artifact.mode}]"
+    else:
+        name = f"{model_name}[{engine}]"
     forward = net.numpy_forward if hasattr(net, "numpy_forward") else net
-    return ServingBackend(forward, input_shape, net=net, name=f"{model_name}[{engine}]")
+    return ServingBackend(forward, input_shape, net=net, name=name)
 
 
 def echo_backend(
@@ -348,6 +374,9 @@ class FleetStats:
     scale_ups: int = 0
     scale_downs: int = 0
     scale_events: list = field(default_factory=list)
+    cold_start_ms_mean: float | None = None
+    cold_start_ms_max: float | None = None
+    fidelity: dict | None = None
     per_replica: list = field(default_factory=list)
 
     @property
@@ -380,6 +409,24 @@ class FleetStats:
             f"(deadline {self.effective_deadline_ms:.0f} ms, "
             f"pending cap {self.effective_max_pending})",
         ]
+        if self.cold_start_ms_mean is not None:
+            lines.append(
+                f"cold start        : {self.cold_start_ms_mean:.1f} ms mean / "
+                f"{self.cold_start_ms_max:.1f} ms max (spawn -> READY)"
+            )
+        if self.fidelity is not None:
+            rungs = self.fidelity.get("rungs", [])
+            active = self.fidelity.get("active_rung", 0)
+            rung_bits = ", ".join(
+                f"{'*' if i == active else ''}{r['name']} "
+                f"({r['completed']} served, p99 {ms(r['latency_ms_p99'])}, "
+                f"agree {r['agreement']:.2f})"
+                for i, r in enumerate(rungs)
+            )
+            lines.append(
+                f"fidelity          : rung {active}/{len(rungs) - 1}, "
+                f"{self.fidelity.get('switches', 0)} switches [{rung_bits}]"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -410,6 +457,9 @@ class FleetStats:
             "scale_ups": self.scale_ups,
             "scale_downs": self.scale_downs,
             "scale_events": list(self.scale_events),
+            "cold_start_ms_mean": self.cold_start_ms_mean,
+            "cold_start_ms_max": self.cold_start_ms_max,
+            "fidelity": dict(self.fidelity) if self.fidelity is not None else None,
             "lost": self.lost,
             "per_replica": list(self.per_replica),
         }
@@ -497,6 +547,12 @@ class Fleet:
         self._eff_deadline_ms = config.default_deadline_ms
         self._eff_max_wait_ms = config.max_wait_ms
         self._eff_max_pending = config.max_pending
+        # fidelity ladder state (event-loop thread only); populated when the
+        # backend is a LadderBackend (repro.serve.fidelity)
+        self._fidelity_rung = 0
+        self._fidelity_switches = 0
+        self._rung_completed: dict[int, int] = {}
+        self._rung_latencies: dict[int, deque] = {}
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -901,13 +957,53 @@ class Fleet:
                 self._eff_max_pending = max(1, int(max_pending))
         self._broadcast_cfg()
 
+    # ------------------------------------------------------------------ #
+    # fidelity ladder (repro.serve.fidelity)
+    # ------------------------------------------------------------------ #
+    @property
+    def fidelity_rungs(self) -> int:
+        """Rung count of the backend's fidelity ladder (1 = no ladder)."""
+        return len(getattr(self._backend, "rungs", ()) or ()) or 1
+
+    def set_fidelity(self, rung: int, reason: str = "manual") -> None:
+        """Switch every replica to ladder rung ``rung`` (any thread).
+
+        Rung 0 is full fidelity; higher rungs trade accuracy for latency.
+        Replicas pick the switch up over their work pipes (no restart); a
+        replica that restarts mid-ladder is re-synced from its ready ack.
+        """
+        if self._loop is None or self._closed:
+            raise RuntimeError("fleet is not running")
+        self._post(self._apply_fidelity, int(rung), str(reason))
+
+    def _apply_fidelity(self, rung: int, reason: str) -> None:
+        rung = max(0, min(rung, self.fidelity_rungs - 1))
+        if rung == self._fidelity_rung:
+            return
+        old, self._fidelity_rung = self._fidelity_rung, rung
+        self._fidelity_switches += 1
+        self._scale_events.append(
+            {
+                "t": time.monotonic() - self._t0,
+                "kind": "fidelity",
+                "from": old,
+                "to": rung,
+                "reason": reason,
+            }
+        )
+        del self._scale_events[:-64]
+        self._broadcast_cfg()
+
     def _broadcast_cfg(self, handle=None) -> None:
         handles = [handle] if handle is not None else self._supervisor.active_handles()
+        payload = {"max_wait_ms": self._eff_max_wait_ms}
+        if self.fidelity_rungs > 1:
+            payload["fidelity"] = self._fidelity_rung
         for h in handles:
             if h.work is None:
                 continue
             try:
-                h.work.send(("cfg", {"max_wait_ms": self._eff_max_wait_ms}))
+                h.work.send(("cfg", payload))
             except (OSError, ValueError):
                 pass  # dying replica; the watchdog deals with it
 
@@ -931,8 +1027,8 @@ class Fleet:
     def _on_replica_msg(self, handle, msg) -> None:
         kind = msg[0]
         if kind == "ready":
-            if self._degradation:
-                self._broadcast_cfg(handle)  # replica (re)started mid-degradation
+            if self._degradation or self._fidelity_rung:
+                self._broadcast_cfg(handle)  # replica (re)started mid-degradation/ladder
             self._flush_undispatched()
             return
         if kind == "done":
@@ -954,6 +1050,12 @@ class Fleet:
             latency_ms = (now - entry.admitted) * 1e3
             self._latencies.append((now, latency_ms))
             handle.latencies.append(latency_ms)
+            if self.fidelity_rungs > 1:
+                # Attribute to the fleet-wide active rung; switches are rare
+                # enough that boundary requests don't distort the buckets.
+                rung = self._fidelity_rung
+                self._rung_completed[rung] = self._rung_completed.get(rung, 0) + 1
+                self._rung_latencies.setdefault(rung, deque(maxlen=512)).append(latency_ms)
             self._send_frame(
                 entry.writer,
                 pack_frame(
@@ -1051,6 +1153,7 @@ class Fleet:
         ready = 0
         target = self.config.replicas
         draining = 0
+        cold_starts: list = []
         if sup is not None:
             for handle in sup.active_handles():
                 _, _, handle_p99 = self._percentiles(handle.latencies)
@@ -1063,11 +1166,35 @@ class Fleet:
                         "pid": handle.pid,
                         "inflight": len(handle.assigned),
                         "latency_ms_p99": handle_p99,
+                        "cold_start_ms": handle.cold_start_ms,
                     }
                 )
             ready = len(sup.ready_handles())
             target = sup.target
             draining = sup.draining()
+            cold_starts = list(sup.cold_start_ms)
+        fidelity = None
+        if self.fidelity_rungs > 1:
+            names = getattr(self._backend, "rung_names", None) or [
+                f"rung{i}" for i in range(self.fidelity_rungs)
+            ]
+            agreement = getattr(self._backend, "agreement", None) or [1.0] * len(names)
+            rungs = []
+            for i, name in enumerate(names):
+                _, _, rung_p99 = self._percentiles(self._rung_latencies.get(i, ()))
+                rungs.append(
+                    {
+                        "name": name,
+                        "completed": self._rung_completed.get(i, 0),
+                        "latency_ms_p99": rung_p99,
+                        "agreement": float(agreement[i]) if i < len(agreement) else 1.0,
+                    }
+                )
+            fidelity = {
+                "active_rung": self._fidelity_rung,
+                "switches": self._fidelity_switches,
+                "rungs": rungs,
+            }
         self._prune_latencies()
         p50, p95, p99 = self._percentiles([value for _, value in self._latencies])
         return FleetStats(
@@ -1099,5 +1226,8 @@ class Fleet:
             scale_ups=self._scale_ups,
             scale_downs=self._scale_downs,
             scale_events=list(self._scale_events),
+            cold_start_ms_mean=float(np.mean(cold_starts)) if cold_starts else None,
+            cold_start_ms_max=float(np.max(cold_starts)) if cold_starts else None,
+            fidelity=fidelity,
             per_replica=per_replica,
         )

@@ -133,6 +133,17 @@ def _replica_main(spec: ReplicaSpec, work, resp) -> None:
         beat()
         resp.send(("ready", os.getpid()))
         max_wait_s = spec.max_wait_ms / 1e3
+
+        def apply_cfg(payload: dict) -> None:
+            # Live policy update (degradation ladder / fidelity switch); no
+            # restart.  Unknown keys are ignored so the pipe protocol stays
+            # forward-compatible across mixed replica generations.
+            nonlocal max_wait_s
+            max_wait_s = float(payload.get("max_wait_ms", max_wait_s * 1e3)) / 1e3
+            rung = payload.get("fidelity")
+            if rung is not None and hasattr(backend, "set_rung"):
+                backend.set_rung(int(rung))
+
         stop = False
         while not stop:
             # Block for the first request, heartbeating while idle: the beat
@@ -142,8 +153,8 @@ def _replica_main(spec: ReplicaSpec, work, resp) -> None:
                 beat()
                 if work.poll(spec.heartbeat_interval / 2):
                     msg = work.recv()
-                    if msg[0] == "cfg":  # live batching-policy update (degradation ladder)
-                        max_wait_s = float(msg[1].get("max_wait_ms", max_wait_s * 1e3)) / 1e3
+                    if msg[0] == "cfg":
+                        apply_cfg(msg[1])
                         msg = None
             if msg[0] == "stop":
                 break
@@ -158,7 +169,7 @@ def _replica_main(spec: ReplicaSpec, work, resp) -> None:
                     stop = True
                     break
                 if m[0] == "cfg":
-                    max_wait_s = float(m[1].get("max_wait_ms", max_wait_s * 1e3)) / 1e3
+                    apply_cfg(m[1])
                     continue
                 batch.append(m)
             beat()
@@ -209,6 +220,7 @@ class ReplicaHandle:
     restarts: int = 0
     started_at: float = 0.0
     ready_since: float = 0.0
+    cold_start_ms: float | None = None  # spawn -> READY of the last (re)start
     restart_at: float = 0.0
     pid: int | None = None
     latencies: deque = field(default_factory=lambda: deque(maxlen=256))  # ms, recent
@@ -267,6 +279,7 @@ class Supervisor:
         self.restarts = 0  # successful respawns after a failure
         self.hangs_detected = 0
         self.crashes_detected = 0
+        self.cold_start_ms: deque = deque(maxlen=64)  # spawn -> READY, recent
         self.retired = 0  # replicas drained away by scale-down
         self._stopping = False
 
@@ -332,6 +345,8 @@ class Supervisor:
             # draining — its late "ready" must not put it back in rotation
             handle.state = READY
             handle.ready_since = self._clock()
+            handle.cold_start_ms = (handle.ready_since - handle.started_at) * 1e3
+            self.cold_start_ms.append(handle.cold_start_ms)
             self.hb[index] = handle.ready_since
         self._on_msg(handle, msg)
 

@@ -449,6 +449,82 @@ class TestControllerLaw:
         assert "target 3" in text and "1 ups" in text
 
 
+class LadderFleet(FakeFleet):
+    """A FakeFleet serving a 3-rung fidelity ladder."""
+
+    fidelity_rungs = 3
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.fidelity_calls = []
+
+    def set_fidelity(self, rung, reason="manual"):
+        self.fidelity_calls.append((rung, reason))
+        return rung
+
+
+class TestFidelityBeforeShedding:
+    """The controller walks the fidelity ladder before the shedding ladder."""
+
+    def make_hot_controller(self):
+        ctrl, fleet, clock = make_controller(
+            fleet=LadderFleet(replicas=4, max_replicas=4)
+        )
+        return ctrl, fleet, clock
+
+    def drive(self, ctrl, clock, pressure, steps):
+        decisions = []
+        for _ in range(steps):
+            clock.advance(5.0)
+            decisions.append(ctrl.step(stats_for(ctrl, pressure), clock.now))
+        return decisions
+
+    def test_ladder_depth_prepends_fidelity_rungs(self):
+        ctrl, _, _ = self.make_hot_controller()
+        assert ctrl.fidelity_rungs == 3
+        assert ctrl.ladder_depth == 2 + ctrl.slo.ladder_levels
+        plain, _, _ = make_controller()
+        assert plain.fidelity_rungs == 1
+        assert plain.ladder_depth == plain.slo.ladder_levels
+
+    def test_drops_fidelity_before_shedding(self):
+        ctrl, fleet, clock = self.make_hot_controller()
+        self.drive(ctrl, clock, 3.0, 12)
+        # first two degrades only switch rungs: no deadline tightening yet
+        assert fleet.fidelity_calls[:2] == [(1, "autoscale"), (2, "autoscale")]
+        assert fleet.degradations[0] == (0, {})
+        assert fleet.degradations[1] == (0, {})
+        # beyond the ladder floor the usual shedding levels begin at 1
+        assert fleet.degradations[2][0] == 1
+        assert fleet.degradations[2][1]["deadline_ms"] < fleet.config.default_deadline_ms
+        assert ctrl.level == ctrl.ladder_depth
+
+    def test_recovers_fidelity_before_scale_down(self):
+        ctrl, fleet, clock = self.make_hot_controller()
+        self.drive(ctrl, clock, 3.0, 12)
+        fleet.resizes.clear()
+        self.drive(ctrl, clock, 0.1, 10)
+        # the ladder fully recovers (rung 0, shed level 0) before any resize
+        assert fleet.fidelity_calls[-1] == (0, "autoscale")
+        assert fleet.degradations[-1] == (0, {})
+        assert ctrl.level == 0
+        assert fleet.resizes == []
+        self.drive(ctrl, clock, 0.1, 4)
+        assert fleet.resizes  # only now does capacity drain
+
+    def test_ladderless_fleet_unchanged(self):
+        ctrl, fleet, clock = make_controller(fleet=FakeFleet(replicas=4, max_replicas=4))
+        self.drive(ctrl, clock, 3.0, 4)
+        assert not hasattr(fleet, "fidelity_calls")
+        assert fleet.degradations[0][0] == 1  # level 1 sheds immediately
+
+    def test_state_reports_ladder_shape(self):
+        ctrl, _, _ = self.make_hot_controller()
+        state = ctrl.state()
+        assert state["fidelity_rungs"] == 3
+        assert state["ladder_depth"] == ctrl.ladder_depth
+
+
 class TestParseAutoscale:
     def test_disabled_specs(self):
         for spec in (None, "", "0", "off", "false", "none", "  "):

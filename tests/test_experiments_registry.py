@@ -38,6 +38,20 @@ class TestRegistry:
         rows = run_experiment("table6", tiny_scale)
         assert [row.setting for row in rows] == ["ratio=2", "ratio=4", "ratio=6", "ratio=8"]
 
+    def test_fidelity_sweeps_both_rungs(self, tiny_scale):
+        rows = run_experiment("fidelity", tiny_scale)
+        assert [row.setting for row in rows] == [
+            "float / top-1",
+            "float / latency",
+            "int8 / top-1",
+            "int8 / latency",
+        ]
+        units = {row.setting: row.unit for row in rows}
+        assert units["float / top-1"] == "top-1 %"
+        assert units["int8 / latency"] == "ms p99"
+        assert all(row.paper_value is None for row in rows)
+        assert all(row.measured_value > 0 for row in rows)
+
     def test_row_string_contains_paper_and_measured(self, tiny_scale):
         row = run_experiment("cost", tiny_scale)[0]
         text = str(row)
